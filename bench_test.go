@@ -1,0 +1,256 @@
+// Benchmarks regenerating the paper's evaluation artefacts (one per
+// figure — see DESIGN.md's experiment index) plus micro-benchmarks for
+// the algorithm's stages. Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks execute the full experiment per iteration on a
+// reduced-scale universe, so -benchtime=1x is enough to regenerate the
+// series; cmd/experiments runs the same code at larger scales and
+// prints the tables.
+package geoalign
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"geoalign/internal/core"
+	"geoalign/internal/eval"
+	"geoalign/internal/synth"
+)
+
+// Shared reduced-scale catalogs; building them is excluded from the
+// timed region via sync.Once + b.ResetTimer.
+var (
+	benchOnce  sync.Once
+	benchNY    *synth.Catalog
+	benchUS    *synth.Catalog
+	benchSetup error
+)
+
+func benchCatalogs(b *testing.B) (*synth.Catalog, *synth.Catalog) {
+	b.Helper()
+	benchOnce.Do(func() {
+		ny, err := synth.BuildUniverse("New York State", synth.NYConfig(42, 0.08))
+		if err != nil {
+			benchSetup = err
+			return
+		}
+		benchNY, err = synth.BuildCatalog(synth.NewYork, ny, 40000)
+		if err != nil {
+			benchSetup = err
+			return
+		}
+		us, err := synth.BuildUniverse("United States", synth.USConfig(42, 0.012))
+		if err != nil {
+			benchSetup = err
+			return
+		}
+		benchUS, err = synth.BuildCatalog(synth.UnitedStates, us, 60000)
+		if err != nil {
+			benchSetup = err
+		}
+	})
+	if benchSetup != nil {
+		b.Fatal(benchSetup)
+	}
+	return benchNY, benchUS
+}
+
+// BenchmarkFig5a regenerates Figure 5a: leave-one-dataset-out NRMSE on
+// the New York State catalog, GeoAlign vs the dasymetric baselines.
+func BenchmarkFig5a(b *testing.B) {
+	ny, _ := benchCatalogs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eval.CrossValidate(ny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 8 {
+			b.Fatalf("rows = %d", len(rep.Rows))
+		}
+	}
+}
+
+// BenchmarkFig5b regenerates Figure 5b on the United States catalog.
+func BenchmarkFig5b(b *testing.B) {
+	_, us := benchCatalogs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eval.CrossValidate(us)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 10 {
+			b.Fatalf("rows = %d", len(rep.Rows))
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6: GeoAlign runtime across the
+// six-universe hierarchy at the paper's full unit counts (NY 1794/62 …
+// US 30238/3142). The runtime experiment synthesises disaggregation
+// matrices directly (§4.3 times only the algorithm), so full scale is
+// cheap enough to benchmark.
+func BenchmarkFig6(b *testing.B) {
+	specs := eval.PaperRuntimeSpecs(1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eval.RuntimeExperiment(specs, 7, 1, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.SourceR2 < 0.5 {
+			b.Fatalf("runtime not linear in source units: R² = %v", rep.SourceR2)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: prediction deviation under
+// reference noise (reduced to 3 levels × 5 replicates per iteration;
+// cmd/experiments runs the full 7×20 grid).
+func BenchmarkFig7(b *testing.B) {
+	_, us := benchCatalogs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eval.NoiseExperiment(us, []float64{5, 20, 50}, 5, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: NRMSE under leave-n-references-out
+// selection.
+func BenchmarkFig8(b *testing.B) {
+	_, us := benchCatalogs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eval.SelectionExperiment(us)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 10 {
+			b.Fatalf("rows = %d", len(rep.Rows))
+		}
+	}
+}
+
+// BenchmarkExt1 regenerates the EXT1 extension comparison (GeoAlign vs
+// Tobler's pycnophylactic interpolation vs the naive regression of
+// §3.2) on the reduced US catalog.
+func BenchmarkExt1(b *testing.B) {
+	_, us := benchCatalogs(b)
+	grid := 4 * intSqrtBench(us.Universe.Source.Len())
+	if grid < 96 {
+		grid = 96
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := eval.ExtensionExperiment(us, grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) != 10 {
+			b.Fatalf("rows = %d", len(rep.Rows))
+		}
+	}
+}
+
+func intSqrtBench(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+// BenchmarkDimensions exercises the §3.4 dimension-independence claim:
+// the identical Align call on 1-D, 2-D-shaped and 3-D-shaped crosswalks
+// of equal size.
+func BenchmarkDimensions(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	problems := map[string]core.Problem{
+		"1D": synth.ScalingProblem(rng, 500, 40, 3),
+		"2D": synth.ScalingProblem(rng, 500, 40, 3),
+		"3D": synth.ScalingProblem(rng, 500, 40, 3),
+	}
+	for name, p := range problems {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Align(p, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAlignUS times one full-scale GeoAlign run at the paper's
+// United States size (30238 source units, 3142 target units, 7
+// references) — the headline of §4.3: "less than 0.15 second".
+func BenchmarkAlignUS(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	p := synth.ScalingProblem(rng, 30238, 3142, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Align(p, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWeightLearning isolates step 1 (Eq. 15) at US scale.
+func BenchmarkWeightLearning(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	p := synth.ScalingProblem(rng, 30238, 3142, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LearnWeights(p, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDasymetric times the single-reference baseline at US scale.
+func BenchmarkDasymetric(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	p := synth.ScalingProblem(rng, 30238, 3142, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Dasymetric(p.Objective, p.References[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicAlign times the public facade on a mid-size problem,
+// including crosswalk finalisation.
+func BenchmarkPublicAlign(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	p := synth.ScalingProblem(rng, 2000, 200, 4)
+	refs := make([]Reference, len(p.References))
+	for k, r := range p.References {
+		xw := NewCrosswalk(2000, 200)
+		for i := 0; i < r.DM.Rows; i++ {
+			cols, vals := r.DM.Row(i)
+			for t, j := range cols {
+				if err := xw.Add(i, j, vals[t]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		refs[k] = Reference{Name: r.Name, Crosswalk: xw}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Align(p.Objective, refs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

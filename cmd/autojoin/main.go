@@ -1,0 +1,149 @@
+// Command autojoin joins multiple aggregate CSV tables reported over
+// different geographic types into one wide table on a common target
+// type — the paper's §6 future-work system, built on GeoAlign.
+//
+// Each -table argument is TYPE=FILE (an aggregate CSV `unit,value`
+// tagged with its unit type); each -xwalk argument is SRC:TGT=FILE (a
+// crosswalk CSV `source,target,value` between two unit types).
+//
+//	autojoin -table zip=steam_by_zip.csv -table county=income_by_county.csv \
+//	         -xwalk zip:county=population_xwalk.csv \
+//	         -out joined.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"geoalign/internal/autojoin"
+	"geoalign/internal/table"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "autojoin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("autojoin", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tableArgs repeated
+		xwalkArgs repeated
+		target    = fs.String("target", "", "target unit type (default: majority type across tables)")
+		outPath   = fs.String("out", "-", "output CSV path, - for stdout")
+		verbose   = fs.Bool("v", false, "print realignment diagnostics to stderr")
+	)
+	fs.Var(&tableArgs, "table", "TYPE=FILE aggregate CSV; repeatable")
+	fs.Var(&xwalkArgs, "xwalk", "SRC:TGT=FILE crosswalk CSV; repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(tableArgs) == 0 {
+		return fmt.Errorf("at least one -table is required")
+	}
+
+	var tables []autojoin.Table
+	for _, arg := range tableArgs {
+		typ, path, ok := strings.Cut(arg, "=")
+		if !ok || typ == "" {
+			return fmt.Errorf("bad -table %q, want TYPE=FILE", arg)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		agg, err := table.ReadAggregateCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading table %s: %w", path, err)
+		}
+		tables = append(tables, autojoin.Table{UnitType: typ, Data: agg})
+	}
+
+	var pool []autojoin.CrosswalkFile
+	for _, arg := range xwalkArgs {
+		pair, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			return fmt.Errorf("bad -xwalk %q, want SRC:TGT=FILE", arg)
+		}
+		src, tgt, ok := strings.Cut(pair, ":")
+		if !ok || src == "" || tgt == "" {
+			return fmt.Errorf("bad -xwalk type pair %q, want SRC:TGT", pair)
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		cw, err := table.ReadCrosswalkCSV(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading crosswalk %s: %w", path, err)
+		}
+		pool = append(pool, autojoin.CrosswalkFile{SourceType: src, TargetType: tgt, Data: cw})
+	}
+
+	joined, err := autojoin.Join(tables, pool, autojoin.Options{TargetType: *target})
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for _, col := range joined.Columns {
+			if !col.Realigned {
+				fmt.Fprintf(stderr, "%-24s already on %q\n", col.Attribute, joined.UnitType)
+				continue
+			}
+			fmt.Fprintf(stderr, "%-24s realigned onto %q; weights:\n", col.Attribute, joined.UnitType)
+			for name, w := range col.Weights {
+				if w > 0.005 {
+					fmt.Fprintf(stderr, "    %-24s %.3f\n", name, w)
+				}
+			}
+		}
+	}
+
+	w := stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return writeJoined(w, joined)
+}
+
+func writeJoined(w io.Writer, j *autojoin.Joined) error {
+	cw := csv.NewWriter(w)
+	header := []string{j.UnitType}
+	for _, col := range j.Columns {
+		header = append(header, col.Attribute)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, key := range j.Keys {
+		rec := []string{key}
+		for _, col := range j.Columns {
+			rec = append(rec, strconv.FormatFloat(col.Values[i], 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

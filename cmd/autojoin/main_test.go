@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fixture(t *testing.T) (steam, income, xwalk string) {
+	t.Helper()
+	dir := t.TempDir()
+	steam = writeFile(t, dir, "steam.csv",
+		"unit,steam\n10001,5946\n10002,8100\n10003,3519\n")
+	income = writeFile(t, dir, "income.csv",
+		"unit,income\nNew York,64894\nWestchester,81946\n")
+	xwalk = writeFile(t, dir, "pop.csv",
+		"source,target,population\n10001,New York,21102\n10002,New York,30000\n10002,Westchester,2000\n10003,Westchester,56024\n")
+	return steam, income, xwalk
+}
+
+func TestRunAutoJoin(t *testing.T) {
+	steam, income, xwalk := fixture(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-table", "zip=" + steam,
+		"-table", "county=" + income,
+		"-xwalk", "zip:county=" + xwalk,
+		"-v",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.HasPrefix(out, "county,steam,income") {
+		t.Errorf("header: %q", out)
+	}
+	if !strings.Contains(out, "New York") || !strings.Contains(out, "Westchester") {
+		t.Errorf("rows: %q", out)
+	}
+	if !strings.Contains(stderr.String(), "realigned onto") {
+		t.Errorf("diagnostics: %q", stderr.String())
+	}
+}
+
+func TestRunAutoJoinExplicitTarget(t *testing.T) {
+	steam, income, xwalk := fixture(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-table", "zip=" + steam,
+		"-table", "county=" + income,
+		"-xwalk", "zip:county=" + xwalk,
+		"-target", "county",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(stdout.String(), "county,") {
+		t.Errorf("output: %q", stdout.String())
+	}
+}
+
+func TestRunAutoJoinOutputFile(t *testing.T) {
+	steam, income, xwalk := fixture(t)
+	outPath := filepath.Join(t.TempDir(), "joined.csv")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-table", "zip=" + steam,
+		"-table", "county=" + income,
+		"-xwalk", "zip:county=" + xwalk,
+		"-out", outPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "steam") {
+		t.Errorf("file: %q", data)
+	}
+}
+
+func TestRunAutoJoinValidation(t *testing.T) {
+	steam, _, xwalk := fixture(t)
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Error("no tables accepted")
+	}
+	if err := run([]string{"-table", "noequals"}, &stdout, &stderr); err == nil {
+		t.Error("malformed -table accepted")
+	}
+	if err := run([]string{"-table", "zip=" + steam, "-xwalk", "nopair=" + xwalk}, &stdout, &stderr); err == nil {
+		t.Error("malformed -xwalk pair accepted")
+	}
+	if err := run([]string{"-table", "zip=/missing.csv"}, &stdout, &stderr); err == nil {
+		t.Error("missing table file accepted")
+	}
+	if err := run([]string{"-table", "zip=" + steam, "-xwalk", "zip:county=/missing.csv"}, &stdout, &stderr); err == nil {
+		t.Error("missing crosswalk file accepted")
+	}
+}

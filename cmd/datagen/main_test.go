@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geoalign/internal/geojson"
+	"geoalign/internal/shapefile"
+	"geoalign/internal/table"
+)
+
+func TestRunGeoJSON(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-kind", "ny", "-scale", "0.01", "-budget", "1000", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layers present and loadable.
+	for _, name := range []string{"source_units.geojson", "target_units.geojson"} {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		layer, err := geojson.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(layer.Features) == 0 {
+			t.Fatalf("%s: empty layer", name)
+		}
+	}
+	// Per-dataset files present; crosswalk row sums match the source
+	// aggregate file.
+	srcF, err := os.Open(filepath.Join(dir, "population_by_source.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcAgg, err := table.ReadAggregateCSV(srcF)
+	srcF.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwF, err := os.Open(filepath.Join(dir, "population_crosswalk.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := table.ReadCrosswalkCSV(cwF)
+	cwF.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := cw.ReorderTo(srcAgg.Keys, cw.TargetKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := dm.RowSums()
+	for i, k := range srcAgg.Keys {
+		if v, _ := srcAgg.Value(k); v != rows[i] {
+			t.Fatalf("unit %s: aggregate %v != crosswalk row sum %v", k, v, rows[i])
+		}
+	}
+}
+
+func TestRunShapefile(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-kind", "us", "-scale", "0.001", "-budget", "500", "-format", "shapefile", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shp, err := os.ReadFile(filepath.Join(dir, "source_units.shp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbf, err := os.ReadFile(filepath.Join(dir, "source_units.dbf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := shapefile.Read(shp, dbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) == 0 {
+		t.Fatal("empty shapefile")
+	}
+	if f.Records[0].Attrs["NAME"] == "" {
+		t.Fatal("missing NAME attribute")
+	}
+	// The US catalog includes the geometric Area dataset.
+	if _, err := os.Stat(filepath.Join(dir, "area_sq_miles_crosswalk.csv")); err != nil {
+		t.Fatalf("area crosswalk missing: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-kind", "mars"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run([]string{"-kind", "ny", "-format", "papyrus", "-out", t.TempDir()}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Area (Sq. Miles)":           "area_sq_miles",
+		"USPS Business Address":      "usps_business_address",
+		"Starbucks":                  "starbucks",
+		"New York State Restaurants": "new_york_state_restaurants",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if strings.Contains(slugify("a  b"), "__") {
+		t.Error("double underscore produced")
+	}
+}

@@ -1,0 +1,197 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation section (§4) on the synthetic stand-in data and
+// prints the series as text tables. See DESIGN.md for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+//	experiments                  # run everything at the default scale
+//	experiments -exp fig5a       # one experiment
+//	experiments -scale 0.05      # larger universes (slower, closer to paper)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"geoalign/internal/eval"
+	"geoalign/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "all", "fig5a | fig5b | fig6 | fig7 | fig8 | ext1 | corr | txt2 | all")
+		scale  = fs.Float64("scale", 0.02, "unit-count scale relative to the paper's real counts (1.0 = full)")
+		budget = fs.Int("budget", 100000, "points in the densest dataset")
+		seed   = fs.Int64("seed", 42, "generation seed")
+		trials = fs.Int("trials", 10, "runtime trials per universe (fig6)")
+		reps   = fs.Int("reps", eval.NoiseReplicates, "noise replicates per level (fig7)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	var nyCat, usCat *synth.Catalog
+	needNY := want("fig5a")
+	needUS := want("fig5b") || want("fig7") || want("fig8") || want("ext1") || want("corr")
+	var err error
+	if needNY {
+		nyCat, err = buildCatalog(synth.NewYork, *seed, *scale, *budget)
+		if err != nil {
+			return err
+		}
+	}
+	if needUS {
+		usCat, err = buildCatalog(synth.UnitedStates, *seed, *scale, *budget)
+		if err != nil {
+			return err
+		}
+	}
+
+	if want("fig5a") {
+		ran = true
+		rep, err := eval.CrossValidate(nyCat)
+		if err != nil {
+			return err
+		}
+		section(out, "FIG5A", rep.Table())
+		wins, comps := rep.WinLossSummary(0.10)
+		fmt.Fprintf(out, "GeoAlign within 10%% of the best dasymetric baseline on %d/%d datasets\n\n", wins, comps)
+	}
+	if want("fig5b") {
+		ran = true
+		rep, err := eval.CrossValidate(usCat)
+		if err != nil {
+			return err
+		}
+		section(out, "FIG5B", rep.Table())
+		wins, comps := rep.WinLossSummary(0.10)
+		fmt.Fprintf(out, "GeoAlign within 10%% of the best dasymetric baseline on %d/%d datasets\n\n", wins, comps)
+	}
+	if want("fig6") {
+		ran = true
+		rep, err := eval.RuntimeExperiment(eval.PaperRuntimeSpecs(1.0), 7, *trials, *seed)
+		if err != nil {
+			return err
+		}
+		section(out, "FIG6", rep.Table())
+		bd, err := eval.RuntimeBreakdown(30238, 3142, 7, *trials, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, bd.String())
+		fmt.Fprintln(out)
+	}
+	if want("fig7") {
+		ran = true
+		rep, err := eval.NoiseExperiment(usCat, eval.NoiseLevels, *reps, *seed)
+		if err != nil {
+			return err
+		}
+		section(out, "FIG7", rep.Table())
+		for _, lvl := range eval.NoiseLevels {
+			fmt.Fprintf(out, "mean deviation at %2.0f%% noise: %.3f\n", lvl, rep.MeanDeviationAt(lvl))
+		}
+		fmt.Fprintln(out)
+	}
+	if want("fig8") {
+		ran = true
+		rep, err := eval.SelectionExperiment(usCat)
+		if err != nil {
+			return err
+		}
+		section(out, "FIG8", rep.Table())
+	}
+	if want("ext1") {
+		ran = true
+		// The raster must give every source unit at least one cell: start
+		// at ~16 cells per source unit and grow when a small Voronoi
+		// cell misses every cell centre.
+		grid := 4 * intSqrt(usCat.Universe.Source.Len())
+		if grid < 96 {
+			grid = 96
+		}
+		var rep *eval.ExtensionReport
+		for try := 0; ; try++ {
+			rep, err = eval.ExtensionExperiment(usCat, grid)
+			if err == nil {
+				break
+			}
+			if try >= 3 || !strings.Contains(err.Error(), "too coarse") {
+				return err
+			}
+			grid = grid * 3 / 2
+			fmt.Fprintf(os.Stderr, "ext1: raster too coarse, retrying at %d×%d\n", grid, grid)
+		}
+		section(out, "EXT1", rep.Table())
+		wins, total := rep.GeoAlignWinsOver("pycno")
+		fmt.Fprintf(out, "GeoAlign beats pycnophylactic on %d/%d datasets\n", wins, total)
+		wins, total = rep.GeoAlignWinsOver("regression")
+		fmt.Fprintf(out, "GeoAlign beats naive regression on %d/%d datasets\n\n", wins, total)
+	}
+	if want("corr") {
+		ran = true
+		rep := eval.CorrelationExperiment(usCat)
+		section(out, "CORR", rep.Table())
+		if other, r := rep.MostCorrelatedWith("USPS Business Address"); other != "" {
+			fmt.Fprintf(out, "USPS Business Address is most correlated with %q (r = %.3f)\n\n", other, r)
+		}
+	}
+	if want("txt2") {
+		ran = true
+		cat1d, err := synth.Build1DCatalog(*seed, 20, nil, *budget/4)
+		if err != nil {
+			return err
+		}
+		rep, err := eval.OneDExperiment(cat1d)
+		if err != nil {
+			return err
+		}
+		section(out, "TXT2", rep.Table())
+	}
+	if !ran {
+		return fmt.Errorf("unknown -exp %q", *exp)
+	}
+	return nil
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+func buildCatalog(kind synth.CatalogKind, seed int64, scale float64, budget int) (*synth.Catalog, error) {
+	var cfg synth.Config
+	var name string
+	if kind == synth.NewYork {
+		cfg, name = synth.NYConfig(seed, scale), "New York State"
+	} else {
+		cfg, name = synth.USConfig(seed, scale), "United States"
+	}
+	fmt.Fprintf(os.Stderr, "building %s universe (%d source / %d target units, %d-point budget)...\n",
+		name, cfg.SourceUnits, cfg.TargetUnits, budget)
+	u, err := synth.BuildUniverse(name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return synth.BuildCatalog(kind, u, budget)
+}
+
+func section(w io.Writer, id, body string) {
+	fmt.Fprintf(w, "== %s ==\n%s\n", id, strings.TrimRight(body, "\n")+"\n")
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "fig5a", "-scale", "0.01", "-budget", "3000", "-seed", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== FIG5A ==") || !strings.Contains(s, "GeoAlign") {
+		t.Errorf("output: %q", s)
+	}
+	if strings.Contains(s, "FIG5B") {
+		t.Error("fig5b ran although only fig5a was requested")
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	var out bytes.Buffer
+	// fig6 always synthesises its own problems; scale flags do not apply.
+	err := run([]string{"-exp", "fig6", "-trials", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "linear fit vs source units") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestRunFig7And8Reduced(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-exp", "fig8", "-scale", "0.002", "-budget", "2000", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Figure 8") {
+		t.Errorf("output: %q", out.String())
+	}
+	out.Reset()
+	err = run([]string{"-exp", "fig7", "-scale", "0.002", "-budget", "2000", "-reps", "2", "-seed", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mean deviation at") {
+		t.Errorf("output: %q", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig99"}, &out); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunRemainingExperiments(t *testing.T) {
+	for _, exp := range []string{"fig5b", "ext1", "corr", "txt2"} {
+		var out bytes.Buffer
+		err := run([]string{"-exp", exp, "-scale", "0.002", "-budget", "2000", "-seed", "5"}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("%s produced no output", exp)
+		}
+	}
+}
+
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-scale", "0.002", "-budget", "2000", "-seed", "2", "-trials", "1", "-reps", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"FIG5A", "FIG5B", "FIG6", "FIG7", "FIG8", "EXT1", "CORR", "TXT2"} {
+		if !strings.Contains(out.String(), "== "+id+" ==") {
+			t.Errorf("missing section %s", id)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Command geoalign runs a crosswalk from plain CSV files, the way a
+// practitioner would use the paper's method on published tables.
+//
+// Inputs:
+//
+//	-objective file.csv   two-column CSV (unit,value): the attribute to
+//	                      realign, aggregated by source unit
+//	-ref file.csv         three-column CSV (source,target,value): a
+//	                      reference crosswalk file; repeatable
+//	-method geoalign|dasymetric|areal
+//	-out file.csv         output aggregate CSV by target unit ("-" = stdout)
+//
+// Example:
+//
+//	geoalign -objective steam_by_zip.csv \
+//	         -ref population_xwalk.csv -ref accidents_xwalk.csv \
+//	         -out steam_by_county.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"geoalign/internal/core"
+	"geoalign/internal/table"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "geoalign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("geoalign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		objectivePath = fs.String("objective", "", "objective aggregate CSV (unit,value)")
+		refPaths      repeated
+		method        = fs.String("method", "geoalign", "geoalign | dasymetric | areal")
+		outPath       = fs.String("out", "-", "output CSV path, - for stdout")
+		showWeights   = fs.Bool("weights", false, "print learned reference weights to stderr")
+		check         = fs.Bool("check", false, "warn on stderr about objective units a reference crosswalk does not cover")
+	)
+	fs.Var(&refPaths, "ref", "reference crosswalk CSV (source,target,value); repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *objectivePath == "" {
+		return fmt.Errorf("missing -objective")
+	}
+	if len(refPaths) == 0 {
+		return fmt.Errorf("at least one -ref crosswalk is required")
+	}
+
+	obj, err := readAggregate(*objectivePath)
+	if err != nil {
+		return fmt.Errorf("reading objective: %w", err)
+	}
+
+	xwalks := make([]*table.Crosswalk, 0, len(refPaths))
+	for _, p := range refPaths {
+		cw, err := readCrosswalk(p)
+		if err != nil {
+			return fmt.Errorf("reading reference %s: %w", p, err)
+		}
+		xwalks = append(xwalks, cw)
+	}
+
+	if *check {
+		// Coverage check: a reference that has no mass for source units
+		// the objective reports is suspect (§4.4.1's data-quality
+		// concern); report units missing from each crosswalk.
+		for k, cw := range xwalks {
+			missing := 0
+			for _, key := range obj.Keys {
+				if cw.SourceIndex(key) < 0 {
+					missing++
+				}
+			}
+			if missing > 0 {
+				fmt.Fprintf(stderr, "check: reference %s covers %d/%d objective units (%d missing)\n",
+					refPaths[k], len(obj.Keys)-missing, len(obj.Keys), missing)
+			}
+		}
+	}
+
+	// Align every crosswalk to the objective's source-unit order and a
+	// shared target-unit order (union in first-seen order from the first
+	// crosswalk, then the rest).
+	targetKeys := unionTargets(xwalks)
+	refs := make([]core.Reference, len(xwalks))
+	for k, cw := range xwalks {
+		dm, err := cw.ReorderTo(obj.Keys, targetKeys)
+		if err != nil {
+			return fmt.Errorf("reference %s: %w", refPaths[k], err)
+		}
+		refs[k] = core.Reference{Name: cw.Attribute, DM: dm}
+	}
+
+	var estimate []float64
+	switch *method {
+	case "geoalign":
+		res, err := core.Align(core.Problem{Objective: obj.Values, References: refs}, core.Options{})
+		if err != nil {
+			return err
+		}
+		estimate = res.Target
+		if *showWeights {
+			for k, r := range refs {
+				fmt.Fprintf(stderr, "weight %-24s %.4f\n", r.Name, res.Weights[k])
+			}
+		}
+	case "dasymetric":
+		if len(refs) != 1 {
+			return fmt.Errorf("dasymetric uses exactly one -ref, got %d", len(refs))
+		}
+		estimate, err = core.Dasymetric(obj.Values, refs[0])
+		if err != nil {
+			return err
+		}
+	case "areal":
+		if len(refs) != 1 {
+			return fmt.Errorf("areal uses exactly one -ref (the intersection areas), got %d", len(refs))
+		}
+		estimate, err = core.ArealWeighting(obj.Values, refs[0].DM)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -method %q", *method)
+	}
+
+	out, err := table.NewAggregate(obj.Attribute, targetKeys, estimate)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return out.WriteCSV(w)
+}
+
+func readAggregate(path string) (*table.Aggregate, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return table.ReadAggregateCSV(f)
+}
+
+func readCrosswalk(path string) (*table.Crosswalk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return table.ReadCrosswalkCSV(f)
+}
+
+// unionTargets merges target-unit keys across crosswalks in first-seen
+// order so every reference can be reordered onto one column indexing.
+func unionTargets(xwalks []*table.Crosswalk) []string {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, cw := range xwalks {
+		for _, k := range cw.TargetKeys {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fixture(t *testing.T) (objective, popXW, accXW string) {
+	t.Helper()
+	dir := t.TempDir()
+	objective = writeFile(t, dir, "steam.csv",
+		"unit,steam\n10001,5946\n10002,8100\n10003,3519\n")
+	popXW = writeFile(t, dir, "pop.csv",
+		"source,target,population\n10001,New York,21102\n10002,New York,30000\n10002,Westchester,2000\n10003,Westchester,56024\n")
+	accXW = writeFile(t, dir, "acc.csv",
+		"source,target,accidents\n10001,New York,2\n10002,New York,4\n10002,Westchester,1\n10003,Westchester,3\n")
+	return objective, popXW, accXW
+}
+
+func TestRunGeoAlign(t *testing.T) {
+	obj, pop, acc := fixture(t)
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-objective", obj, "-ref", pop, "-ref", acc, "-weights"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "unit,steam") {
+		t.Errorf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "New York") || !strings.Contains(out, "Westchester") {
+		t.Errorf("missing target units: %q", out)
+	}
+	if !strings.Contains(stderr.String(), "weight") {
+		t.Errorf("missing weights on stderr: %q", stderr.String())
+	}
+	// Mass conservation through the CLI.
+	var total float64
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[1:] {
+		parts := strings.Split(line, ",")
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			t.Fatalf("bad value %q", parts[1])
+		}
+		total += v
+	}
+	if total < 17560 || total > 17570 { // 5946+8100+3519 = 17565
+		t.Errorf("total = %v, want 17565", total)
+	}
+}
+
+func TestRunDasymetric(t *testing.T) {
+	obj, pop, _ := fixture(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-objective", obj, "-ref", pop, "-method", "dasymetric"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "New York") {
+		t.Errorf("output: %q", stdout.String())
+	}
+}
+
+func TestRunDasymetricRejectsMultipleRefs(t *testing.T) {
+	obj, pop, acc := fixture(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-objective", obj, "-ref", pop, "-ref", acc, "-method", "dasymetric"}, &stdout, &stderr); err == nil {
+		t.Fatal("dasymetric with two refs accepted")
+	}
+}
+
+func TestRunArealMethod(t *testing.T) {
+	obj, pop, _ := fixture(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-objective", obj, "-ref", pop, "-method", "areal"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	obj, pop, _ := fixture(t)
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-ref", pop}, &stdout, &stderr); err == nil {
+		t.Error("missing -objective accepted")
+	}
+	if err := run([]string{"-objective", obj}, &stdout, &stderr); err == nil {
+		t.Error("missing -ref accepted")
+	}
+	if err := run([]string{"-objective", obj, "-ref", pop, "-method", "magic"}, &stdout, &stderr); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run([]string{"-objective", "/does/not/exist.csv", "-ref", pop}, &stdout, &stderr); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunWritesOutputFile(t *testing.T) {
+	obj, pop, acc := fixture(t)
+	outPath := filepath.Join(t.TempDir(), "out.csv")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-objective", obj, "-ref", pop, "-ref", acc, "-out", outPath}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Westchester") {
+		t.Errorf("file contents: %q", data)
+	}
+}
+
+func TestRunCheckFlag(t *testing.T) {
+	obj, pop, _ := fixture(t)
+	// A crosswalk that misses one of the objective's zips.
+	dir := t.TempDir()
+	partial := writeFile(t, dir, "partial.csv",
+		"source,target,partial\n10001,New York,5\n10002,New York,5\n")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-objective", obj, "-ref", pop, "-ref", partial, "-check"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "1 missing") {
+		t.Errorf("check output: %q", stderr.String())
+	}
+}

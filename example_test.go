@@ -1,0 +1,122 @@
+package geoalign_test
+
+import (
+	"fmt"
+	"log"
+
+	"geoalign"
+)
+
+// The paper's introductory example: 100 crimes reported in a zip code
+// that straddles two counties, split like the population (10,000 vs
+// 15,000 people in the two intersections).
+func ExampleDasymetric() {
+	population, err := geoalign.FromDense([][]float64{{10000, 15000}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	crimes, err := geoalign.Dasymetric([]float64{100}, geoalign.Reference{
+		Name:      "population",
+		Crosswalk: population,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("county A: %.0f, county B: %.0f\n", crimes[0], crimes[1])
+	// Output: county A: 40, county B: 60
+}
+
+// Align learns which references the objective resembles and combines
+// their crosswalks. Here the objective follows the first reference
+// exactly, so it gets all the weight.
+func ExampleAlign() {
+	steamLike, err := geoalign.FromDense([][]float64{
+		{10, 0},
+		{4, 6},
+		{0, 20},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	unrelated, err := geoalign.FromDense([][]float64{
+		{0, 5},
+		{9, 0},
+		{3, 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	objective := steamLike.SourceTotals()
+	res, err := geoalign.Align(objective, []geoalign.Reference{
+		{Name: "steam-like", Crosswalk: steamLike},
+		{Name: "unrelated", Crosswalk: unrelated},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weights: %.2f %.2f\n", res.Weights[0], res.Weights[1])
+	fmt.Printf("target:  %.0f %.0f\n", res.Target[0], res.Target[1])
+	// Output:
+	// weights: 1.00 0.00
+	// target:  14 26
+}
+
+// ArealWeighting is the uniform-density baseline: the paper's 70%/30%
+// area split.
+func ExampleArealWeighting() {
+	areas, err := geoalign.FromDense([][]float64{{0.7, 0.3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	crimes, err := geoalign.ArealWeighting([]float64{100}, areas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("county A: %.0f, county B: %.0f\n", crimes[0], crimes[1])
+	// Output: county A: 70, county B: 30
+}
+
+// Crosswalks accumulate entries, so they can be built incrementally
+// from point records or file rows.
+func ExampleCrosswalk() {
+	xw := geoalign.NewCrosswalk(2, 2)
+	for _, rec := range []struct {
+		src, tgt int
+		v        float64
+	}{
+		{0, 0, 3}, {0, 0, 2}, {1, 1, 7},
+	} {
+		if err := xw.Add(rec.src, rec.tgt, rec.v); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println(xw.At(0, 0), xw.SourceTotals(), xw.TargetTotals())
+	// Output: 5 [5 7] [5 7]
+}
+
+// AlignWithFallback keeps mass that plain Align would drop: source
+// units where every reference is zero redistribute by a fallback
+// crosswalk (typically intersection areas).
+func ExampleAlignWithFallback() {
+	ref, err := geoalign.FromDense([][]float64{
+		{1, 1},
+		{0, 0}, // no reference signal in this source unit
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	areas, err := geoalign.FromDense([][]float64{
+		{5, 5},
+		{2, 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := geoalign.AlignWithFallback([]float64{10, 20},
+		[]geoalign.Reference{{Name: "population", Crosswalk: ref}}, areas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f %.0f\n", res.Target[0], res.Target[1])
+	// Output: 9 21
+}

@@ -1,0 +1,176 @@
+// End-to-end GIS flow: load two polygon feature layers from GeoJSON,
+// compute the intersection-area crosswalk with the geometry stack,
+// aggregate a point dataset into a reference crosswalk, and realign an
+// attribute — the work ArcGIS Pro did in the paper's data preparation
+// (§4.1), here with no GIS dependency.
+//
+// The example writes its own small input files to a temp directory
+// first so it is fully self-contained.
+//
+//	go run ./examples/geojsonflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"geoalign"
+	"geoalign/internal/geojson"
+	"geoalign/internal/geom"
+	"geoalign/internal/partition"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "geoalignflow")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	srcPath := filepath.Join(dir, "zips.geojson")
+	tgtPath := filepath.Join(dir, "counties.geojson")
+	if err := writeInputLayers(srcPath, tgtPath); err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Load the two feature layers.
+	src, err := loadSystem(srcPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := loadSystem(tgtPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d source units, %d target units\n", src.Len(), tgt.Len())
+
+	// 2. Intersection areas (the areal-weighting reference) from the
+	// geometry engine.
+	areaDM, err := partition.MeasureDM(src, tgt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	areas := geoalign.NewCrosswalk(src.Len(), tgt.Len())
+	for i := 0; i < areaDM.Rows; i++ {
+		cols, vals := areaDM.Row(i)
+		for k, j := range cols {
+			if err := areas.Add(i, j, vals[k]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// 3. Aggregate an individual-level point dataset (say, geocoded
+	// household records) into a population crosswalk.
+	rng := rand.New(rand.NewSource(5))
+	pts := make([][]float64, 4000)
+	for i := range pts {
+		// Households cluster in the north-east quadrant.
+		pts[i] = []float64{2 + rng.NormFloat64()*0.8, 2 + rng.NormFloat64()*0.8}
+	}
+	popDM, dropped, err := partition.PointDM(src, tgt, pts, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aggregated %d household points (%.0f outside the universe)\n", len(pts), dropped)
+	popXW := geoalign.NewCrosswalk(src.Len(), tgt.Len())
+	for i := 0; i < popDM.Rows; i++ {
+		cols, vals := popDM.Row(i)
+		for k, j := range cols {
+			if err := popXW.Add(i, j, vals[k]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// 4. Realign an observed attribute: energy use by source unit, known
+	// to roughly track households.
+	pop := popXW.SourceTotals()
+	energyBySrc := make([]float64, src.Len())
+	for i := range energyBySrc {
+		energyBySrc[i] = 2.5*pop[i] + 10*rng.Float64()
+	}
+	res, err := geoalign.Align(energyBySrc, []geoalign.Reference{
+		{Name: "households", Crosswalk: popXW},
+		{Name: "area", Crosswalk: areas},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weights: households %.3f, area %.3f\n", res.Weights[0], res.Weights[1])
+	fmt.Println("energy use by county:")
+	for j, v := range res.Target {
+		fmt.Printf("  county %d: %.1f\n", j, v)
+	}
+}
+
+// loadSystem reads a GeoJSON layer into an indexed polygon unit system.
+func loadSystem(path string) (*partition.PolygonSystem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	layer, err := geojson.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return partition.NewPolygonSystem(layer.Polygons(), layer.Names())
+}
+
+// writeInputLayers creates a 4x4 source grid and a 2x2 target grid over
+// [0,4]² — deliberately unaligned off-by-half so units straddle.
+func writeInputLayers(srcPath, tgtPath string) error {
+	grid := func(n int, name string) *geojson.Layer {
+		var l geojson.Layer
+		step := 4.0 / float64(n)
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				b := geom.BBox{
+					MinX: float64(x) * step, MinY: float64(y) * step,
+					MaxX: float64(x+1) * step, MaxY: float64(y+1) * step,
+				}
+				l.Features = append(l.Features, geojson.Feature{
+					Polygon:    geom.Rect(b),
+					Properties: map[string]any{"name": fmt.Sprintf("%s%02d", name, y*n+x)},
+				})
+			}
+		}
+		return &l
+	}
+	// Shift the target grid by half a source cell so boundaries do not
+	// nest.
+	tgt := grid(2, "C")
+	for i := range tgt.Features {
+		for v := range tgt.Features[i].Polygon {
+			tgt.Features[i].Polygon[v].X = clamp(tgt.Features[i].Polygon[v].X+0.5, 0, 4)
+			tgt.Features[i].Polygon[v].Y = clamp(tgt.Features[i].Polygon[v].Y+0.5, 0, 4)
+		}
+	}
+	if err := writeLayer(srcPath, grid(4, "Z")); err != nil {
+		return err
+	}
+	return writeLayer(tgtPath, tgt)
+}
+
+func writeLayer(path string, l *geojson.Layer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return geojson.Write(f, l)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

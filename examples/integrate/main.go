@@ -1,0 +1,111 @@
+// Automatic aggregate data integration — the paper's §6 future work,
+// end to end: several agencies publish aggregate tables over different
+// geographic types (zip-level steam consumption and restaurant counts,
+// county-level income); a crosswalk pool is available; the autojoin
+// system picks a target type, realigns the off-target tables with
+// GeoAlign and emits one joined table — "without user intervention".
+//
+//	go run ./examples/integrate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geoalign/internal/autojoin"
+	"geoalign/internal/synth"
+	"geoalign/internal/table"
+)
+
+func main() {
+	// A small synthetic New York State with its reference catalog.
+	u, err := synth.BuildUniverse("New York State", synth.NYConfig(23, 0.05))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cat, err := synth.BuildCatalog(synth.NewYork, u, 30000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The "agencies": three independently published tables.
+	steam := u.PointDataset("steam consumption", &synth.MixtureField{
+		Centers: synth.Tighten(synth.TopCenters(u.Centers, 6), 0.8),
+		Base:    0.004,
+	}, 15000)
+	steamTable, err := table.NewAggregate("steam consumption", u.Source.Names, steam.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restaurants := cat.ByName("Food Service Inspections")
+	restTable, err := table.NewAggregate("food inspections", u.Source.Names, restaurants.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pop := cat.ByName("Population")
+	incomeVals := make([]float64, u.Target.Len())
+	for j := range incomeVals {
+		incomeVals[j] = 48000 + 0.4*pop.Target[j]
+	}
+	incomeTable, err := table.NewAggregate("per capita income", u.Target.Names, incomeVals)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The crosswalk pool: every catalog dataset's zip→county split.
+	var pool []autojoin.CrosswalkFile
+	for _, d := range cat.Datasets {
+		var triplets []table.Triplet
+		for i := 0; i < d.DM.Rows; i++ {
+			cols, vals := d.DM.Row(i)
+			for k, j := range cols {
+				triplets = append(triplets, table.Triplet{
+					Source: u.Source.Names[i],
+					Target: u.Target.Names[j],
+					Value:  vals[k],
+				})
+			}
+		}
+		cw, err := table.NewCrosswalk(d.Name, u.Source.Names, u.Target.Names, triplets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pool = append(pool, autojoin.CrosswalkFile{
+			SourceType: "zip", TargetType: "county", Data: cw,
+		})
+	}
+
+	// The integration itself: one call.
+	joined, err := autojoin.Join([]autojoin.Table{
+		{UnitType: "zip", Data: steamTable},
+		{UnitType: "zip", Data: restTable},
+		{UnitType: "county", Data: incomeTable},
+	}, pool, autojoin.Options{TargetType: "county"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("joined %d attributes onto %d %s units\n",
+		len(joined.Columns), len(joined.Keys), joined.UnitType)
+	for _, col := range joined.Columns {
+		status := "as published"
+		if col.Realigned {
+			status = "realigned by GeoAlign"
+		}
+		fmt.Printf("  %-20s %s\n", col.Attribute, status)
+	}
+	fmt.Printf("\n%-8s %16s %16s %16s\n", "county", "steam", "inspections", "income")
+	for i, key := range joined.Keys {
+		fmt.Printf("%-8s %16.1f %16.1f %16.1f\n",
+			key, joined.Columns[0].Values[i], joined.Columns[1].Values[i], joined.Columns[2].Values[i])
+	}
+
+	// Show GeoAlign's learned weights for the steam column: which
+	// reference distributions it judged most similar.
+	fmt.Println("\nsteam consumption realignment weights:")
+	for name, w := range joined.Columns[0].Weights {
+		if w > 0.02 {
+			fmt.Printf("  %-28s %.3f\n", name, w)
+		}
+	}
+}

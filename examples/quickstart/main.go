@@ -1,0 +1,82 @@
+// Quickstart: crosswalk an attribute from zip codes to counties with
+// GeoAlign using two reference attributes, in a dozen lines.
+//
+// The scenario is the paper's Figure 4: steam consumption is published
+// by zip code; we want it by county; the population and accidents
+// crosswalks between zips and counties are public.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geoalign"
+)
+
+func main() {
+	// Three zip codes, two counties. Each crosswalk row says how a
+	// reference attribute splits across the county intersections of one
+	// zip code (a crosswalk relationship file, e.g. HUD/USPS).
+	population, err := geoalign.FromDense([][]float64{
+		// New York, Westchester
+		{21102, 0},    // zip 10001 lies fully in New York county
+		{30000, 2000}, // zip 10002 straddles: most people in New York
+		{0, 56024},    // zip 10003 lies fully in Westchester
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	accidents, err := geoalign.FromDense([][]float64{
+		{2, 0},
+		{5, 3},
+		{0, 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Steam consumption by zip code (the objective attribute).
+	steamByZip := []float64{5946, 8100, 3519}
+
+	res, err := geoalign.Align(steamByZip, []geoalign.Reference{
+		{Name: "population", Crosswalk: population},
+		{Name: "accidents", Crosswalk: accidents},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("learned reference weights:")
+	for i, name := range []string{"population", "accidents"} {
+		fmt.Printf("  %-12s %.3f\n", name, res.Weights[i])
+	}
+	fmt.Println("estimated steam consumption by county:")
+	for j, name := range []string{"New York", "Westchester"} {
+		fmt.Printf("  %-12s %.1f\n", name, res.Target[j])
+	}
+
+	// Compare with the single-reference dasymetric baseline and the
+	// uniform-density areal weighting baseline.
+	dasy, err := geoalign.Dasymetric(steamByZip, geoalign.Reference{
+		Name: "population", Crosswalk: population,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	areas, err := geoalign.FromDense([][]float64{
+		{1.0, 0},
+		{0.8, 0.7},
+		{0, 2.1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aw, err := geoalign.ArealWeighting(steamByZip, areas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dasymetric (population only): %.1f / %.1f\n", dasy[0], dasy[1])
+	fmt.Printf("areal weighting:              %.1f / %.1f\n", aw[0], aw[1])
+}

@@ -1,0 +1,3 @@
+module geoalign
+
+go 1.22

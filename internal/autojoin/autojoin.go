@@ -1,0 +1,194 @@
+// Package autojoin implements the paper's stated future work (§6): "an
+// automatic aggregate data integration system that joins multiple
+// aggregate tables without user intervention."
+//
+// Given a set of aggregate tables, each reported over some unit system
+// (identified by a geographic type tag such as "zip" or "county"), and
+// a pool of crosswalk files between unit-system pairs, Join picks a
+// common target type, realigns every table onto it with GeoAlign (using
+// all crosswalks of the right type pair as references), and emits one
+// wide, joined table. Tables already on the target type pass through
+// untouched.
+package autojoin
+
+import (
+	"fmt"
+	"sort"
+
+	"geoalign/internal/core"
+	"geoalign/internal/table"
+)
+
+// Table is an aggregate table tagged with the geographic type of its
+// units.
+type Table struct {
+	UnitType string // e.g. "zip", "county"
+	Data     *table.Aggregate
+}
+
+// CrosswalkFile is a reference crosswalk tagged with its unit-type pair.
+type CrosswalkFile struct {
+	SourceType string
+	TargetType string
+	Data       *table.Crosswalk
+}
+
+// Joined is the integration result: one row per target unit, one column
+// per input attribute, plus per-attribute diagnostics.
+type Joined struct {
+	UnitType string
+	Keys     []string
+	Columns  []Column
+}
+
+// Column is one attribute in the joined table.
+type Column struct {
+	Attribute string
+	Values    []float64
+	// Realigned reports whether the column was crosswalked (false when
+	// the input was already on the target type).
+	Realigned bool
+	// Weights holds GeoAlign's learned β per reference crosswalk
+	// attribute for realigned columns.
+	Weights map[string]float64
+}
+
+// Options tunes the integration.
+type Options struct {
+	// TargetType forces the output unit type. Empty ⇒ choose the type
+	// shared by the most input tables (ties broken lexicographically).
+	TargetType string
+}
+
+// Join realigns and joins the tables. Every table not on the target
+// type must have at least one crosswalk from its type to the target
+// type in the pool.
+func Join(tables []Table, pool []CrosswalkFile, opts Options) (*Joined, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("autojoin: no tables")
+	}
+	target := opts.TargetType
+	if target == "" {
+		target = pickTargetType(tables)
+	}
+
+	// The target unit key order: union of the keys of on-target tables
+	// and of crosswalk target keys, first-seen; deterministic because
+	// inputs are ordered.
+	keys := targetKeys(tables, pool, target)
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("autojoin: no units of target type %q found in tables or crosswalks", target)
+	}
+
+	out := &Joined{UnitType: target, Keys: keys}
+	for _, tb := range tables {
+		col, err := realignOne(tb, pool, target, keys)
+		if err != nil {
+			return nil, err
+		}
+		out.Columns = append(out.Columns, *col)
+	}
+	return out, nil
+}
+
+func realignOne(tb Table, pool []CrosswalkFile, target string, keys []string) (*Column, error) {
+	if tb.UnitType == target {
+		vals, err := reorderLoose(tb.Data, keys)
+		if err != nil {
+			return nil, fmt.Errorf("autojoin: table %q: %w", tb.Data.Attribute, err)
+		}
+		return &Column{Attribute: tb.Data.Attribute, Values: vals}, nil
+	}
+	var refs []core.Reference
+	var names []string
+	for _, cw := range pool {
+		if cw.SourceType != tb.UnitType || cw.TargetType != target {
+			continue
+		}
+		dm, err := cw.Data.ReorderTo(tb.Data.Keys, keys)
+		if err != nil {
+			return nil, fmt.Errorf("autojoin: crosswalk %q: %w", cw.Data.Attribute, err)
+		}
+		refs = append(refs, core.Reference{Name: cw.Data.Attribute, DM: dm})
+		names = append(names, cw.Data.Attribute)
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("autojoin: no crosswalk from %q to %q for table %q",
+			tb.UnitType, target, tb.Data.Attribute)
+	}
+	res, err := core.Align(core.Problem{Objective: tb.Data.Values, References: refs}, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("autojoin: realigning %q: %w", tb.Data.Attribute, err)
+	}
+	col := &Column{
+		Attribute: tb.Data.Attribute,
+		Values:    res.Target,
+		Realigned: true,
+		Weights:   make(map[string]float64, len(names)),
+	}
+	for k, n := range names {
+		col.Weights[n] = res.Weights[k]
+	}
+	return col, nil
+}
+
+// pickTargetType returns the unit type shared by the most tables.
+func pickTargetType(tables []Table) string {
+	counts := make(map[string]int)
+	for _, tb := range tables {
+		counts[tb.UnitType]++
+	}
+	var best string
+	bestN := -1
+	types := make([]string, 0, len(counts))
+	for t := range counts {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		if counts[t] > bestN {
+			best, bestN = t, counts[t]
+		}
+	}
+	return best
+}
+
+// targetKeys builds the target unit ordering from on-target tables
+// first, then crosswalk target keys.
+func targetKeys(tables []Table, pool []CrosswalkFile, target string) []string {
+	seen := make(map[string]bool)
+	var keys []string
+	add := func(k string) {
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, tb := range tables {
+		if tb.UnitType == target {
+			for _, k := range tb.Data.Keys {
+				add(k)
+			}
+		}
+	}
+	for _, cw := range pool {
+		if cw.TargetType == target {
+			for _, k := range cw.Data.TargetKeys {
+				add(k)
+			}
+		}
+	}
+	return keys
+}
+
+// reorderLoose reorders an on-target table to the joined key order with
+// outer-join semantics: units the table does not report are zero.
+func reorderLoose(a *table.Aggregate, keys []string) ([]float64, error) {
+	out := make([]float64, len(keys))
+	for i, k := range keys {
+		if v, ok := a.Value(k); ok {
+			out[i] = v
+		}
+	}
+	return out, nil
+}

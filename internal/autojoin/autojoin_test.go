@@ -1,0 +1,193 @@
+package autojoin
+
+import (
+	"math"
+	"testing"
+
+	"geoalign/internal/table"
+)
+
+func mustAgg(t *testing.T, attr string, keys []string, vals []float64) *table.Aggregate {
+	t.Helper()
+	a, err := table.NewAggregate(attr, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mustXW(t *testing.T, attr string, triplets []table.Triplet) *table.Crosswalk {
+	t.Helper()
+	cw, err := table.NewCrosswalk(attr, nil, nil, triplets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cw
+}
+
+// The paper's Figure 1 scenario: steam consumption by zip, income by
+// county, population crosswalk zip→county. Join onto county.
+func fig1Inputs(t *testing.T) ([]Table, []CrosswalkFile) {
+	steam := Table{UnitType: "zip", Data: mustAgg(t, "steam",
+		[]string{"10001", "10002", "10003"}, []float64{5946, 8100, 3519})}
+	income := Table{UnitType: "county", Data: mustAgg(t, "income",
+		[]string{"New York", "Westchester"}, []float64{64894, 81946})}
+	pop := CrosswalkFile{SourceType: "zip", TargetType: "county",
+		Data: mustXW(t, "population", []table.Triplet{
+			{Source: "10001", Target: "New York", Value: 21102},
+			{Source: "10002", Target: "New York", Value: 30000},
+			{Source: "10002", Target: "Westchester", Value: 2000},
+			{Source: "10003", Target: "Westchester", Value: 56024},
+		})}
+	return []Table{steam, income}, []CrosswalkFile{pop}
+}
+
+func TestJoinFig1(t *testing.T) {
+	tables, pool := fig1Inputs(t)
+	j, err := Join(tables, pool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.UnitType != "county" {
+		t.Fatalf("target type = %q, want county (majority)", j.UnitType)
+	}
+	if len(j.Keys) != 2 || len(j.Columns) != 2 {
+		t.Fatalf("join shape: %d keys, %d columns", len(j.Keys), len(j.Columns))
+	}
+	steamCol := j.Columns[0]
+	if !steamCol.Realigned {
+		t.Error("steam column not realigned")
+	}
+	if w := steamCol.Weights["population"]; math.Abs(w-1) > 1e-9 {
+		t.Errorf("population weight = %v, want 1 (only reference)", w)
+	}
+	// Mass conserved across the realignment.
+	var total float64
+	for _, v := range steamCol.Values {
+		total += v
+	}
+	if math.Abs(total-(5946+8100+3519)) > 1e-6 {
+		t.Errorf("steam mass = %v", total)
+	}
+	incomeCol := j.Columns[1]
+	if incomeCol.Realigned {
+		t.Error("income column realigned although already on target type")
+	}
+	ny := indexOf(j.Keys, "New York")
+	if incomeCol.Values[ny] != 64894 {
+		t.Errorf("income[New York] = %v", incomeCol.Values[ny])
+	}
+}
+
+func TestJoinExplicitTarget(t *testing.T) {
+	tables, pool := fig1Inputs(t)
+	// Force zip as the target: income has no county→zip crosswalk.
+	if _, err := Join(tables, pool, Options{TargetType: "zip"}); err == nil {
+		t.Fatal("join without the needed crosswalk direction succeeded")
+	}
+	// Add the reverse crosswalk; now it must work.
+	rev := CrosswalkFile{SourceType: "county", TargetType: "zip",
+		Data: mustXW(t, "population", []table.Triplet{
+			{Source: "New York", Target: "10001", Value: 21102},
+			{Source: "New York", Target: "10002", Value: 30000},
+			{Source: "Westchester", Target: "10002", Value: 2000},
+			{Source: "Westchester", Target: "10003", Value: 56024},
+		})}
+	j, err := Join(tables, append(pool, rev), Options{TargetType: "zip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.UnitType != "zip" || len(j.Keys) != 3 {
+		t.Fatalf("join = %q/%d keys", j.UnitType, len(j.Keys))
+	}
+}
+
+func TestJoinMultipleReferences(t *testing.T) {
+	tables, pool := fig1Inputs(t)
+	acc := CrosswalkFile{SourceType: "zip", TargetType: "county",
+		Data: mustXW(t, "accidents", []table.Triplet{
+			{Source: "10001", Target: "New York", Value: 2},
+			{Source: "10002", Target: "New York", Value: 4},
+			{Source: "10002", Target: "Westchester", Value: 1},
+			{Source: "10003", Target: "Westchester", Value: 3},
+		})}
+	j, err := Join(tables, append(pool, acc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := j.Columns[0]
+	if len(col.Weights) != 2 {
+		t.Fatalf("weights = %v, want 2 references", col.Weights)
+	}
+	var s float64
+	for _, w := range col.Weights {
+		s += w
+	}
+	if math.Abs(s-1) > 1e-7 {
+		t.Errorf("weights sum to %v", s)
+	}
+}
+
+func TestJoinAllSameType(t *testing.T) {
+	a := Table{UnitType: "county", Data: mustAgg(t, "a", []string{"x", "y"}, []float64{1, 2})}
+	b := Table{UnitType: "county", Data: mustAgg(t, "b", []string{"y", "x"}, []float64{3, 4})}
+	j, err := Join([]Table{a, b}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi := indexOf(j.Keys, "x")
+	yi := indexOf(j.Keys, "y")
+	if j.Columns[0].Values[xi] != 1 || j.Columns[1].Values[yi] != 3 {
+		t.Errorf("columns misaligned: %+v", j.Columns)
+	}
+}
+
+func TestJoinPartialCoverageZeroFills(t *testing.T) {
+	a := Table{UnitType: "county", Data: mustAgg(t, "a", []string{"x", "y"}, []float64{1, 2})}
+	b := Table{UnitType: "county", Data: mustAgg(t, "b", []string{"x"}, []float64{9})}
+	j, err := Join([]Table{a, b}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yi := indexOf(j.Keys, "y")
+	if j.Columns[1].Values[yi] != 0 {
+		t.Errorf("missing unit not zero-filled: %v", j.Columns[1].Values)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	if _, err := Join(nil, nil, Options{}); err == nil {
+		t.Error("empty join succeeded")
+	}
+	a := Table{UnitType: "zip", Data: mustAgg(t, "a", []string{"z"}, []float64{1})}
+	if _, err := Join([]Table{a}, nil, Options{TargetType: "county"}); err == nil {
+		t.Error("join with no units of target type succeeded")
+	}
+	// Disjoint on-target tables outer-join with zero fill.
+	b := Table{UnitType: "county", Data: mustAgg(t, "b", []string{"q"}, []float64{1})}
+	c := Table{UnitType: "county", Data: mustAgg(t, "c", []string{"r"}, []float64{1})}
+	j, err := Join([]Table{b, c}, nil, Options{})
+	if err != nil {
+		t.Fatalf("outer join of disjoint tables failed: %v", err)
+	}
+	if len(j.Keys) != 2 || j.Columns[0].Values[indexOf(j.Keys, "r")] != 0 {
+		t.Errorf("outer join shape wrong: %+v", j)
+	}
+}
+
+func TestPickTargetTypeTieBreaksLexicographically(t *testing.T) {
+	a := Table{UnitType: "zip", Data: mustAgg(t, "a", []string{"z"}, []float64{1})}
+	b := Table{UnitType: "county", Data: mustAgg(t, "b", []string{"c"}, []float64{1})}
+	if got := pickTargetType([]Table{a, b}); got != "county" {
+		t.Errorf("pickTargetType = %q, want county (lexicographic tie-break)", got)
+	}
+}
+
+func indexOf(keys []string, k string) int {
+	for i, key := range keys {
+		if key == k {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"geoalign/internal/linalg"
+)
+
+// NaiveRegression implements the approach §3.2 of the paper dismisses:
+// model the objective's source aggregates as a non-negative linear
+// combination of the references' source aggregates, then predict the
+// target aggregates by applying the same coefficients to the
+// references' target aggregates.
+//
+// The paper's objection is structural: the training rows (source units)
+// and prediction rows (target units) are not samples from one
+// population — they are different partitions of the same mass — so the
+// regression has no reason to transfer, and nothing constrains the
+// predictions to preserve the objective's total. This implementation
+// exists to demonstrate that argument empirically (see the ablation in
+// internal/eval and EXPERIMENTS.md): unlike GeoAlign it is not
+// volume-preserving, and its error grows with how far the fitted
+// combination's total drifts from the objective's.
+func NaiveRegression(objective []float64, refs []Reference) ([]float64, error) {
+	_, nt, err := validate(Problem{Objective: objective, References: refs})
+	if err != nil {
+		return nil, err
+	}
+	cols := make([][]float64, len(refs))
+	tcols := make([][]float64, len(refs))
+	for k, r := range refs {
+		src := referenceSource(r)
+		cols[k] = src
+		tcols[k] = r.DM.ColSums()
+	}
+	a, err := linalg.MatrixFromColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := linalg.NNLS(a, objective)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, nt)
+	for k := range refs {
+		if beta[k] == 0 {
+			continue
+		}
+		for j := 0; j < nt; j++ {
+			out[j] += beta[k] * tcols[k][j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNaiveRegressionExactWhenObjectiveIsAReference(t *testing.T) {
+	// If the objective is exactly one reference's source vector, the
+	// regression recovers β = e_k and predicts that reference's target
+	// vector — the one case where it works.
+	rng := rand.New(rand.NewSource(21))
+	a := Reference{Name: "a", DM: randomDM(rng, 30, 6)}
+	b := Reference{Name: "b", DM: randomDM(rng, 30, 6)}
+	obj := a.DM.RowSums()
+	got, err := NaiveRegression(obj, []Reference{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := a.DM.ColSums()
+	if !vecEq(got, want, 1e-6*(1+floatMax(want))) {
+		t.Errorf("got %v, want %v", got, want)
+	}
+}
+
+func TestNaiveRegressionDoesNotConserveMass(t *testing.T) {
+	// The paper's §3.2 argument: an objective that no reference
+	// combination fits has its *total* mangled by the regression, while
+	// GeoAlign conserves it by construction.
+	rng := rand.New(rand.NewSource(22))
+	refs := []Reference{
+		{DM: randomDM(rng, 40, 8)},
+		{DM: randomDM(rng, 40, 8)},
+	}
+	// Objective concentrated on a handful of units — poorly spanned by
+	// the smooth references.
+	obj := make([]float64, 40)
+	obj[3], obj[17], obj[31] = 500, 900, 250
+	totalIn := 500.0 + 900 + 250
+
+	reg, err := NaiveRegression(obj, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := Align(Problem{Objective: obj, References: refs}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(v []float64) float64 {
+		var s float64
+		for _, x := range v {
+			s += x
+		}
+		return s
+	}
+	gaErr := math.Abs(sum(ga.Target) - totalIn)
+	regErr := math.Abs(sum(reg) - totalIn)
+	if gaErr > 1e-6*totalIn {
+		t.Fatalf("GeoAlign broke mass conservation: %v", gaErr)
+	}
+	if regErr < 1e-3*totalIn {
+		t.Fatalf("naive regression conserved mass (%v vs %v) — the ablation premise fails",
+			sum(reg), totalIn)
+	}
+}
+
+func TestNaiveRegressionValidation(t *testing.T) {
+	if _, err := NaiveRegression(nil, nil); err == nil {
+		t.Error("empty inputs accepted")
+	}
+	rng := rand.New(rand.NewSource(23))
+	if _, err := NaiveRegression([]float64{1, 2}, []Reference{{DM: randomDM(rng, 3, 2)}}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

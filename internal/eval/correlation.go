@@ -1,0 +1,108 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"geoalign/internal/synth"
+)
+
+// CorrelationReport is the source-level Pearson correlation matrix over
+// a catalog's datasets — the diagnostic behind the paper's §4.4.2
+// discussion (e.g. the ≈96% USPS residential/business correlation that
+// explains why dropping one of them is free).
+type CorrelationReport struct {
+	Universe string
+	Names    []string
+	Matrix   [][]float64 // Matrix[i][j] = corr(dataset i, dataset j)
+}
+
+// CorrelationExperiment computes the pairwise source-level correlation
+// matrix of every dataset in the catalog.
+func CorrelationExperiment(cat *synth.Catalog) *CorrelationReport {
+	n := len(cat.Datasets)
+	rep := &CorrelationReport{Universe: cat.Universe.Name}
+	rep.Matrix = make([][]float64, n)
+	for i, d := range cat.Datasets {
+		rep.Names = append(rep.Names, d.Name)
+		rep.Matrix[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		rep.Matrix[i][i] = 1
+		for j := i + 1; j < n; j++ {
+			r := Pearson(cat.Datasets[i].Source, cat.Datasets[j].Source)
+			rep.Matrix[i][j] = r
+			rep.Matrix[j][i] = r
+		}
+	}
+	return rep
+}
+
+// Pair looks up the correlation between two named datasets (NaN-free;
+// returns 0, false when either name is unknown).
+func (r *CorrelationReport) Pair(a, b string) (float64, bool) {
+	ai, bi := -1, -1
+	for i, n := range r.Names {
+		if n == a {
+			ai = i
+		}
+		if n == b {
+			bi = i
+		}
+	}
+	if ai < 0 || bi < 0 {
+		return 0, false
+	}
+	return r.Matrix[ai][bi], true
+}
+
+// MostCorrelatedWith returns the other dataset most correlated (by
+// absolute value) with the named one, or "" when unknown.
+func (r *CorrelationReport) MostCorrelatedWith(name string) (string, float64) {
+	self := -1
+	for i, n := range r.Names {
+		if n == name {
+			self = i
+		}
+	}
+	if self < 0 {
+		return "", 0
+	}
+	best, bestAbs := "", -1.0
+	for j, n := range r.Names {
+		if j == self {
+			continue
+		}
+		a := r.Matrix[self][j]
+		if a < 0 {
+			a = -a
+		}
+		if a > bestAbs {
+			best, bestAbs = n, a
+		}
+	}
+	return best, bestAbs
+}
+
+// Table renders a compact lower-triangular correlation matrix using
+// short column indices (full names listed above the grid).
+func (r *CorrelationReport) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Source-level correlation matrix (%s)\n", r.Universe)
+	for i, n := range r.Names {
+		fmt.Fprintf(&sb, "  [%2d] %s\n", i, n)
+	}
+	sb.WriteString("      ")
+	for j := range r.Names {
+		fmt.Fprintf(&sb, "%6s", fmt.Sprintf("[%d]", j))
+	}
+	sb.WriteByte('\n')
+	for i := range r.Names {
+		fmt.Fprintf(&sb, "  [%2d]", i)
+		for j := 0; j <= i; j++ {
+			fmt.Fprintf(&sb, "%6.2f", r.Matrix[i][j])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,184 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"geoalign/internal/core"
+	"geoalign/internal/synth"
+)
+
+// The population-level reference datasets the paper's dasymetric
+// baselines use (§4.1).
+var dasymetricReferences = []string{
+	"Population",
+	"USPS Residential Address",
+	"USPS Business Address",
+}
+
+// AreaDatasetName is the geometric dataset used by areal weighting.
+const AreaDatasetName = "Area (Sq. Miles)"
+
+// CVRow is one cross-validated test: NRMSE per method for one held-out
+// dataset. Entries are NaN when the paper's protocol skips them (a
+// method cannot reference the dataset it is being tested on).
+type CVRow struct {
+	Dataset        string
+	GeoAlign       float64
+	Dasymetric     map[string]float64 // reference name -> NRMSE
+	ArealWeighting float64
+	Weights        map[string]float64 // GeoAlign's learned β per reference
+}
+
+// CVReport is the output of the Figure 5 experiment for one universe.
+type CVReport struct {
+	Universe string
+	Rows     []CVRow
+}
+
+// CrossValidate runs the paper's leave-one-dataset-out protocol: each
+// dataset in turn is the objective; every other dataset serves as a
+// GeoAlign reference; the dasymetric baselines each use one
+// population-level dataset; areal weighting uses the area dataset (or a
+// geometric area DM when the catalog carries none, as in New York).
+func CrossValidate(cat *synth.Catalog) (*CVReport, error) {
+	areaDS := cat.ByName(AreaDatasetName)
+	var areaDM = areaDS
+	if areaDM == nil {
+		// NY catalog carries no Area dataset; derive the geometric one.
+		a, err := cat.Universe.AreaDataset()
+		if err != nil {
+			return nil, fmt.Errorf("eval: computing area reference: %w", err)
+		}
+		areaDM = a
+	}
+
+	report := &CVReport{Universe: cat.Universe.Name}
+	for _, test := range cat.Datasets {
+		row := CVRow{
+			Dataset:        test.Name,
+			Dasymetric:     make(map[string]float64),
+			Weights:        make(map[string]float64),
+			ArealWeighting: math.NaN(),
+		}
+
+		// GeoAlign with all remaining datasets as references.
+		var refs []core.Reference
+		var refNames []string
+		for _, d := range cat.Datasets {
+			if d.Name == test.Name {
+				continue
+			}
+			refs = append(refs, core.Reference{Name: d.Name, Source: d.Source, DM: d.DM})
+			refNames = append(refNames, d.Name)
+		}
+		res, err := core.Align(core.Problem{Objective: test.Source, References: refs}, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("eval: GeoAlign on %q: %w", test.Name, err)
+		}
+		row.GeoAlign = NRMSE(res.Target, test.Target)
+		for k, n := range refNames {
+			row.Weights[n] = res.Weights[k]
+		}
+
+		// Dasymetric baselines (skipped when testing their own reference).
+		for _, refName := range dasymetricReferences {
+			if refName == test.Name {
+				row.Dasymetric[refName] = math.NaN()
+				continue
+			}
+			ref := cat.ByName(refName)
+			if ref == nil {
+				row.Dasymetric[refName] = math.NaN()
+				continue
+			}
+			pred, err := core.Dasymetric(test.Source, core.Reference{Name: refName, Source: ref.Source, DM: ref.DM})
+			if err != nil {
+				return nil, fmt.Errorf("eval: dasymetric(%q) on %q: %w", refName, test.Name, err)
+			}
+			row.Dasymetric[refName] = NRMSE(pred, test.Target)
+		}
+
+		// Areal weighting (skipped when testing the area dataset itself).
+		if test.Name != AreaDatasetName {
+			pred, err := core.ArealWeighting(test.Source, areaDM.DM)
+			if err != nil {
+				return nil, fmt.Errorf("eval: areal weighting on %q: %w", test.Name, err)
+			}
+			row.ArealWeighting = NRMSE(pred, test.Target)
+		}
+
+		report.Rows = append(report.Rows, row)
+	}
+	sort.Slice(report.Rows, func(i, j int) bool { return report.Rows[i].Dataset < report.Rows[j].Dataset })
+	return report, nil
+}
+
+// ArealWeightingFactor returns how many times worse areal weighting is
+// than GeoAlign on average across the valid rows — the §4.2 claim of
+// ">15×" (NY) and ">50×" (US).
+func (r *CVReport) ArealWeightingFactor() float64 {
+	var ratios []float64
+	for _, row := range r.Rows {
+		if !math.IsNaN(row.ArealWeighting) && row.GeoAlign > 0 {
+			ratios = append(ratios, row.ArealWeighting/row.GeoAlign)
+		}
+	}
+	if len(ratios) == 0 {
+		return math.NaN()
+	}
+	return Mean(ratios)
+}
+
+// Table renders the report as an aligned text table matching Figure 5's
+// series: GeoAlign and the three dasymetric baselines, with the areal
+// weighting factor summarised below.
+func (r *CVReport) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 5 — NRMSE by dataset (%s)\n", r.Universe)
+	fmt.Fprintf(&sb, "%-28s %10s %12s %12s %12s %12s\n",
+		"dataset", "GeoAlign", "dasy(Pop)", "dasy(Res)", "dasy(Bus)", "arealWt")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-28s %10.4f %12s %12s %12s %12s\n",
+			row.Dataset,
+			row.GeoAlign,
+			fmtNaN(row.Dasymetric["Population"]),
+			fmtNaN(row.Dasymetric["USPS Residential Address"]),
+			fmtNaN(row.Dasymetric["USPS Business Address"]),
+			fmtNaN(row.ArealWeighting),
+		)
+	}
+	fmt.Fprintf(&sb, "areal weighting / GeoAlign mean NRMSE factor: %.1fx\n", r.ArealWeightingFactor())
+	return sb.String()
+}
+
+func fmtNaN(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// WinLossSummary counts, over rows where the comparison is defined, how
+// often GeoAlign is at least as accurate (within slack×NRMSE) as the
+// best dasymetric baseline — the "equal or better" claim of §4.2.
+func (r *CVReport) WinLossSummary(slack float64) (wins, comparisons int) {
+	for _, row := range r.Rows {
+		best := math.Inf(1)
+		for _, v := range row.Dasymetric {
+			if !math.IsNaN(v) && v < best {
+				best = v
+			}
+		}
+		if math.IsInf(best, 1) {
+			continue
+		}
+		comparisons++
+		if row.GeoAlign <= best*(1+slack) {
+			wins++
+		}
+	}
+	return wins, comparisons
+}

@@ -1,0 +1,135 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"geoalign/internal/core"
+	"geoalign/internal/raster"
+	"geoalign/internal/synth"
+)
+
+// ExtensionRow compares GeoAlign with two methods beyond the paper's
+// §4 baselines on one dataset: Tobler's pycnophylactic interpolation
+// (the classic volume-preserving *intensive* method the paper cites as
+// [46]) and the naive source-level regression §3.2 argues against.
+type ExtensionRow struct {
+	Dataset         string
+	GeoAlign        float64
+	Pycnophylactic  float64
+	NaiveRegression float64
+	// RegressionMassError is |Σ estimate − Σ objective| / Σ objective
+	// for the naive regression — its broken conservation, quantified.
+	RegressionMassError float64
+}
+
+// ExtensionReport is the EXT1 experiment output.
+type ExtensionReport struct {
+	Universe string
+	GridSize int
+	Rows     []ExtensionRow
+}
+
+// ExtensionExperiment runs the intensive-vs-extensive comparison over a
+// catalog: every dataset is realigned by GeoAlign (all other datasets
+// as references), by the pycnophylactic method (rasterised at
+// gridSize×gridSize), and by the naive regression.
+func ExtensionExperiment(cat *synth.Catalog, gridSize int) (*ExtensionReport, error) {
+	if gridSize <= 0 {
+		gridSize = 96
+	}
+	u := cat.Universe
+	g, err := raster.NewGrid(u.Bounds, gridSize, gridSize)
+	if err != nil {
+		return nil, err
+	}
+	srcZones := g.Zones(u.Source)
+	tgtZones := g.Zones(u.Target)
+	// Guard: every source unit must own at least one cell, or the
+	// pycnophylactic baseline cannot represent its mass.
+	counts := raster.ZoneCellCounts(srcZones, u.Source.Len())
+	for z, c := range counts {
+		if c == 0 {
+			return nil, fmt.Errorf("eval: grid %d too coarse: source unit %d has no cells (use a larger gridSize)", gridSize, z)
+		}
+	}
+
+	report := &ExtensionReport{Universe: u.Name, GridSize: gridSize}
+	for _, test := range cat.Datasets {
+		refs := referencesExcluding(cat, test.Name)
+		row := ExtensionRow{Dataset: test.Name}
+
+		ga, err := core.Align(core.Problem{Objective: test.Source, References: refs}, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("eval: ext GeoAlign on %q: %w", test.Name, err)
+		}
+		row.GeoAlign = NRMSE(ga.Target, test.Target)
+
+		py, err := raster.PycnoRealign(g, srcZones, tgtZones, test.Source, u.Target.Len(), raster.PycnoOptions{Iterations: 100})
+		if err != nil {
+			return nil, fmt.Errorf("eval: pycnophylactic on %q: %w", test.Name, err)
+		}
+		row.Pycnophylactic = NRMSE(py, test.Target)
+
+		reg, err := core.NaiveRegression(test.Source, refs)
+		if err != nil {
+			return nil, fmt.Errorf("eval: naive regression on %q: %w", test.Name, err)
+		}
+		row.NaiveRegression = NRMSE(reg, test.Target)
+		var in, out float64
+		for _, v := range test.Source {
+			in += v
+		}
+		for _, v := range reg {
+			out += v
+		}
+		if in > 0 {
+			row.RegressionMassError = math.Abs(out-in) / in
+		}
+
+		report.Rows = append(report.Rows, row)
+	}
+	sort.Slice(report.Rows, func(i, j int) bool { return report.Rows[i].Dataset < report.Rows[j].Dataset })
+	return report, nil
+}
+
+// Table renders the EXT1 comparison.
+func (r *ExtensionReport) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EXT1 — GeoAlign vs intensive & regression baselines (%s, %d×%d raster)\n",
+		r.Universe, r.GridSize, r.GridSize)
+	fmt.Fprintf(&sb, "%-28s %10s %12s %12s %12s\n",
+		"dataset", "GeoAlign", "pycno", "naiveReg", "regMassErr")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-28s %10.4f %12.4f %12.4f %11.1f%%\n",
+			row.Dataset, row.GeoAlign, row.Pycnophylactic, row.NaiveRegression,
+			row.RegressionMassError*100)
+	}
+	return sb.String()
+}
+
+// GeoAlignWinsOver counts datasets where GeoAlign's NRMSE beats the
+// named competitor ("pycno" or "regression").
+func (r *ExtensionReport) GeoAlignWinsOver(competitor string) (wins, total int) {
+	for _, row := range r.Rows {
+		var other float64
+		switch competitor {
+		case "pycno":
+			other = row.Pycnophylactic
+		case "regression":
+			other = row.NaiveRegression
+		default:
+			continue
+		}
+		if math.IsNaN(other) || math.IsNaN(row.GeoAlign) {
+			continue
+		}
+		total++
+		if row.GeoAlign <= other {
+			wins++
+		}
+	}
+	return wins, total
+}

@@ -1,0 +1,126 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"geoalign/internal/synth"
+)
+
+func TestExtensionExperiment(t *testing.T) {
+	cat := testCatalog(t, synth.UnitedStates)
+	rep, err := ExtensionExperiment(cat, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 10 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// GeoAlign should beat the data-free pycnophylactic baseline on a
+	// clear majority of datasets (it has references; pycno only has
+	// smoothness).
+	wins, total := rep.GeoAlignWinsOver("pycno")
+	if total != 10 {
+		t.Fatalf("pycno comparisons = %d", total)
+	}
+	if wins < 7 {
+		t.Errorf("GeoAlign beats pycnophylactic on only %d/%d", wins, total)
+	}
+	// And the naive regression at least once exhibits a visible mass
+	// error while GeoAlign never does (conservation is structural).
+	massBroken := 0
+	for _, row := range rep.Rows {
+		if row.RegressionMassError > 0.01 {
+			massBroken++
+		}
+	}
+	if massBroken == 0 {
+		t.Error("naive regression conserved mass on every dataset; ablation premise lost")
+	}
+	if !strings.Contains(rep.Table(), "EXT1") {
+		t.Error("Table missing header")
+	}
+}
+
+func TestExtensionExperimentGridTooCoarse(t *testing.T) {
+	cat := testCatalog(t, synth.UnitedStates)
+	// A 4x4 raster cannot give every one of ~300 source units a cell.
+	if _, err := ExtensionExperiment(cat, 4); err == nil {
+		t.Error("hopelessly coarse grid accepted")
+	}
+}
+
+func TestExtensionWinsOverUnknownCompetitor(t *testing.T) {
+	rep := &ExtensionReport{Rows: []ExtensionRow{{GeoAlign: 1, Pycnophylactic: 2}}}
+	if _, total := rep.GeoAlignWinsOver("nonsense"); total != 0 {
+		t.Error("unknown competitor counted")
+	}
+	if wins, total := rep.GeoAlignWinsOver("pycno"); wins != 1 || total != 1 {
+		t.Errorf("pycno wins = %d/%d", wins, total)
+	}
+}
+
+func TestCorrelationExperiment(t *testing.T) {
+	cat := testCatalog(t, synth.UnitedStates)
+	rep := CorrelationExperiment(cat)
+	if len(rep.Names) != 10 || len(rep.Matrix) != 10 {
+		t.Fatalf("matrix shape %d/%d", len(rep.Names), len(rep.Matrix))
+	}
+	for i := range rep.Matrix {
+		if rep.Matrix[i][i] != 1 {
+			t.Errorf("diagonal [%d] = %v", i, rep.Matrix[i][i])
+		}
+		for j := range rep.Matrix {
+			if rep.Matrix[i][j] != rep.Matrix[j][i] {
+				t.Errorf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// The engineered USPS collinearity is visible here.
+	r, ok := rep.Pair("USPS Residential Address", "USPS Business Address")
+	if !ok || r < 0.85 {
+		t.Errorf("USPS pair correlation = %v %v", r, ok)
+	}
+	if name, _ := rep.MostCorrelatedWith("USPS Residential Address"); name == "" {
+		t.Error("MostCorrelatedWith failed")
+	}
+	if _, ok := rep.Pair("nope", "Population"); ok {
+		t.Error("unknown name resolved")
+	}
+	if name, _ := rep.MostCorrelatedWith("nope"); name != "" {
+		t.Error("unknown name resolved in MostCorrelatedWith")
+	}
+	if !strings.Contains(rep.Table(), "correlation matrix") {
+		t.Error("Table missing header")
+	}
+}
+
+func TestOneDExperiment(t *testing.T) {
+	cat, err := synth.Build1DCatalog(7, 25, nil, 40000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := OneDExperiment(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// Dimension independence in substance: the 2-D shapes recur in 1-D.
+	// GeoAlign must be competitive with the best single reference on a
+	// majority of datasets and always beat uniform length weighting on
+	// the strongly age-structured ones.
+	wins := 0
+	for _, row := range rep.Rows {
+		if row.GeoAlign <= row.BestDasymetric*1.25 {
+			wins++
+		}
+	}
+	if wins < 4 {
+		t.Errorf("GeoAlign competitive on only %d/6 datasets: %+v", wins, rep.Rows)
+	}
+	if !strings.Contains(rep.Table(), "1-D histogram") {
+		t.Error("Table missing header")
+	}
+}

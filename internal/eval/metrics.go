@@ -1,0 +1,150 @@
+// Package eval implements the paper's experimental protocol (§4): the
+// RMSE/NRMSE metrics, the leave-one-dataset-out cross-validation driver
+// used for Figures 5a/5b, the runtime-scaling sweep of Figure 6, the
+// reference-noise robustness study of Figure 7, and the
+// leave-n-references-out selection study of Figure 8.
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// RMSE returns the root mean squared error between a prediction and the
+// ground truth. Panics on length mismatch (a programming error).
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("eval: RMSE length mismatch %d vs %d", len(pred), len(truth)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// NRMSE returns RMSE normalised by the mean of the measured (truth)
+// data, the paper's cross-dataset comparison metric (§4.2). A zero-mean
+// truth yields NaN, signalling an undefined normalisation.
+func NRMSE(pred, truth []float64) float64 {
+	m := Mean(truth)
+	if m == 0 {
+		return math.NaN()
+	}
+	return RMSE(pred, truth) / m
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Pearson returns the Pearson correlation coefficient of a and b
+// (0 when either is constant).
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("eval: Pearson length mismatch %d vs %d", len(a), len(b)))
+	}
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+// BoxStats summarises a sample the way Figure 7's box plots do.
+type BoxStats struct {
+	Min, Q1, Median, Q3, Max, Mean float64
+	N                              int
+}
+
+// NewBoxStats computes box-plot statistics (linear-interpolation
+// quantiles) of v.
+func NewBoxStats(v []float64) BoxStats {
+	n := len(v)
+	if n == 0 {
+		return BoxStats{}
+	}
+	s := append([]float64(nil), v...)
+	insertionSort(s)
+	return BoxStats{
+		Min:    s[0],
+		Q1:     quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q3:     quantileSorted(s, 0.75),
+		Max:    s[n-1],
+		Mean:   Mean(s),
+		N:      n,
+	}
+}
+
+func insertionSort(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 1 {
+		return s[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// LinearFit returns the slope, intercept and R² of the least-squares
+// line y = a + b·x — used to verify Figure 6's linear-runtime claim.
+func LinearFit(x, y []float64) (slope, intercept, r2 float64) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, my, 0
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2
+}

@@ -1,0 +1,140 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("perfect RMSE = %v", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v, want sqrt(12.5)", got)
+	}
+	if got := RMSE(nil, nil); got != 0 {
+		t.Errorf("empty RMSE = %v", got)
+	}
+}
+
+func TestRMSEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestNRMSE(t *testing.T) {
+	got := NRMSE([]float64{12, 8}, []float64{10, 10})
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("NRMSE = %v, want 0.2", got)
+	}
+	if !math.IsNaN(NRMSE([]float64{1}, []float64{0})) {
+		t.Error("zero-mean NRMSE should be NaN")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean != 0")
+	}
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Errorf("Mean = %v", Mean([]float64{2, 4, 6}))
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := Pearson(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self-correlation = %v", got)
+	}
+	neg := []float64{4, 3, 2, 1}
+	if got := Pearson(a, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti-correlation = %v", got)
+	}
+	if got := Pearson(a, []float64{5, 5, 5, 5}); got != 0 {
+		t.Errorf("constant correlation = %v", got)
+	}
+	if got := Pearson(nil, nil); got != 0 {
+		t.Errorf("empty correlation = %v", got)
+	}
+}
+
+func TestPearsonScaleInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		r1 := Pearson(a, b)
+		scaled := make([]float64, n)
+		for i := range a {
+			scaled[i] = 3*a[i] + 7
+		}
+		r2 := Pearson(scaled, b)
+		return math.Abs(r1-r2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	s := NewBoxStats([]float64{5, 1, 3, 2, 4})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.N != 5 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %v %v", s.Q1, s.Q3)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	empty := NewBoxStats(nil)
+	if empty.N != 0 {
+		t.Errorf("empty stats = %+v", empty)
+	}
+	one := NewBoxStats([]float64{7})
+	if one.Min != 7 || one.Max != 7 || one.Median != 7 {
+		t.Errorf("singleton stats = %+v", one)
+	}
+}
+
+func TestBoxStatsDoesNotMutateInput(t *testing.T) {
+	v := []float64{3, 1, 2}
+	NewBoxStats(v)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 1 + 2x
+	slope, intercept, r2 := LinearFit(x, y)
+	if math.Abs(slope-2) > 1e-12 || math.Abs(intercept-1) > 1e-12 {
+		t.Errorf("fit = %v + %v·x", intercept, slope)
+	}
+	if math.Abs(r2-1) > 1e-12 {
+		t.Errorf("R² = %v", r2)
+	}
+	// Degenerate inputs.
+	if s, _, _ := LinearFit([]float64{1}, []float64{1}); s != 0 {
+		t.Error("short input fit nonzero")
+	}
+	if s, _, r := LinearFit([]float64{2, 2}, []float64{1, 5}); s != 0 || r != 0 {
+		t.Error("constant-x fit wrong")
+	}
+	_, _, r2flat := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if r2flat != 1 {
+		t.Errorf("flat-y R² = %v, want 1 (perfectly explained)", r2flat)
+	}
+}

@@ -1,0 +1,167 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"geoalign/internal/core"
+	"geoalign/internal/synth"
+)
+
+// NoiseLevels are the §4.4.1 noise percentages.
+var NoiseLevels = []float64{1, 2, 5, 10, 20, 30, 50}
+
+// NoiseReplicates is the paper's replication count per level.
+const NoiseReplicates = 20
+
+// NoiseCell holds the prediction-deviation distribution for one
+// (dataset, noise level) pair: the ratio RMSE(perturbed)/RMSE(original)
+// over the replicates.
+type NoiseCell struct {
+	Dataset string
+	Level   float64 // percent
+	Ratios  []float64
+	Stats   BoxStats
+}
+
+// NoiseReport is the Figure 7 experiment output.
+type NoiseReport struct {
+	Universe string
+	Cells    []NoiseCell
+}
+
+// NoiseExperiment perturbs every reference's source-level aggregate
+// vector with ±level% noise (sign drawn per entry, per replicate) and
+// measures the deviation of GeoAlign's prediction from the unperturbed
+// run, for every dataset in the catalog as the test objective.
+//
+// Replicates run in parallel; every replicate derives its own RNG from
+// (seed, dataset, level, replicate), so results are deterministic and
+// independent of scheduling.
+func NoiseExperiment(cat *synth.Catalog, levels []float64, replicates int, seed int64) (*NoiseReport, error) {
+	if levels == nil {
+		levels = NoiseLevels
+	}
+	if replicates <= 0 {
+		replicates = NoiseReplicates
+	}
+	report := &NoiseReport{Universe: cat.Universe.Name}
+
+	for di, test := range cat.Datasets {
+		refs := referencesExcluding(cat, test.Name)
+		base, err := core.Align(core.Problem{Objective: test.Source, References: refs}, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("eval: noise baseline on %q: %w", test.Name, err)
+		}
+		baseRMSE := RMSE(base.Target, test.Target)
+		for li, level := range levels {
+			cell := NoiseCell{Dataset: test.Name, Level: level, Ratios: make([]float64, replicates)}
+			errs := make([]error, replicates)
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+			for rep := 0; rep < replicates; rep++ {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(rep int) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					repSeed := seed ^ int64(di)<<40 ^ int64(li)<<24 ^ int64(rep)<<8 ^ 0x9e3779b9
+					rng := rand.New(rand.NewSource(repSeed))
+					noisy := perturbReferences(rng, refs, level)
+					res, err := core.Align(core.Problem{Objective: test.Source, References: noisy}, core.Options{})
+					if err != nil {
+						errs[rep] = fmt.Errorf("eval: noisy run on %q: %w", test.Name, err)
+						return
+					}
+					r := RMSE(res.Target, test.Target)
+					switch {
+					case baseRMSE > 0:
+						cell.Ratios[rep] = r / baseRMSE
+					case r == 0:
+						cell.Ratios[rep] = 1
+					default:
+						cell.Ratios[rep] = math.Inf(1)
+					}
+				}(rep)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			cell.Stats = NewBoxStats(cell.Ratios)
+			report.Cells = append(report.Cells, cell)
+		}
+	}
+	return report, nil
+}
+
+// perturbReferences applies ±level% multiplicative noise to each
+// reference's source aggregate vector (the paper perturbs the source
+// level only; the disaggregation matrices stay exact).
+func perturbReferences(rng *rand.Rand, refs []core.Reference, level float64) []core.Reference {
+	out := make([]core.Reference, len(refs))
+	for k, r := range refs {
+		src := r.Source
+		if src == nil {
+			src = r.DM.RowSums()
+		}
+		noisy := make([]float64, len(src))
+		for i, v := range src {
+			sign := 1.0
+			if rng.Intn(2) == 0 {
+				sign = -1
+			}
+			noisy[i] = v * (1 + sign*level/100)
+			if noisy[i] < 0 {
+				noisy[i] = 0
+			}
+		}
+		out[k] = core.Reference{Name: r.Name, Source: noisy, DM: r.DM}
+	}
+	return out
+}
+
+func referencesExcluding(cat *synth.Catalog, name string) []core.Reference {
+	var refs []core.Reference
+	for _, d := range cat.Datasets {
+		if d.Name == name {
+			continue
+		}
+		refs = append(refs, core.Reference{Name: d.Name, Source: d.Source, DM: d.DM})
+	}
+	return refs
+}
+
+// MeanDeviationAt returns the mean prediction-deviation ratio across
+// datasets at one noise level.
+func (r *NoiseReport) MeanDeviationAt(level float64) float64 {
+	var vals []float64
+	for _, c := range r.Cells {
+		if c.Level == level {
+			vals = append(vals, c.Stats.Mean)
+		}
+	}
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	return Mean(vals)
+}
+
+// Table renders the Figure 7 box statistics.
+func (r *NoiseReport) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 7 — RMSE(perturbed)/RMSE(orig.) by noise level (%s)\n", r.Universe)
+	fmt.Fprintf(&sb, "%-28s %6s %8s %8s %8s %8s %8s %8s\n",
+		"dataset", "noise%", "min", "q1", "median", "q3", "max", "mean")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "%-28s %6.0f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			c.Dataset, c.Level, c.Stats.Min, c.Stats.Q1, c.Stats.Median, c.Stats.Q3, c.Stats.Max, c.Stats.Mean)
+	}
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"geoalign/internal/core"
+	"geoalign/internal/synth"
+)
+
+// SelectionSeries names the five Figure 8 experiment series.
+var SelectionSeries = []string{
+	"leave 1 least related out",
+	"leave 2 least related out",
+	"leave 1 most related out",
+	"leave 2 most related out",
+	"using all references",
+}
+
+// SelectionRow holds Figure 8's NRMSE values for one test dataset.
+type SelectionRow struct {
+	Dataset string
+	NRMSE   map[string]float64 // series name -> NRMSE
+	// MostRelated lists the references by descending source-level
+	// correlation with the objective (diagnostic output).
+	MostRelated []string
+}
+
+// SelectionReport is the Figure 8 experiment output.
+type SelectionReport struct {
+	Universe string
+	Rows     []SelectionRow
+}
+
+// SelectionExperiment reruns cross-validation with reference subsets
+// chosen by source-level correlation with the test attribute: dropping
+// the 1-2 least and 1-2 most correlated references, versus using all.
+func SelectionExperiment(cat *synth.Catalog) (*SelectionReport, error) {
+	report := &SelectionReport{Universe: cat.Universe.Name}
+	for _, test := range cat.Datasets {
+		refs := referencesExcluding(cat, test.Name)
+		// Order references by |correlation| with the objective at source
+		// level, descending.
+		type scored struct {
+			ref  core.Reference
+			corr float64
+		}
+		ranked := make([]scored, len(refs))
+		for k, r := range refs {
+			ranked[k] = scored{ref: r, corr: math.Abs(Pearson(refSource(r), test.Source))}
+		}
+		sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].corr > ranked[j].corr })
+
+		row := SelectionRow{Dataset: test.Name, NRMSE: make(map[string]float64)}
+		for _, s := range ranked {
+			row.MostRelated = append(row.MostRelated, s.ref.Name)
+		}
+
+		run := func(series string, subset []core.Reference) error {
+			if len(subset) == 0 {
+				row.NRMSE[series] = math.NaN()
+				return nil
+			}
+			res, err := core.Align(core.Problem{Objective: test.Source, References: subset}, core.Options{})
+			if err != nil {
+				return fmt.Errorf("eval: selection %q on %q: %w", series, test.Name, err)
+			}
+			row.NRMSE[series] = NRMSE(res.Target, test.Target)
+			return nil
+		}
+
+		all := make([]core.Reference, len(ranked))
+		for k, s := range ranked {
+			all[k] = s.ref
+		}
+		n := len(all)
+		if err := run("using all references", all); err != nil {
+			return nil, err
+		}
+		if err := run("leave 1 least related out", all[:maxI(n-1, 0)]); err != nil {
+			return nil, err
+		}
+		if err := run("leave 2 least related out", all[:maxI(n-2, 0)]); err != nil {
+			return nil, err
+		}
+		if err := run("leave 1 most related out", all[minI(1, n):]); err != nil {
+			return nil, err
+		}
+		if err := run("leave 2 most related out", all[minI(2, n):]); err != nil {
+			return nil, err
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	sort.Slice(report.Rows, func(i, j int) bool { return report.Rows[i].Dataset < report.Rows[j].Dataset })
+	return report, nil
+}
+
+func refSource(r core.Reference) []float64 {
+	if r.Source != nil {
+		return r.Source
+	}
+	return r.DM.RowSums()
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Table renders the Figure 8 series.
+func (r *SelectionReport) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 8 — NRMSE by reference subset (%s)\n", r.Universe)
+	fmt.Fprintf(&sb, "%-28s %10s %10s %10s %10s %10s\n",
+		"dataset", "-1 least", "-2 least", "-1 most", "-2 most", "all")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-28s %10s %10s %10s %10s %10s\n",
+			row.Dataset,
+			fmtNaN(row.NRMSE["leave 1 least related out"]),
+			fmtNaN(row.NRMSE["leave 2 least related out"]),
+			fmtNaN(row.NRMSE["leave 1 most related out"]),
+			fmtNaN(row.NRMSE["leave 2 most related out"]),
+			fmtNaN(row.NRMSE["using all references"]),
+		)
+	}
+	return sb.String()
+}

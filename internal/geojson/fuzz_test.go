@@ -1,0 +1,41 @@
+package geojson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the GeoJSON reader never panics and that anything it
+// accepts round-trips through Write.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"type":"FeatureCollection","features":[]}`)
+	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1],[0,0]]]},"properties":{"name":"x"}}]}`)
+	f.Add(`{"type":"Feature"}`)
+	f.Add(`{`)
+	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"MultiPolygon","coordinates":[[[[0,0],[2,0],[1,2],[0,0]]]]},"properties":{}}]}`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		layer, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for i, feat := range layer.Features {
+			if len(feat.Polygon) < 3 {
+				t.Fatalf("feature %d has %d vertices", i, len(feat.Polygon))
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, layer); err != nil {
+			t.Fatalf("accepted layer failed to serialise: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if len(back.Features) != len(layer.Features) {
+			t.Fatalf("round trip changed feature count: %d -> %d",
+				len(layer.Features), len(back.Features))
+		}
+	})
+}

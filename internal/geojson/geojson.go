@@ -1,0 +1,170 @@
+// Package geojson encodes and decodes polygon feature layers as GeoJSON
+// (RFC 7946) FeatureCollections. The paper's unit systems are GIS
+// feature layers; GeoJSON is the interchange format our tools use to
+// move synthetic layers between the generator, the CLI and examples.
+//
+// Scope: the Layer/Feature API handles Polygon and MultiPolygon
+// geometries with a single exterior ring each; MultiLayer adds
+// multi-part units (islands) and HoledLayer adds interior rings
+// (counties surrounding independent cities). String/number properties.
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"geoalign/internal/geom"
+)
+
+// Feature is one named polygon unit with free-form properties.
+type Feature struct {
+	Polygon    geom.Polygon
+	Properties map[string]any
+}
+
+// Name returns the feature's "name" property, or "" when absent.
+func (f Feature) Name() string {
+	if s, ok := f.Properties["name"].(string); ok {
+		return s
+	}
+	return ""
+}
+
+// Layer is an ordered set of features — a unit system on disk.
+type Layer struct {
+	Features []Feature
+}
+
+// Polygons returns the layer's polygons in order.
+func (l *Layer) Polygons() []geom.Polygon {
+	out := make([]geom.Polygon, len(l.Features))
+	for i, f := range l.Features {
+		out[i] = f.Polygon
+	}
+	return out
+}
+
+// Names returns the layer's feature names in order ("" for unnamed).
+func (l *Layer) Names() []string {
+	out := make([]string, len(l.Features))
+	for i, f := range l.Features {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// wire types for (de)serialisation
+
+type fileCollection struct {
+	Type     string        `json:"type"`
+	Features []fileFeature `json:"features"`
+}
+
+type fileFeature struct {
+	Type       string         `json:"type"`
+	Geometry   fileGeometry   `json:"geometry"`
+	Properties map[string]any `json:"properties,omitempty"`
+}
+
+type fileGeometry struct {
+	Type        string          `json:"type"`
+	Coordinates json.RawMessage `json:"coordinates"`
+}
+
+// Write encodes the layer as a GeoJSON FeatureCollection. Rings are
+// written CCW with an explicit closing vertex, per RFC 7946.
+func Write(w io.Writer, l *Layer) error {
+	fc := fileCollection{Type: "FeatureCollection"}
+	for i, f := range l.Features {
+		if len(f.Polygon) < 3 {
+			return fmt.Errorf("geojson: feature %d has a degenerate polygon", i)
+		}
+		ring := f.Polygon.Clone().EnsureCCW()
+		coords := make([][2]float64, 0, len(ring)+1)
+		for _, p := range ring {
+			coords = append(coords, [2]float64{p.X, p.Y})
+		}
+		coords = append(coords, coords[0]) // close the ring
+		raw, err := json.Marshal([][][2]float64{coords})
+		if err != nil {
+			return fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		fc.Features = append(fc.Features, fileFeature{
+			Type:       "Feature",
+			Geometry:   fileGeometry{Type: "Polygon", Coordinates: raw},
+			Properties: f.Properties,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fc)
+}
+
+// Read decodes a GeoJSON FeatureCollection of Polygon (single ring) or
+// MultiPolygon (one single-ring polygon) features.
+func Read(r io.Reader) (*Layer, error) {
+	var fc fileCollection
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&fc); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("geojson: top-level type is %q, want FeatureCollection", fc.Type)
+	}
+	layer := &Layer{}
+	for i, f := range fc.Features {
+		pg, err := decodeGeometry(f.Geometry)
+		if err != nil {
+			return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		layer.Features = append(layer.Features, Feature{Polygon: pg, Properties: f.Properties})
+	}
+	return layer, nil
+}
+
+func decodeGeometry(g fileGeometry) (geom.Polygon, error) {
+	switch g.Type {
+	case "Polygon":
+		var rings [][][2]float64
+		if err := json.Unmarshal(g.Coordinates, &rings); err != nil {
+			return nil, err
+		}
+		return ringsToPolygon(rings)
+	case "MultiPolygon":
+		var polys [][][][2]float64
+		if err := json.Unmarshal(g.Coordinates, &polys); err != nil {
+			return nil, err
+		}
+		if len(polys) != 1 {
+			return nil, fmt.Errorf("MultiPolygon with %d polygons unsupported (want 1)", len(polys))
+		}
+		return ringsToPolygon(polys[0])
+	default:
+		return nil, fmt.Errorf("unsupported geometry type %q", g.Type)
+	}
+}
+
+func ringsToPolygon(rings [][][2]float64) (geom.Polygon, error) {
+	if len(rings) == 0 {
+		return nil, fmt.Errorf("polygon with no rings")
+	}
+	if len(rings) > 1 {
+		return nil, fmt.Errorf("polygon with %d rings unsupported (holes not allowed)", len(rings))
+	}
+	ring := rings[0]
+	if len(ring) < 4 {
+		return nil, fmt.Errorf("ring with %d coordinates (need >= 4 incl. closing)", len(ring))
+	}
+	// Drop the closing vertex if present.
+	if ring[0] == ring[len(ring)-1] {
+		ring = ring[:len(ring)-1]
+	}
+	pg := make(geom.Polygon, len(ring))
+	for i, c := range ring {
+		pg[i] = geom.Point{X: c[0], Y: c[1]}
+	}
+	if len(pg) < 3 {
+		return nil, fmt.Errorf("ring with %d distinct vertices", len(pg))
+	}
+	return pg, nil
+}

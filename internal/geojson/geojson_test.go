@@ -1,0 +1,259 @@
+package geojson
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"geoalign/internal/geom"
+)
+
+func sampleLayer() *Layer {
+	return &Layer{Features: []Feature{
+		{
+			Polygon:    geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}),
+			Properties: map[string]any{"name": "10001", "population": 21102.0},
+		},
+		{
+			Polygon:    geom.Polygon{{X: 2, Y: 0}, {X: 3, Y: 0}, {X: 2.5, Y: 1}},
+			Properties: map[string]any{"name": "10003"},
+		},
+	}}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleLayer()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Features) != 2 {
+		t.Fatalf("features = %d", len(back.Features))
+	}
+	if back.Features[0].Name() != "10001" || back.Features[1].Name() != "10003" {
+		t.Errorf("names = %v", back.Names())
+	}
+	if math.Abs(back.Features[0].Polygon.Area()-1) > 1e-12 {
+		t.Errorf("area = %v", back.Features[0].Polygon.Area())
+	}
+	if math.Abs(back.Features[1].Polygon.Area()-0.5) > 1e-12 {
+		t.Errorf("triangle area = %v", back.Features[1].Polygon.Area())
+	}
+	if pop, ok := back.Features[0].Properties["population"].(float64); !ok || pop != 21102 {
+		t.Errorf("population property = %v", back.Features[0].Properties["population"])
+	}
+}
+
+func TestWriteClosesRingAndCCW(t *testing.T) {
+	cw := geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}).Reverse()
+	layer := &Layer{Features: []Feature{{Polygon: cw}}}
+	var buf bytes.Buffer
+	if err := Write(&buf, layer); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"type":"Polygon"`) {
+		t.Errorf("output missing Polygon type: %s", s)
+	}
+	back, err := Read(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Features[0].Polygon.SignedArea() <= 0 {
+		t.Error("ring not CCW after round trip")
+	}
+}
+
+func TestWriteDegenerate(t *testing.T) {
+	layer := &Layer{Features: []Feature{{Polygon: geom.Polygon{{X: 0, Y: 0}}}}}
+	if err := Write(&bytes.Buffer{}, layer); err == nil {
+		t.Error("degenerate polygon written")
+	}
+}
+
+func TestReadMultiPolygonSingle(t *testing.T) {
+	src := `{"type":"FeatureCollection","features":[
+	  {"type":"Feature","geometry":{"type":"MultiPolygon",
+	   "coordinates":[[[[0,0],[1,0],[1,1],[0,1],[0,0]]]]},
+	   "properties":{"name":"u"}}]}`
+	l, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Features[0].Polygon.Area()-1) > 1e-12 {
+		t.Errorf("area = %v", l.Features[0].Polygon.Area())
+	}
+}
+
+func TestReadRejects(t *testing.T) {
+	cases := map[string]string{
+		"not a collection": `{"type":"Feature"}`,
+		"holes":            `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,4],[0,0]],[[1,1],[2,1],[2,2],[1,2],[1,1]]]},"properties":{}}]}`,
+		"multi multi":      `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"MultiPolygon","coordinates":[[[[0,0],[1,0],[1,1],[0,0]]],[[[2,2],[3,2],[3,3],[2,2]]]]},"properties":{}}]}`,
+		"point geometry":   `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Point","coordinates":[0,0]},"properties":{}}]}`,
+		"short ring":       `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[[0,0],[1,0],[0,0]]]},"properties":{}}]}`,
+		"bad json":         `{`,
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLayerAccessors(t *testing.T) {
+	l := sampleLayer()
+	if got := l.Polygons(); len(got) != 2 {
+		t.Errorf("Polygons = %d", len(got))
+	}
+	names := l.Names()
+	if names[0] != "10001" {
+		t.Errorf("Names = %v", names)
+	}
+	// Feature with no name property.
+	f := Feature{Polygon: geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})}
+	if f.Name() != "" {
+		t.Errorf("unnamed feature name = %q", f.Name())
+	}
+}
+
+func TestMultiRoundTrip(t *testing.T) {
+	layer := &MultiLayer{Features: []MultiFeature{
+		{
+			Geometry: geom.MultiPolygon{
+				geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}),
+				geom.Rect(geom.BBox{MinX: 3, MinY: 0, MaxX: 4, MaxY: 2}),
+			},
+			Properties: map[string]any{"name": "archipelago"},
+		},
+		{
+			Geometry:   geom.SinglePart(geom.Rect(geom.BBox{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6})),
+			Properties: map[string]any{"name": "solid"},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteMulti(&buf, layer); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.Contains(s, `"type":"MultiPolygon"`) || !strings.Contains(s, `"type":"Polygon"`) {
+		t.Errorf("geometry types wrong: %s", s)
+	}
+	back, err := ReadMulti(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Features) != 2 {
+		t.Fatalf("features = %d", len(back.Features))
+	}
+	if len(back.Features[0].Geometry) != 2 || len(back.Features[1].Geometry) != 1 {
+		t.Errorf("part counts: %d/%d", len(back.Features[0].Geometry), len(back.Features[1].Geometry))
+	}
+	if math.Abs(back.Features[0].Geometry.Area()-3) > 1e-12 {
+		t.Errorf("area = %v", back.Features[0].Geometry.Area())
+	}
+	if back.Names()[0] != "archipelago" {
+		t.Errorf("names = %v", back.Names())
+	}
+	if len(back.Geometries()) != 2 {
+		t.Error("Geometries accessor wrong")
+	}
+}
+
+func TestWriteMultiRejectsEmpty(t *testing.T) {
+	layer := &MultiLayer{Features: []MultiFeature{{Geometry: geom.MultiPolygon{}}}}
+	if err := WriteMulti(&bytes.Buffer{}, layer); err == nil {
+		t.Error("empty geometry written")
+	}
+}
+
+func TestReadMultiRejectsHolesAndGarbage(t *testing.T) {
+	holes := `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"MultiPolygon","coordinates":[[[[0,0],[4,0],[4,4],[0,0]],[[1,1],[2,1],[2,2],[1,1]]]]},"properties":{}}]}`
+	if _, err := ReadMulti(strings.NewReader(holes)); err == nil {
+		t.Error("holes accepted")
+	}
+	if _, err := ReadMulti(strings.NewReader(`{`)); err == nil {
+		t.Error("bad json accepted")
+	}
+	empty := `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"MultiPolygon","coordinates":[]},"properties":{}}]}`
+	if _, err := ReadMulti(strings.NewReader(empty)); err == nil {
+		t.Error("zero-part MultiPolygon accepted")
+	}
+}
+
+func TestHoledRoundTrip(t *testing.T) {
+	layer := &HoledLayer{Features: []HoledFeature{
+		{
+			Geometry: geom.HoledPolygon{
+				Outer: geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}),
+				Holes: []geom.Polygon{geom.Rect(geom.BBox{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2})},
+			},
+			Properties: map[string]any{"name": "county"},
+		},
+		{
+			Geometry:   geom.Solid(geom.Rect(geom.BBox{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2})),
+			Properties: map[string]any{"name": "city"},
+		},
+	}}
+	var buf bytes.Buffer
+	if err := WriteHoled(&buf, layer); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadHoled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Features) != 2 {
+		t.Fatalf("features = %d", len(back.Features))
+	}
+	county := back.Features[0].Geometry
+	if len(county.Holes) != 1 {
+		t.Fatalf("holes = %d", len(county.Holes))
+	}
+	if math.Abs(county.Area()-15) > 1e-12 {
+		t.Errorf("county area = %v, want 15", county.Area())
+	}
+	if back.Names()[1] != "city" {
+		t.Errorf("names = %v", back.Names())
+	}
+	if len(back.Geometries()) != 2 {
+		t.Error("Geometries accessor wrong")
+	}
+	if err := county.Validate(); err != nil {
+		t.Errorf("round-tripped county invalid: %v", err)
+	}
+}
+
+func TestWriteHoledValidation(t *testing.T) {
+	bad := &HoledLayer{Features: []HoledFeature{{Geometry: geom.HoledPolygon{}}}}
+	if err := WriteHoled(&bytes.Buffer{}, bad); err == nil {
+		t.Error("degenerate outer written")
+	}
+	bad = &HoledLayer{Features: []HoledFeature{{
+		Geometry: geom.HoledPolygon{
+			Outer: geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}),
+			Holes: []geom.Polygon{{{X: 0, Y: 0}}},
+		},
+	}}}
+	if err := WriteHoled(&bytes.Buffer{}, bad); err == nil {
+		t.Error("degenerate hole written")
+	}
+}
+
+func TestReadHoledRejects(t *testing.T) {
+	multi := `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"MultiPolygon","coordinates":[[[[0,0],[1,0],[1,1],[0,0]]]]},"properties":{}}]}`
+	if _, err := ReadHoled(strings.NewReader(multi)); err == nil {
+		t.Error("MultiPolygon accepted by ReadHoled")
+	}
+	if _, err := ReadHoled(strings.NewReader(`{"type":"Feature"}`)); err == nil {
+		t.Error("non-collection accepted")
+	}
+	noRings := `{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Polygon","coordinates":[]},"properties":{}}]}`
+	if _, err := ReadHoled(strings.NewReader(noRings)); err == nil {
+		t.Error("zero-ring polygon accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"geoalign/internal/geom"
+)
+
+// HoledFeature is a feature whose polygon may contain holes (RFC 7946
+// interior rings) — a county surrounding an independent city.
+type HoledFeature struct {
+	Geometry   geom.HoledPolygon
+	Properties map[string]any
+}
+
+// Name returns the feature's "name" property, or "".
+func (f HoledFeature) Name() string {
+	if s, ok := f.Properties["name"].(string); ok {
+		return s
+	}
+	return ""
+}
+
+// HoledLayer is an ordered set of holed-polygon features.
+type HoledLayer struct {
+	Features []HoledFeature
+}
+
+// Geometries returns the layer's holed polygons in order.
+func (l *HoledLayer) Geometries() []geom.HoledPolygon {
+	out := make([]geom.HoledPolygon, len(l.Features))
+	for i, f := range l.Features {
+		out[i] = f.Geometry
+	}
+	return out
+}
+
+// Names returns the layer's feature names in order.
+func (l *HoledLayer) Names() []string {
+	out := make([]string, len(l.Features))
+	for i, f := range l.Features {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// WriteHoled encodes the layer. Per RFC 7946, exterior rings are CCW
+// and interior rings (holes) CW.
+func WriteHoled(w io.Writer, l *HoledLayer) error {
+	fc := fileCollection{Type: "FeatureCollection"}
+	for i, f := range l.Features {
+		if len(f.Geometry.Outer) < 3 {
+			return fmt.Errorf("geojson: feature %d has a degenerate outer ring", i)
+		}
+		rings := make([][][2]float64, 0, 1+len(f.Geometry.Holes))
+		rings = append(rings, closeRing(f.Geometry.Outer.Clone().EnsureCCW()))
+		for h, hole := range f.Geometry.Holes {
+			if len(hole) < 3 {
+				return fmt.Errorf("geojson: feature %d hole %d is degenerate", i, h)
+			}
+			cw := hole.Clone().EnsureCCW().Reverse()
+			rings = append(rings, closeRing(cw))
+		}
+		raw, err := json.Marshal(rings)
+		if err != nil {
+			return fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		fc.Features = append(fc.Features, fileFeature{
+			Type:       "Feature",
+			Geometry:   fileGeometry{Type: "Polygon", Coordinates: raw},
+			Properties: f.Properties,
+		})
+	}
+	return json.NewEncoder(w).Encode(fc)
+}
+
+func closeRing(pg geom.Polygon) [][2]float64 {
+	coords := make([][2]float64, 0, len(pg)+1)
+	for _, p := range pg {
+		coords = append(coords, [2]float64{p.X, p.Y})
+	}
+	return append(coords, coords[0])
+}
+
+// ReadHoled decodes a FeatureCollection of Polygon features, accepting
+// interior rings as holes. MultiPolygon geometries are rejected here —
+// combine with ReadMulti semantics by splitting the layer upstream if a
+// source mixes both.
+func ReadHoled(r io.Reader) (*HoledLayer, error) {
+	var fc fileCollection
+	if err := json.NewDecoder(r).Decode(&fc); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("geojson: top-level type is %q, want FeatureCollection", fc.Type)
+	}
+	layer := &HoledLayer{}
+	for i, f := range fc.Features {
+		if f.Geometry.Type != "Polygon" {
+			return nil, fmt.Errorf("geojson: feature %d: geometry type %q unsupported by ReadHoled", i, f.Geometry.Type)
+		}
+		var rings [][][2]float64
+		if err := json.Unmarshal(f.Geometry.Coordinates, &rings); err != nil {
+			return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		if len(rings) == 0 {
+			return nil, fmt.Errorf("geojson: feature %d: polygon with no rings", i)
+		}
+		hp := geom.HoledPolygon{}
+		for ri, ring := range rings {
+			pg, err := oneRing(ring)
+			if err != nil {
+				return nil, fmt.Errorf("geojson: feature %d ring %d: %w", i, ri, err)
+			}
+			if ri == 0 {
+				hp.Outer = pg
+			} else {
+				hp.Holes = append(hp.Holes, pg)
+			}
+		}
+		layer.Features = append(layer.Features, HoledFeature{Geometry: hp, Properties: f.Properties})
+	}
+	return layer, nil
+}
+
+func oneRing(ring [][2]float64) (geom.Polygon, error) {
+	if len(ring) < 4 {
+		return nil, fmt.Errorf("ring with %d coordinates (need >= 4 incl. closing)", len(ring))
+	}
+	if ring[0] == ring[len(ring)-1] {
+		ring = ring[:len(ring)-1]
+	}
+	pg := make(geom.Polygon, len(ring))
+	for i, c := range ring {
+		pg[i] = geom.Point{X: c[0], Y: c[1]}
+	}
+	if len(pg) < 3 {
+		return nil, fmt.Errorf("ring with %d distinct vertices", len(pg))
+	}
+	return pg.EnsureCCW(), nil
+}

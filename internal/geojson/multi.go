@@ -1,0 +1,156 @@
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"geoalign/internal/geom"
+)
+
+// MultiFeature is a feature whose geometry may have several disjoint
+// parts (island units). One-part geometries serialise as Polygon,
+// multi-part ones as MultiPolygon.
+type MultiFeature struct {
+	Geometry   geom.MultiPolygon
+	Properties map[string]any
+}
+
+// Name returns the feature's "name" property, or "".
+func (f MultiFeature) Name() string {
+	if s, ok := f.Properties["name"].(string); ok {
+		return s
+	}
+	return ""
+}
+
+// MultiLayer is an ordered set of multipolygon features.
+type MultiLayer struct {
+	Features []MultiFeature
+}
+
+// Geometries returns the layer's multipolygons in order.
+func (l *MultiLayer) Geometries() []geom.MultiPolygon {
+	out := make([]geom.MultiPolygon, len(l.Features))
+	for i, f := range l.Features {
+		out[i] = f.Geometry
+	}
+	return out
+}
+
+// Names returns the layer's feature names in order.
+func (l *MultiLayer) Names() []string {
+	out := make([]string, len(l.Features))
+	for i, f := range l.Features {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+// WriteMulti encodes the layer, choosing Polygon or MultiPolygon per
+// feature.
+func WriteMulti(w io.Writer, l *MultiLayer) error {
+	fc := fileCollection{Type: "FeatureCollection"}
+	for i, f := range l.Features {
+		if len(f.Geometry) == 0 {
+			return fmt.Errorf("geojson: feature %d has no parts", i)
+		}
+		var gtype string
+		var raw json.RawMessage
+		var err error
+		if len(f.Geometry) == 1 {
+			gtype = "Polygon"
+			raw, err = marshalRings(f.Geometry[0])
+		} else {
+			gtype = "MultiPolygon"
+			polys := make([]json.RawMessage, len(f.Geometry))
+			for p, pg := range f.Geometry {
+				polys[p], err = marshalRings(pg)
+				if err != nil {
+					break
+				}
+			}
+			if err == nil {
+				raw, err = json.Marshal(polys)
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		fc.Features = append(fc.Features, fileFeature{
+			Type:       "Feature",
+			Geometry:   fileGeometry{Type: gtype, Coordinates: raw},
+			Properties: f.Properties,
+		})
+	}
+	return json.NewEncoder(w).Encode(fc)
+}
+
+func marshalRings(pg geom.Polygon) (json.RawMessage, error) {
+	if len(pg) < 3 {
+		return nil, fmt.Errorf("degenerate ring (%d vertices)", len(pg))
+	}
+	ring := pg.Clone().EnsureCCW()
+	coords := make([][2]float64, 0, len(ring)+1)
+	for _, p := range ring {
+		coords = append(coords, [2]float64{p.X, p.Y})
+	}
+	coords = append(coords, coords[0])
+	return json.Marshal([][][2]float64{coords})
+}
+
+// ReadMulti decodes a FeatureCollection accepting Polygon and
+// MultiPolygon geometries with any number of single-ring parts (holes
+// are still rejected — unit systems are partitions).
+func ReadMulti(r io.Reader) (*MultiLayer, error) {
+	var fc fileCollection
+	if err := json.NewDecoder(r).Decode(&fc); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	if fc.Type != "FeatureCollection" {
+		return nil, fmt.Errorf("geojson: top-level type is %q, want FeatureCollection", fc.Type)
+	}
+	layer := &MultiLayer{}
+	for i, f := range fc.Features {
+		mp, err := decodeMulti(f.Geometry)
+		if err != nil {
+			return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+		}
+		layer.Features = append(layer.Features, MultiFeature{Geometry: mp, Properties: f.Properties})
+	}
+	return layer, nil
+}
+
+func decodeMulti(g fileGeometry) (geom.MultiPolygon, error) {
+	switch g.Type {
+	case "Polygon":
+		var rings [][][2]float64
+		if err := json.Unmarshal(g.Coordinates, &rings); err != nil {
+			return nil, err
+		}
+		pg, err := ringsToPolygon(rings)
+		if err != nil {
+			return nil, err
+		}
+		return geom.SinglePart(pg), nil
+	case "MultiPolygon":
+		var polys [][][][2]float64
+		if err := json.Unmarshal(g.Coordinates, &polys); err != nil {
+			return nil, err
+		}
+		if len(polys) == 0 {
+			return nil, fmt.Errorf("MultiPolygon with no parts")
+		}
+		mp := make(geom.MultiPolygon, 0, len(polys))
+		for _, rings := range polys {
+			pg, err := ringsToPolygon(rings)
+			if err != nil {
+				return nil, err
+			}
+			mp = append(mp, pg)
+		}
+		return mp, nil
+	default:
+		return nil, fmt.Errorf("unsupported geometry type %q", g.Type)
+	}
+}

@@ -1,0 +1,159 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// donut is a 4x4 square with a 1x1 hole in the middle (area 15).
+func donut() HoledPolygon {
+	return HoledPolygon{
+		Outer: Rect(BBox{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}),
+		Holes: []Polygon{Rect(BBox{MinX: 1.5, MinY: 1.5, MaxX: 2.5, MaxY: 2.5})},
+	}
+}
+
+func TestHoledPolygonBasics(t *testing.T) {
+	d := donut()
+	if d.Area() != 15 {
+		t.Errorf("Area = %v, want 15", d.Area())
+	}
+	if d.BBox() != (BBox{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}) {
+		t.Errorf("BBox = %v", d.BBox())
+	}
+	if !d.Contains(Point{X: 0.5, Y: 0.5}) {
+		t.Error("body point not contained")
+	}
+	if d.Contains(Point{X: 2, Y: 2}) {
+		t.Error("hole interior contained")
+	}
+	if !d.Contains(Point{X: 1.5, Y: 2}) {
+		t.Error("hole boundary not contained")
+	}
+	if d.Contains(Point{X: 9, Y: 9}) {
+		t.Error("outside point contained")
+	}
+}
+
+func TestSolid(t *testing.T) {
+	s := Solid(Rect(BBox{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}))
+	if s.Area() != 4 || len(s.Holes) != 0 {
+		t.Errorf("Solid = %+v", s)
+	}
+}
+
+func TestHoledValidate(t *testing.T) {
+	if err := donut().Validate(); err != nil {
+		t.Errorf("donut rejected: %v", err)
+	}
+	// Hole escaping the outer ring.
+	bad := HoledPolygon{
+		Outer: Rect(BBox{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}),
+		Holes: []Polygon{Rect(BBox{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3})},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("escaping hole accepted")
+	}
+	// Overlapping holes.
+	bad = HoledPolygon{
+		Outer: Rect(BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}),
+		Holes: []Polygon{
+			Rect(BBox{MinX: 1, MinY: 1, MaxX: 3, MaxY: 3}),
+			Rect(BBox{MinX: 2, MinY: 2, MaxX: 4, MaxY: 4}),
+		},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("overlapping holes accepted")
+	}
+	// Degenerate outer.
+	if err := (HoledPolygon{Outer: Polygon{{X: 0, Y: 0}}}).Validate(); err == nil {
+		t.Error("degenerate outer accepted")
+	}
+}
+
+func TestHoledClone(t *testing.T) {
+	d := donut()
+	c := d.Clone()
+	c.Holes[0][0].X = 99
+	if d.Holes[0][0].X == 99 {
+		t.Error("Clone shares hole storage")
+	}
+}
+
+func TestHoledIntersectionArea(t *testing.T) {
+	d := donut()
+	// A square covering the donut's left half: overlap = 8 minus the
+	// half of the hole that lies left of x=2 (0.5) = 7.5.
+	half := Solid(Rect(BBox{MinX: 0, MinY: 0, MaxX: 2, MaxY: 4}))
+	if got := HoledIntersectionArea(d, half); math.Abs(got-7.5) > 1e-9 {
+		t.Errorf("donut∩half = %v, want 7.5", got)
+	}
+	if got := HoledIntersectionArea(half, d); math.Abs(got-7.5) > 1e-9 {
+		t.Errorf("not symmetric: %v", got)
+	}
+	// A square entirely inside the hole: zero overlap.
+	inHole := Solid(Rect(BBox{MinX: 1.7, MinY: 1.7, MaxX: 2.3, MaxY: 2.3}))
+	if got := HoledIntersectionArea(d, inHole); got > 1e-9 {
+		t.Errorf("hole-interior overlap = %v, want 0", got)
+	}
+	// Self overlap equals area.
+	if got := HoledIntersectionArea(d, d); math.Abs(got-15) > 1e-9 {
+		t.Errorf("self overlap = %v, want 15", got)
+	}
+	// Two donuts with offset holes.
+	d2 := HoledPolygon{
+		Outer: Rect(BBox{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}),
+		Holes: []Polygon{Rect(BBox{MinX: 2.5, MinY: 2.5, MaxX: 3.5, MaxY: 3.5})},
+	}
+	// |Oa∩Ob|=16, minus both holes (1 each, disjoint from each other): 14.
+	if got := HoledIntersectionArea(d, d2); math.Abs(got-14) > 1e-9 {
+		t.Errorf("two donuts = %v, want 14", got)
+	}
+	// Disjoint.
+	far := Solid(Rect(BBox{MinX: 50, MinY: 50, MaxX: 51, MaxY: 51}))
+	if got := HoledIntersectionArea(d, far); got != 0 {
+		t.Errorf("disjoint = %v", got)
+	}
+}
+
+// Property: inclusion–exclusion matches a Monte-Carlo estimate for
+// random donut pairs.
+func TestHoledIntersectionMonteCarloQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 8; trial++ {
+		a := randomDonut(rng)
+		b := randomDonut(rng)
+		got := HoledIntersectionArea(a, b)
+		mc := holedMonteCarlo(rng, a, b, 60000)
+		tol := 0.06*(got+mc) + 0.05
+		if math.Abs(got-mc) > tol {
+			t.Errorf("trial %d: inclusion-exclusion %v vs Monte-Carlo %v", trial, got, mc)
+		}
+	}
+}
+
+func randomDonut(rng *rand.Rand) HoledPolygon {
+	cx, cy := rng.Float64()*4, rng.Float64()*4
+	outer := RegularPolygon(Point{X: cx, Y: cy}, 1.5+rng.Float64(), 3+rng.Intn(8), rng.Float64())
+	hp := HoledPolygon{Outer: outer}
+	if rng.Intn(3) > 0 {
+		// A hole well inside the outer ring (inradius ≥ circumradius·cos(π/3)
+		// for n ≥ 3, so radius/3 at the centre is always interior).
+		hp.Holes = append(hp.Holes, RegularPolygon(Point{X: cx, Y: cy}, 0.3, 3+rng.Intn(5), rng.Float64()))
+	}
+	return hp
+}
+
+func holedMonteCarlo(rng *rand.Rand, a, b HoledPolygon, n int) float64 {
+	box := a.BBox().Union(b.BBox())
+	w, h := box.MaxX-box.MinX, box.MaxY-box.MinY
+	hits := 0
+	for i := 0; i < n; i++ {
+		p := Point{X: box.MinX + rng.Float64()*w, Y: box.MinY + rng.Float64()*h}
+		if a.Contains(p) && b.Contains(p) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n) * w * h
+}

@@ -1,0 +1,114 @@
+package geom
+
+// Simplify reduces a polygon's vertex count with the Douglas–Peucker
+// algorithm at the given tolerance (maximum allowed perpendicular
+// deviation of dropped vertices from the simplified outline). Useful
+// when exporting dense Voronoi layers to GeoJSON or shapefile. The ring
+// is treated as closed; at least a triangle always survives; the result
+// preserves the input's orientation.
+func (pg Polygon) Simplify(tolerance float64) Polygon {
+	n := len(pg)
+	if n <= 3 || tolerance <= 0 {
+		return pg.Clone()
+	}
+	// Anchor the ring at two far-apart vertices so the open-path
+	// Douglas–Peucker applies to each half.
+	a := 0
+	b := farthestVertex(pg, pg[0])
+	keep := make([]bool, n)
+	keep[a], keep[b] = true, true
+	dpMark(pg, a, b, tolerance, keep)
+	dpMarkWrap(pg, b, a, tolerance, keep)
+	out := make(Polygon, 0, n)
+	for i, k := range keep {
+		if k {
+			out = append(out, pg[i])
+		}
+	}
+	if len(out) < 3 {
+		return pg.Clone()
+	}
+	return out
+}
+
+func farthestVertex(pg Polygon, from Point) int {
+	best, bestD := 0, -1.0
+	for i, p := range pg {
+		if d := p.Dist2(from); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// dpMark runs Douglas–Peucker on the index range [a, b] (a < b).
+func dpMark(pg Polygon, a, b int, tol float64, keep []bool) {
+	if b-a < 2 {
+		return
+	}
+	far, farD := -1, tol
+	for i := a + 1; i < b; i++ {
+		if d := perpDistance(pg[i], pg[a], pg[b]); d > farD {
+			far, farD = i, d
+		}
+	}
+	if far < 0 {
+		return
+	}
+	keep[far] = true
+	dpMark(pg, a, far, tol, keep)
+	dpMark(pg, far, b, tol, keep)
+}
+
+// dpMarkWrap handles the wrapped range b..n-1,0..a.
+func dpMarkWrap(pg Polygon, b, a int, tol float64, keep []bool) {
+	n := len(pg)
+	span := n - b + a
+	if span < 2 {
+		return
+	}
+	far, farD := -1, tol
+	for s := 1; s < span; s++ {
+		i := (b + s) % n
+		if d := perpDistance(pg[i], pg[b], pg[a]); d > farD {
+			far, farD = i, d
+		}
+	}
+	if far < 0 {
+		return
+	}
+	keep[far] = true
+	// Recurse on the two wrapped halves via index rotation: rotate so
+	// the wrap disappears.
+	rot := make(Polygon, n)
+	copy(rot, pg[b:])
+	copy(rot[n-b:], pg[:b])
+	keepRot := make([]bool, n)
+	farRot := (far - b + n) % n
+	aRot := (a - b + n) % n
+	keepRot[0], keepRot[aRot], keepRot[farRot] = true, true, true
+	dpMark(rot, 0, farRot, tol, keepRot)
+	dpMark(rot, farRot, aRot, tol, keepRot)
+	for i := 0; i < n; i++ {
+		if keepRot[i] {
+			keep[(i+b)%n] = true
+		}
+	}
+}
+
+// perpDistance returns the perpendicular distance from p to the segment
+// [a, b] (falling back to point distance for degenerate segments).
+func perpDistance(p, a, b Point) float64 {
+	d := b.Sub(a)
+	l2 := d.Dot(d)
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(d) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(a.Add(d.Scale(t)))
+}

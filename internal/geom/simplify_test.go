@@ -1,0 +1,104 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplifyDropsCollinearNoise(t *testing.T) {
+	// A square with many nearly-collinear vertices along each edge.
+	var pg Polygon
+	for i := 0; i <= 10; i++ {
+		pg = append(pg, Point{X: float64(i) / 10, Y: 0.0001 * float64(i%2)})
+	}
+	for i := 1; i <= 10; i++ {
+		pg = append(pg, Point{X: 1, Y: float64(i) / 10})
+	}
+	for i := 1; i <= 10; i++ {
+		pg = append(pg, Point{X: 1 - float64(i)/10, Y: 1})
+	}
+	for i := 1; i < 10; i++ {
+		pg = append(pg, Point{X: 0, Y: 1 - float64(i)/10})
+	}
+	s := pg.Simplify(0.01)
+	if len(s) >= len(pg)/2 {
+		t.Errorf("simplified from %d to only %d vertices", len(pg), len(s))
+	}
+	if math.Abs(s.Area()-pg.Area()) > 0.05 {
+		t.Errorf("area changed from %v to %v", pg.Area(), s.Area())
+	}
+}
+
+func TestSimplifyKeepsSharpFeatures(t *testing.T) {
+	star := RegularPolygon(Point{X: 0, Y: 0}, 1, 8, 0)
+	s := star.Simplify(0.01)
+	if len(s) != len(star) {
+		t.Errorf("sharp polygon lost vertices: %d -> %d", len(star), len(s))
+	}
+}
+
+func TestSimplifyTriangleUntouched(t *testing.T) {
+	tri := Polygon{{0, 0}, {4, 0}, {2, 3}}
+	s := tri.Simplify(10)
+	if len(s) != 3 {
+		t.Errorf("triangle simplified to %d vertices", len(s))
+	}
+}
+
+func TestSimplifyZeroToleranceClones(t *testing.T) {
+	pg := RegularPolygon(Point{X: 0, Y: 0}, 1, 12, 0)
+	s := pg.Simplify(0)
+	if len(s) != len(pg) {
+		t.Errorf("zero tolerance changed vertex count")
+	}
+	s[0].X = 99
+	if pg[0].X == 99 {
+		t.Error("Simplify(0) aliases the input")
+	}
+}
+
+// Property: the simplified polygon has at least 3 vertices, no more
+// than the input, and its area deviates by at most a tolerance-scaled
+// bound.
+func TestSimplifyPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(40)
+		pg := make(Polygon, n)
+		for i := range pg {
+			ang := 2 * math.Pi * float64(i) / float64(n)
+			r := 1 + rng.Float64()
+			pg[i] = Point{X: 5 + r*math.Cos(ang), Y: 5 + r*math.Sin(ang)}
+		}
+		tol := rng.Float64() * 0.3
+		s := pg.Simplify(tol)
+		if len(s) < 3 || len(s) > len(pg) {
+			return false
+		}
+		// Area change bounded by perimeter × tolerance (generous).
+		perim := 0.0
+		for i := range pg {
+			perim += pg[i].Dist(pg[(i+1)%len(pg)])
+		}
+		return math.Abs(s.Area()-pg.Area()) <= perim*tol+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerpDistance(t *testing.T) {
+	if d := perpDistance(Point{0, 1}, Point{-1, 0}, Point{1, 0}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("perpDistance = %v, want 1", d)
+	}
+	// Beyond the segment end: distance to endpoint.
+	if d := perpDistance(Point{3, 0}, Point{-1, 0}, Point{1, 0}); math.Abs(d-2) > 1e-12 {
+		t.Errorf("endpoint distance = %v, want 2", d)
+	}
+	// Degenerate segment.
+	if d := perpDistance(Point{3, 4}, Point{0, 0}, Point{0, 0}); math.Abs(d-5) > 1e-12 {
+		t.Errorf("degenerate = %v, want 5", d)
+	}
+}

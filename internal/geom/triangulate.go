@@ -1,0 +1,96 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrTriangulation is returned when ear clipping cannot make progress,
+// which indicates a self-intersecting or otherwise invalid input ring.
+var ErrTriangulation = errors.New("geom: triangulation failed (polygon may self-intersect)")
+
+// Triangulate decomposes a simple polygon into triangles by ear
+// clipping. The input may be CW or CCW. Each returned triangle is CCW.
+// The triangles partition the polygon: their areas sum to the polygon
+// area exactly (up to floating-point rounding).
+func Triangulate(pg Polygon) ([]Polygon, error) {
+	n := len(pg)
+	if n < 3 {
+		return nil, ErrDegeneratePolygon
+	}
+	work := pg.Clone().EnsureCCW()
+	var tris []Polygon
+	guard := 0
+	for len(work) > 3 {
+		n := len(work)
+		clipped := false
+		for i := 0; i < n; i++ {
+			prev := work[(i-1+n)%n]
+			cur := work[i]
+			next := work[(i+1)%n]
+			if Orient(prev, cur, next) <= 0 {
+				continue // reflex or degenerate corner: not an ear
+			}
+			if containsOtherVertex(work, prev, cur, next, i) {
+				continue
+			}
+			tris = append(tris, Polygon{prev, cur, next})
+			work = append(work[:i], work[i+1:]...)
+			clipped = true
+			break
+		}
+		if !clipped {
+			// No ear found: try dropping an exactly-collinear vertex
+			// (zero-area corner) before giving up.
+			dropped := false
+			for i := 0; i < len(work); i++ {
+				m := len(work)
+				if Orient(work[(i-1+m)%m], work[i], work[(i+1)%m]) == 0 {
+					work = append(work[:i], work[i+1:]...)
+					dropped = true
+					break
+				}
+			}
+			if !dropped {
+				return nil, ErrTriangulation
+			}
+			if len(work) < 3 {
+				break
+			}
+		}
+		guard++
+		if guard > 4*n+len(pg)*4+16 {
+			return nil, ErrTriangulation
+		}
+	}
+	if len(work) == 3 && Orient(work[0], work[1], work[2]) != 0 {
+		tris = append(tris, Polygon{work[0], work[1], work[2]})
+	}
+	return tris, nil
+}
+
+// containsOtherVertex reports whether any polygon vertex other than the
+// ear corners lies inside (or on) the candidate ear triangle.
+func containsOtherVertex(pg Polygon, a, b, c Point, earIdx int) bool {
+	n := len(pg)
+	for j := 0; j < n; j++ {
+		if j == earIdx || j == (earIdx-1+n)%n || j == (earIdx+1)%n {
+			continue
+		}
+		if pointInTriangle(pg[j], a, b, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// pointInTriangle reports whether p lies in the CCW triangle abc,
+// counting boundary points as inside except exact coincidence with the
+// triangle's vertices.
+func pointInTriangle(p, a, b, c Point) bool {
+	if p == a || p == b || p == c {
+		return false
+	}
+	eps := -1e-12 * (math.Abs(a.X) + math.Abs(b.X) + math.Abs(c.X) + 1)
+	return Orient(a, b, p) >= eps && Orient(b, c, p) >= eps && Orient(c, a, p) >= eps
+}

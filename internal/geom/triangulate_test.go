@@ -1,0 +1,174 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriangulateSquare(t *testing.T) {
+	tris, err := Triangulate(unitSquare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 2 {
+		t.Fatalf("triangle count = %d, want 2", len(tris))
+	}
+	var sum float64
+	for _, tr := range tris {
+		if len(tr) != 3 {
+			t.Fatalf("non-triangle in output: %v", tr)
+		}
+		if tr.SignedArea() <= 0 {
+			t.Errorf("triangle not CCW: %v", tr)
+		}
+		sum += tr.Area()
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("area sum = %v, want 1", sum)
+	}
+}
+
+func TestTriangulateConcave(t *testing.T) {
+	l := Polygon{{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}}
+	tris, err := Triangulate(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tr := range tris {
+		sum += tr.Area()
+	}
+	if math.Abs(sum-3) > 1e-12 {
+		t.Errorf("area sum = %v, want 3", sum)
+	}
+}
+
+func TestTriangulateCWInput(t *testing.T) {
+	cw := unitSquare.Clone().Reverse()
+	tris, err := Triangulate(cw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tr := range tris {
+		sum += tr.Area()
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("area sum = %v, want 1", sum)
+	}
+}
+
+func TestTriangulateDegenerate(t *testing.T) {
+	if _, err := Triangulate(Polygon{{0, 0}, {1, 1}}); err == nil {
+		t.Error("2-vertex polygon triangulated")
+	}
+}
+
+func TestTriangulateCollinearVertex(t *testing.T) {
+	// Square with an extra collinear vertex on the bottom edge.
+	pg := Polygon{{0, 0}, {0.5, 0}, {1, 0}, {1, 1}, {0, 1}}
+	tris, err := Triangulate(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tr := range tris {
+		sum += tr.Area()
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("area sum = %v, want 1", sum)
+	}
+}
+
+func TestTriangulateSpiral(t *testing.T) {
+	// A comb-like strongly concave polygon.
+	pg := Polygon{
+		{0, 0}, {6, 0}, {6, 3}, {5, 3}, {5, 1}, {4, 1}, {4, 3},
+		{3, 3}, {3, 1}, {2, 1}, {2, 3}, {1, 3}, {1, 1}, {0, 1},
+	}
+	want := pg.Area()
+	tris, err := Triangulate(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, tr := range tris {
+		sum += tr.Area()
+	}
+	if math.Abs(sum-want) > 1e-9 {
+		t.Errorf("area sum = %v, want %v", sum, want)
+	}
+	if len(tris) != len(pg)-2 {
+		t.Errorf("triangle count = %d, want %d", len(tris), len(pg)-2)
+	}
+}
+
+// Property: triangulation of random star-shaped polygons preserves area
+// and produces exactly n-2 triangles.
+func TestTriangulateStarShapedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pg := randomStarPolygon(rng, 5+rng.Intn(15))
+		tris, err := Triangulate(pg)
+		if err != nil {
+			return false
+		}
+		if len(tris) != len(pg)-2 {
+			return false
+		}
+		var sum float64
+		for _, tr := range tris {
+			if tr.SignedArea() <= 0 {
+				return false
+			}
+			sum += tr.Area()
+		}
+		return math.Abs(sum-pg.Area()) <= 1e-9*(1+pg.Area())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomStarPolygon builds a simple polygon by sorting random radii
+// around a centre — always simple, usually concave.
+func randomStarPolygon(rng *rand.Rand, n int) Polygon {
+	pg := make(Polygon, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		r := 0.5 + rng.Float64()*2
+		pg[i] = Point{3 + r*math.Cos(a), 3 + r*math.Sin(a)}
+	}
+	return pg
+}
+
+func TestIntersectionAreaStarVsConvexQuick(t *testing.T) {
+	// Cross-check the triangulation path of IntersectionArea against a
+	// Monte-Carlo estimate.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		star := randomStarPolygon(rng, 9)
+		conv := randomConvexPolygon(rng)
+		got := IntersectionArea(conv, star) // concave clip → triangulation path
+		mc := monteCarloOverlap(rng, conv, star, 60000)
+		tol := 0.05*(mc+got) + 0.02
+		if math.Abs(got-mc) > tol {
+			t.Errorf("trial %d: IntersectionArea = %v, Monte-Carlo = %v", trial, got, mc)
+		}
+	}
+}
+
+func monteCarloOverlap(rng *rand.Rand, a, b Polygon, n int) float64 {
+	box := a.BBox().Union(b.BBox())
+	w, h := box.MaxX-box.MinX, box.MaxY-box.MinY
+	hits := 0
+	for i := 0; i < n; i++ {
+		p := Point{box.MinX + rng.Float64()*w, box.MinY + rng.Float64()*h}
+		if a.Contains(p) && b.Contains(p) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(n) * w * h
+}

@@ -1,0 +1,139 @@
+// Package interval implements 1-dimensional unit systems: partitions of
+// a real interval into disjoint bins. The paper's Figure 3 motivates
+// aggregate interpolation in 1-D with population histograms over two
+// incompatible sets of age bins; this package provides the bins, their
+// overlaps, and the disaggregation matrices GeoAlign consumes.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interval is the half-open range [Lo, Hi).
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Length returns Hi-Lo (0 for inverted intervals).
+func (iv Interval) Length() float64 {
+	if iv.Hi <= iv.Lo {
+		return 0
+	}
+	return iv.Hi - iv.Lo
+}
+
+// Overlap returns the length of the overlap between iv and o.
+func (iv Interval) Overlap(o Interval) float64 {
+	lo := math.Max(iv.Lo, o.Lo)
+	hi := math.Min(iv.Hi, o.Hi)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Contains reports whether x lies in [Lo, Hi).
+func (iv Interval) Contains(x float64) bool { return x >= iv.Lo && x < iv.Hi }
+
+func (iv Interval) String() string { return fmt.Sprintf("[%g,%g)", iv.Lo, iv.Hi) }
+
+// Partition is an ordered set of contiguous, disjoint intervals covering
+// [Units[0].Lo, Units[len-1].Hi).
+type Partition struct {
+	Units []Interval
+}
+
+// NewPartition builds a partition from ascending breakpoints: n+1
+// breakpoints produce n units.
+func NewPartition(breaks []float64) (*Partition, error) {
+	if len(breaks) < 2 {
+		return nil, fmt.Errorf("interval: need at least 2 breakpoints, got %d", len(breaks))
+	}
+	units := make([]Interval, len(breaks)-1)
+	for i := 0; i < len(breaks)-1; i++ {
+		if breaks[i+1] <= breaks[i] {
+			return nil, fmt.Errorf("interval: breakpoints not strictly increasing at %d (%g then %g)",
+				i, breaks[i], breaks[i+1])
+		}
+		units[i] = Interval{Lo: breaks[i], Hi: breaks[i+1]}
+	}
+	return &Partition{Units: units}, nil
+}
+
+// UniformPartition splits [lo, hi) into n equal bins.
+func UniformPartition(lo, hi float64, n int) (*Partition, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("interval: need at least 1 bin, got %d", n)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("interval: empty range [%g,%g)", lo, hi)
+	}
+	breaks := make([]float64, n+1)
+	for i := range breaks {
+		breaks[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return NewPartition(breaks)
+}
+
+// Len returns the number of units.
+func (p *Partition) Len() int { return len(p.Units) }
+
+// Span returns the covered interval.
+func (p *Partition) Span() Interval {
+	if len(p.Units) == 0 {
+		return Interval{}
+	}
+	return Interval{Lo: p.Units[0].Lo, Hi: p.Units[len(p.Units)-1].Hi}
+}
+
+// Locate returns the index of the unit containing x, or -1 when x is
+// outside the span. The final unit is treated as closed on the right so
+// the span's upper endpoint is locatable.
+func (p *Partition) Locate(x float64) int {
+	n := len(p.Units)
+	if n == 0 {
+		return -1
+	}
+	sp := p.Span()
+	if x < sp.Lo || x > sp.Hi {
+		return -1
+	}
+	if x == sp.Hi {
+		return n - 1
+	}
+	// Binary search over the unit Lo endpoints.
+	i := sort.Search(n, func(k int) bool { return p.Units[k].Hi > x })
+	if i < n && p.Units[i].Contains(x) {
+		return i
+	}
+	return -1
+}
+
+// OverlapMatrix returns the dense |p|×|q| matrix of pairwise overlap
+// lengths; entry [i][j] is the length of p.Units[i] ∩ q.Units[j]. This
+// is the 1-D analogue of the polygon intersection areas in 2-D, and the
+// disaggregation matrix of the "length" reference attribute.
+func OverlapMatrix(p, q *Partition) [][]float64 {
+	out := make([][]float64, p.Len())
+	for i := range out {
+		out[i] = make([]float64, q.Len())
+	}
+	// Two-pointer sweep exploiting the sorted, disjoint structure.
+	j0 := 0
+	for i, u := range p.Units {
+		for j := j0; j < q.Len(); j++ {
+			v := q.Units[j]
+			if v.Hi <= u.Lo {
+				j0 = j + 1
+				continue
+			}
+			if v.Lo >= u.Hi {
+				break
+			}
+			out[i][j] = u.Overlap(v)
+		}
+	}
+	return out
+}

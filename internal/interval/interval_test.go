@@ -1,0 +1,181 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3}
+	if iv.Length() != 2 {
+		t.Errorf("Length = %v", iv.Length())
+	}
+	if (Interval{Lo: 3, Hi: 1}).Length() != 0 {
+		t.Error("inverted interval has non-zero length")
+	}
+	if !iv.Contains(1) || iv.Contains(3) || !iv.Contains(2.5) {
+		t.Error("Contains misbehaves on half-open semantics")
+	}
+	if iv.String() != "[1,3)" {
+		t.Errorf("String = %q", iv.String())
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := Interval{Lo: 0, Hi: 10}
+	cases := []struct {
+		b    Interval
+		want float64
+	}{
+		{Interval{Lo: 2, Hi: 5}, 3},
+		{Interval{Lo: -5, Hi: 5}, 5},
+		{Interval{Lo: 5, Hi: 15}, 5},
+		{Interval{Lo: 10, Hi: 20}, 0},
+		{Interval{Lo: -10, Hi: 0}, 0},
+		{Interval{Lo: -1, Hi: 11}, 10},
+	}
+	for _, tc := range cases {
+		if got := a.Overlap(tc.b); got != tc.want {
+			t.Errorf("Overlap(%v) = %v, want %v", tc.b, got, tc.want)
+		}
+		if got := tc.b.Overlap(a); got != tc.want {
+			t.Errorf("Overlap not symmetric for %v", tc.b)
+		}
+	}
+}
+
+func TestNewPartition(t *testing.T) {
+	p, err := NewPartition([]float64{0, 18, 35, 65, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.Span() != (Interval{Lo: 0, Hi: 100}) {
+		t.Errorf("Span = %v", p.Span())
+	}
+	if _, err := NewPartition([]float64{0}); err == nil {
+		t.Error("single breakpoint accepted")
+	}
+	if _, err := NewPartition([]float64{0, 5, 5, 10}); err == nil {
+		t.Error("non-increasing breakpoints accepted")
+	}
+}
+
+func TestUniformPartition(t *testing.T) {
+	p, err := UniformPartition(0, 100, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 20 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	for _, u := range p.Units {
+		if math.Abs(u.Length()-5) > 1e-12 {
+			t.Errorf("unit %v length = %v, want 5", u, u.Length())
+		}
+	}
+	if _, err := UniformPartition(0, 100, 0); err == nil {
+		t.Error("0 bins accepted")
+	}
+	if _, err := UniformPartition(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	p, _ := NewPartition([]float64{0, 10, 20, 40})
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0}, {5, 0}, {10, 1}, {19.999, 1}, {20, 2}, {40, 2}, {-1, -1}, {41, -1},
+	}
+	for _, tc := range cases {
+		if got := p.Locate(tc.x); got != tc.want {
+			t.Errorf("Locate(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestLocateQuick(t *testing.T) {
+	p, _ := UniformPartition(0, 1, 37)
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 1)
+		i := p.Locate(x)
+		return i >= 0 && p.Units[i].Contains(x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverlapMatrixHistogramExample(t *testing.T) {
+	// Narrow age bins vs wide bins (Fig. 3 shape).
+	narrow, _ := NewPartition([]float64{0, 10, 20, 30, 40, 50, 60})
+	wide, _ := NewPartition([]float64{0, 25, 60})
+	m := OverlapMatrix(narrow, wide)
+	want := [][]float64{
+		{10, 0}, {10, 0}, {5, 5}, {0, 10}, {0, 10}, {0, 10},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if m[i][j] != want[i][j] {
+				t.Errorf("m[%d][%d] = %v, want %v", i, j, m[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// Property: row sums of the overlap matrix equal the source unit
+// lengths when the target spans the source.
+func TestOverlapMatrixRowSumsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomPartition(rng, 1+rng.Intn(15))
+		tgt := randomPartition(rng, 1+rng.Intn(15))
+		// Stretch target to cover the source span.
+		sp := src.Span()
+		tgt = stretch(tgt, sp)
+		m := OverlapMatrix(src, tgt)
+		for i, u := range src.Units {
+			var s float64
+			for _, v := range m[i] {
+				s += v
+			}
+			if math.Abs(s-u.Length()) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomPartition(rng *rand.Rand, n int) *Partition {
+	breaks := make([]float64, n+1)
+	x := rng.Float64() * 10
+	for i := range breaks {
+		breaks[i] = x
+		x += 0.1 + rng.Float64()*3
+	}
+	p, _ := NewPartition(breaks)
+	return p
+}
+
+func stretch(p *Partition, to Interval) *Partition {
+	from := p.Span()
+	scale := to.Length() / from.Length()
+	breaks := make([]float64, p.Len()+1)
+	for i, u := range p.Units {
+		breaks[i] = to.Lo + (u.Lo-from.Lo)*scale
+	}
+	breaks[p.Len()] = to.Hi
+	out, _ := NewPartition(breaks)
+	return out
+}

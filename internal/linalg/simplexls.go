@@ -1,0 +1,244 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoColumns is returned by SimplexLeastSquares when A has no columns:
+// there is no β to learn.
+var ErrNoColumns = errors.New("linalg: simplex least squares needs at least one column")
+
+// SimplexLeastSquares solves the weight-learning problem of GeoAlign
+// (Eq. 15 of the paper):
+//
+//	min_β ½‖A·β − b‖₂²  subject to  Σ_k β_k = 1,  β_k ≥ 0
+//
+// i.e. least squares over the probability simplex. The equality
+// constraint is enforced by augmenting the system with a heavily
+// weighted row μ·1ᵀβ = μ and running Lawson–Hanson NNLS, after which β
+// is renormalised so the constraint holds exactly. μ is chosen large
+// relative to ‖A‖ so the augmentation perturbs the fit negligibly.
+//
+// Degenerate inputs are handled conservatively: a single column yields
+// β = [1]; if NNLS returns the zero vector (b orthogonal to the cone),
+// the uniform weights 1/k are returned.
+func SimplexLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	m, k := a.Rows, a.Cols
+	if k == 0 {
+		return nil, ErrNoColumns
+	}
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: simplex LS vector length %d != rows %d", len(b), m)
+	}
+	if k == 1 {
+		return []float64{1}, nil
+	}
+
+	mu := 1e4 * (matInfNorm(a) + Norm2(b) + 1)
+	aug := NewMatrix(m+1, k)
+	copy(aug.Data, a.Data)
+	for j := 0; j < k; j++ {
+		aug.Set(m, j, mu)
+	}
+	baug := make([]float64, m+1)
+	copy(baug, b)
+	baug[m] = mu
+
+	beta, err := NNLS(aug, baug)
+	if err != nil {
+		return nil, err
+	}
+	s := Sum(beta)
+	if s <= 0 || math.IsNaN(s) {
+		// b is orthogonal to every feasible direction; fall back to the
+		// uninformative uniform combination.
+		for j := range beta {
+			beta[j] = 1 / float64(k)
+		}
+		return beta, nil
+	}
+	Scale(1/s, beta)
+	return beta, nil
+}
+
+// SimplexLeastSquaresPG solves the same problem as SimplexLeastSquares
+// with an accelerated projected-gradient method (FISTA with projection
+// onto the simplex). It is used as an independent cross-check of the
+// active-set solution in tests and is exposed for callers who prefer a
+// factorisation-free solver on large column counts.
+func SimplexLeastSquaresPG(a *Matrix, b []float64, maxIter int, tol float64) ([]float64, error) {
+	m, k := a.Rows, a.Cols
+	if k == 0 {
+		return nil, ErrNoColumns
+	}
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: simplex LS vector length %d != rows %d", len(b), m)
+	}
+	if k == 1 {
+		return []float64{1}, nil
+	}
+	if maxIter <= 0 {
+		maxIter = 2000
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+
+	// Lipschitz constant of the gradient: largest eigenvalue of AᵀA,
+	// estimated by power iteration on the Gram matrix.
+	g := a.Gram()
+	lip := powerIterSym(g, 200)
+	if lip <= 0 {
+		beta := make([]float64, k)
+		for j := range beta {
+			beta[j] = 1 / float64(k)
+		}
+		return beta, nil
+	}
+	step := 1 / lip
+
+	x := make([]float64, k)
+	for j := range x {
+		x[j] = 1 / float64(k)
+	}
+	y := make([]float64, k)
+	copy(y, x)
+	t := 1.0
+	prev := make([]float64, k)
+	for iter := 0; iter < maxIter; iter++ {
+		copy(prev, x)
+		// grad = Aᵀ(A·y − b)
+		ay := a.MulVec(y)
+		for i := range ay {
+			ay[i] -= b[i]
+		}
+		grad := a.MulVecT(ay)
+		for j := range x {
+			x[j] = y[j] - step*grad[j]
+		}
+		ProjectSimplex(x)
+		tNext := (1 + math.Sqrt(1+4*t*t)) / 2
+		for j := range y {
+			y[j] = x[j] + (t-1)/tNext*(x[j]-prev[j])
+		}
+		t = tNext
+		var diff float64
+		for j := range x {
+			diff += math.Abs(x[j] - prev[j])
+		}
+		if diff < tol {
+			break
+		}
+	}
+	return x, nil
+}
+
+// ProjectSimplex projects v in place onto the probability simplex
+// {x : Σx = 1, x ≥ 0} using the sort-based algorithm of Held, Wolfe &
+// Crowder (1974).
+func ProjectSimplex(v []float64) {
+	n := len(v)
+	if n == 0 {
+		return
+	}
+	u := make([]float64, n)
+	copy(u, v)
+	// Sort descending (insertion sort is fine for the small k here, but
+	// use an explicit sort for generality).
+	sortDescending(u)
+	var css float64
+	rho, theta := -1, 0.0
+	for i := 0; i < n; i++ {
+		css += u[i]
+		t := (css - 1) / float64(i+1)
+		if u[i]-t > 0 {
+			rho, theta = i, t
+		}
+	}
+	if rho < 0 {
+		// All mass below threshold; fall back to uniform.
+		for i := range v {
+			v[i] = 1 / float64(n)
+		}
+		return
+	}
+	_ = theta
+	css = 0
+	for i := 0; i <= rho; i++ {
+		css += u[i]
+	}
+	theta = (css - 1) / float64(rho+1)
+	for i := range v {
+		if w := v[i] - theta; w > 0 {
+			v[i] = w
+		} else {
+			v[i] = 0
+		}
+	}
+}
+
+func sortDescending(v []float64) {
+	// Heapsort: no allocation, O(n log n), and we avoid importing sort
+	// for a float slice with a custom order.
+	n := len(v)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownMin(v, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		v[0], v[end] = v[end], v[0]
+		siftDownMin(v, 0, end)
+	}
+}
+
+// siftDownMin maintains a min-heap so the heapsort above yields a
+// descending order.
+func siftDownMin(v []float64, start, end int) {
+	root := start
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && v[child+1] < v[child] {
+			child++
+		}
+		if v[root] <= v[child] {
+			return
+		}
+		v[root], v[child] = v[child], v[root]
+		root = child
+	}
+}
+
+// powerIterSym estimates the largest eigenvalue of a symmetric PSD
+// matrix by power iteration.
+func powerIterSym(g *Matrix, iters int) float64 {
+	n := g.Rows
+	if n == 0 {
+		return 0
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(n))
+	}
+	var lambda float64
+	for it := 0; it < iters; it++ {
+		w := g.MulVec(v)
+		nw := Norm2(w)
+		if nw == 0 {
+			return 0
+		}
+		for i := range w {
+			w[i] /= nw
+		}
+		lambdaNew := Dot(w, g.MulVec(w))
+		if it > 4 && math.Abs(lambdaNew-lambda) <= 1e-12*math.Abs(lambdaNew) {
+			return lambdaNew
+		}
+		lambda = lambdaNew
+		v = w
+	}
+	return lambda
+}

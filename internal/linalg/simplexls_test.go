@@ -1,0 +1,225 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func onSimplex(x []float64, tol float64) bool {
+	var s float64
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+		s += v
+	}
+	return math.Abs(s-1) <= tol
+}
+
+func TestSimplexLSSingleColumn(t *testing.T) {
+	a, _ := MatrixFromColumns([][]float64{{1, 2, 3}})
+	beta, err := SimplexLeastSquares(a, []float64{9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(beta, []float64{1}, 0) {
+		t.Errorf("beta = %v, want [1]", beta)
+	}
+}
+
+func TestSimplexLSNoColumns(t *testing.T) {
+	if _, err := SimplexLeastSquares(NewMatrix(3, 0), []float64{1, 2, 3}); err != ErrNoColumns {
+		t.Fatalf("err = %v, want ErrNoColumns", err)
+	}
+}
+
+func TestSimplexLSDimensionMismatch(t *testing.T) {
+	if _, err := SimplexLeastSquares(NewMatrix(3, 2), []float64{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestSimplexLSExactVertex(t *testing.T) {
+	// b equals the second column exactly: the optimum is the vertex e2.
+	cols := [][]float64{
+		{1, 0, 0, 5},
+		{0, 1, 0, 0},
+		{0.2, 0.1, 1, 2},
+	}
+	a, _ := MatrixFromColumns(cols)
+	beta, err := SimplexLeastSquares(a, []float64{0, 1, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onSimplex(beta, 1e-9) {
+		t.Fatalf("beta off simplex: %v", beta)
+	}
+	if !vecAlmostEq(beta, []float64{0, 1, 0}, 1e-6) {
+		t.Errorf("beta = %v, want e2", beta)
+	}
+}
+
+func TestSimplexLSExactMixture(t *testing.T) {
+	// b is a known convex combination of the columns; the solver must
+	// recover it when the columns are independent.
+	rng := rand.New(rand.NewSource(3))
+	m, k := 30, 4
+	a := NewMatrix(m, k)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	want := []float64{0.1, 0.4, 0.2, 0.3}
+	b := a.MulVec(want)
+	beta, err := SimplexLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onSimplex(beta, 1e-8) {
+		t.Fatalf("beta off simplex: %v", beta)
+	}
+	if !vecAlmostEq(beta, want, 1e-5) {
+		t.Errorf("beta = %v, want %v", beta, want)
+	}
+}
+
+func TestSimplexLSZeroObjective(t *testing.T) {
+	// b = 0: any simplex point with minimal ‖Aβ‖ is fine, but the result
+	// must at least be a valid simplex vector.
+	a, _ := MatrixFromColumns([][]float64{{1, 0}, {0, 1}})
+	beta, err := SimplexLeastSquares(a, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !onSimplex(beta, 1e-9) {
+		t.Errorf("beta off simplex: %v", beta)
+	}
+}
+
+func TestSimplexLSFeasibilityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 6 + rng.Intn(30)
+		k := 2 + rng.Intn(6)
+		a := NewMatrix(m, k)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64() // attribute-like non-negative cols
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		beta, err := SimplexLeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		return onSimplex(beta, 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The active-set path and the projected-gradient path must agree on the
+// objective value (the minimiser may be non-unique, the optimum is).
+func TestSimplexLSAgreesWithProjectedGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		m := 10 + rng.Intn(40)
+		k := 2 + rng.Intn(5)
+		a := NewMatrix(m, k)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64()
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.Float64()
+		}
+		b1, err := SimplexLeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := SimplexLeastSquaresPG(a, b, 20000, 1e-14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o1 := Norm2(Sub(a.MulVec(b1), b))
+		o2 := Norm2(Sub(a.MulVec(b2), b))
+		if o1 > o2+1e-5*(o2+1) {
+			t.Errorf("trial %d: active-set objective %v worse than PG %v (beta %v vs %v)",
+				trial, o1, o2, b1, b2)
+		}
+	}
+}
+
+func TestProjectSimplexBasics(t *testing.T) {
+	v := []float64{0.5, 0.5}
+	ProjectSimplex(v)
+	if !vecAlmostEq(v, []float64{0.5, 0.5}, 1e-12) {
+		t.Errorf("already-feasible point moved: %v", v)
+	}
+	v = []float64{2, 0}
+	ProjectSimplex(v)
+	if !vecAlmostEq(v, []float64{1, 0}, 1e-12) {
+		t.Errorf("projection = %v, want [1 0]", v)
+	}
+	v = []float64{-1, -1}
+	ProjectSimplex(v)
+	if !onSimplex(v, 1e-12) {
+		t.Errorf("projection of negative point off simplex: %v", v)
+	}
+}
+
+func TestProjectSimplexIsProjectionQuick(t *testing.T) {
+	// Property: result is on the simplex, and no feasible point sampled at
+	// random is closer to the input.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 2
+		}
+		p := make([]float64, n)
+		copy(p, v)
+		ProjectSimplex(p)
+		if !onSimplex(p, 1e-9) {
+			return false
+		}
+		dp := Norm2(Sub(p, v))
+		for trial := 0; trial < 25; trial++ {
+			q := randSimplexPoint(rng, n)
+			if Norm2(Sub(q, v)) < dp-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randSimplexPoint(rng *rand.Rand, n int) []float64 {
+	q := make([]float64, n)
+	var s float64
+	for i := range q {
+		q[i] = -math.Log(rng.Float64() + 1e-300)
+		s += q[i]
+	}
+	for i := range q {
+		q[i] /= s
+	}
+	return q
+}
+
+func TestSortDescending(t *testing.T) {
+	v := []float64{3, -1, 4, 1, 5, 9, 2, 6}
+	sortDescending(v)
+	for i := 1; i < len(v); i++ {
+		if v[i-1] < v[i] {
+			t.Fatalf("not descending at %d: %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package ndbox implements unit systems in arbitrary dimension as
+// axis-aligned boxes. The paper argues (§2.2, §3.4) that aggregate
+// interpolation is dimension-independent — 3-D disease grids, 4-D
+// space–time exposures — because GeoAlign only ever consumes aggregate
+// vectors and disaggregation matrices. This package supplies the n-D
+// substrate used to demonstrate that claim: box partitions (grids or
+// custom), overlap hyper-volumes, and point location.
+package ndbox
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is an axis-aligned box: the product of half-open intervals
+// [Lo[d], Hi[d]) over dimensions d.
+type Box struct {
+	Lo, Hi []float64
+}
+
+// NewBox validates and returns a box.
+func NewBox(lo, hi []float64) (Box, error) {
+	if len(lo) != len(hi) {
+		return Box{}, fmt.Errorf("ndbox: dimension mismatch %d vs %d", len(lo), len(hi))
+	}
+	if len(lo) == 0 {
+		return Box{}, fmt.Errorf("ndbox: zero-dimensional box")
+	}
+	for d := range lo {
+		if hi[d] <= lo[d] {
+			return Box{}, fmt.Errorf("ndbox: empty extent in dimension %d: [%g,%g)", d, lo[d], hi[d])
+		}
+	}
+	return Box{Lo: append([]float64(nil), lo...), Hi: append([]float64(nil), hi...)}, nil
+}
+
+// Dim returns the dimensionality.
+func (b Box) Dim() int { return len(b.Lo) }
+
+// Volume returns the product of extents.
+func (b Box) Volume() float64 {
+	v := 1.0
+	for d := range b.Lo {
+		v *= b.Hi[d] - b.Lo[d]
+	}
+	return v
+}
+
+// Contains reports whether p lies in the box.
+func (b Box) Contains(p []float64) bool {
+	if len(p) != b.Dim() {
+		return false
+	}
+	for d := range p {
+		if p[d] < b.Lo[d] || p[d] >= b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlap returns the hyper-volume of the intersection of b and o.
+func (b Box) Overlap(o Box) float64 {
+	if b.Dim() != o.Dim() {
+		return 0
+	}
+	v := 1.0
+	for d := range b.Lo {
+		lo := math.Max(b.Lo[d], o.Lo[d])
+		hi := math.Min(b.Hi[d], o.Hi[d])
+		if hi <= lo {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// Partition is a set of disjoint boxes treated as a unit system.
+type Partition struct {
+	Boxes []Box
+	dim   int
+}
+
+// NewPartition validates that all boxes share a dimension. Disjointness
+// is the caller's responsibility for custom partitions; Grid always
+// produces disjoint boxes.
+func NewPartition(boxes []Box) (*Partition, error) {
+	if len(boxes) == 0 {
+		return nil, fmt.Errorf("ndbox: empty partition")
+	}
+	dim := boxes[0].Dim()
+	for i, b := range boxes {
+		if b.Dim() != dim {
+			return nil, fmt.Errorf("ndbox: box %d has dimension %d, want %d", i, b.Dim(), dim)
+		}
+	}
+	return &Partition{Boxes: boxes, dim: dim}, nil
+}
+
+// Grid partitions the box [lo, hi) into a regular grid with counts[d]
+// cells along dimension d.
+func Grid(lo, hi []float64, counts []int) (*Partition, error) {
+	outer, err := NewBox(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if len(counts) != outer.Dim() {
+		return nil, fmt.Errorf("ndbox: counts dimension %d != box dimension %d", len(counts), outer.Dim())
+	}
+	total := 1
+	for d, c := range counts {
+		if c <= 0 {
+			return nil, fmt.Errorf("ndbox: non-positive count %d in dimension %d", c, d)
+		}
+		total *= c
+	}
+	dim := outer.Dim()
+	boxes := make([]Box, 0, total)
+	idx := make([]int, dim)
+	for {
+		blo := make([]float64, dim)
+		bhi := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			w := (hi[d] - lo[d]) / float64(counts[d])
+			blo[d] = lo[d] + w*float64(idx[d])
+			bhi[d] = lo[d] + w*float64(idx[d]+1)
+		}
+		boxes = append(boxes, Box{Lo: blo, Hi: bhi})
+		// Increment the multi-index.
+		d := 0
+		for ; d < dim; d++ {
+			idx[d]++
+			if idx[d] < counts[d] {
+				break
+			}
+			idx[d] = 0
+		}
+		if d == dim {
+			break
+		}
+	}
+	return NewPartition(boxes)
+}
+
+// Dim returns the dimensionality of the partition.
+func (p *Partition) Dim() int { return p.dim }
+
+// Len returns the number of units.
+func (p *Partition) Len() int { return len(p.Boxes) }
+
+// Locate returns the index of the box containing point pt, or -1.
+// Linear scan: partitions used in experiments are modest in size, and
+// grids can use GridLocate instead.
+func (p *Partition) Locate(pt []float64) int {
+	for i, b := range p.Boxes {
+		if b.Contains(pt) {
+			return i
+		}
+	}
+	return -1
+}
+
+// OverlapMatrix returns the dense |p|×|q| matrix of pairwise overlap
+// hyper-volumes — the n-D disaggregation matrix of the "volume"
+// reference attribute.
+func OverlapMatrix(p, q *Partition) ([][]float64, error) {
+	if p.Dim() != q.Dim() {
+		return nil, fmt.Errorf("ndbox: overlap between %d-D and %d-D partitions", p.Dim(), q.Dim())
+	}
+	out := make([][]float64, p.Len())
+	for i := range out {
+		out[i] = make([]float64, q.Len())
+		for j := range out[i] {
+			out[i][j] = p.Boxes[i].Overlap(q.Boxes[j])
+		}
+	}
+	return out, nil
+}
+
+// TotalVolume returns the summed volume of all units.
+func (p *Partition) TotalVolume() float64 {
+	var v float64
+	for _, b := range p.Boxes {
+		v += b.Volume()
+	}
+	return v
+}

@@ -1,0 +1,177 @@
+package ndbox
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBoxValidation(t *testing.T) {
+	if _, err := NewBox([]float64{0}, []float64{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := NewBox(nil, nil); err == nil {
+		t.Error("zero-dimensional box accepted")
+	}
+	if _, err := NewBox([]float64{0, 0}, []float64{1, 0}); err == nil {
+		t.Error("empty extent accepted")
+	}
+	b, err := NewBox([]float64{0, 0, 0}, []float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim() != 3 {
+		t.Errorf("Dim = %d", b.Dim())
+	}
+	if b.Volume() != 6 {
+		t.Errorf("Volume = %v", b.Volume())
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b, _ := NewBox([]float64{0, 0}, []float64{1, 1})
+	if !b.Contains([]float64{0, 0}) {
+		t.Error("lower corner not contained")
+	}
+	if b.Contains([]float64{1, 1}) {
+		t.Error("upper corner contained (should be half-open)")
+	}
+	if b.Contains([]float64{0.5}) {
+		t.Error("wrong-dimension point contained")
+	}
+}
+
+func TestBoxOverlap(t *testing.T) {
+	a, _ := NewBox([]float64{0, 0}, []float64{2, 2})
+	b, _ := NewBox([]float64{1, 1}, []float64{3, 3})
+	if got := a.Overlap(b); got != 1 {
+		t.Errorf("Overlap = %v, want 1", got)
+	}
+	c, _ := NewBox([]float64{5, 5}, []float64{6, 6})
+	if got := a.Overlap(c); got != 0 {
+		t.Errorf("disjoint Overlap = %v", got)
+	}
+	d, _ := NewBox([]float64{0, 0, 0}, []float64{1, 1, 1})
+	if got := a.Overlap(d); got != 0 {
+		t.Errorf("cross-dimension Overlap = %v", got)
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	p, err := Grid([]float64{0, 0, 0}, []float64{2, 2, 2}, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", p.Len())
+	}
+	if p.Dim() != 3 {
+		t.Errorf("Dim = %d", p.Dim())
+	}
+	for i, b := range p.Boxes {
+		if b.Volume() != 1 {
+			t.Errorf("box %d volume = %v, want 1", i, b.Volume())
+		}
+	}
+	if math.Abs(p.TotalVolume()-8) > 1e-12 {
+		t.Errorf("TotalVolume = %v, want 8", p.TotalVolume())
+	}
+	// Boxes must be pairwise disjoint.
+	for i := 0; i < p.Len(); i++ {
+		for j := i + 1; j < p.Len(); j++ {
+			if ov := p.Boxes[i].Overlap(p.Boxes[j]); ov != 0 {
+				t.Errorf("boxes %d,%d overlap by %v", i, j, ov)
+			}
+		}
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := Grid([]float64{0}, []float64{1}, []int{2, 2}); err == nil {
+		t.Error("count dimension mismatch accepted")
+	}
+	if _, err := Grid([]float64{0}, []float64{1}, []int{0}); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestLocate(t *testing.T) {
+	p, _ := Grid([]float64{0, 0}, []float64{4, 4}, []int{4, 4})
+	i := p.Locate([]float64{2.5, 3.5})
+	if i < 0 || !p.Boxes[i].Contains([]float64{2.5, 3.5}) {
+		t.Errorf("Locate returned %d", i)
+	}
+	if p.Locate([]float64{-1, 0}) != -1 {
+		t.Error("outside point located")
+	}
+}
+
+func TestOverlapMatrixPartitionsVolume(t *testing.T) {
+	// Two incongruent grids over the same cube: every source box's
+	// overlap row must sum to its volume.
+	src, _ := Grid([]float64{0, 0, 0}, []float64{6, 6, 6}, []int{3, 2, 1})
+	tgt, _ := Grid([]float64{0, 0, 0}, []float64{6, 6, 6}, []int{2, 3, 2})
+	m, err := OverlapMatrix(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range src.Boxes {
+		var s float64
+		for _, v := range m[i] {
+			s += v
+		}
+		if math.Abs(s-b.Volume()) > 1e-9 {
+			t.Errorf("row %d sums to %v, want %v", i, s, b.Volume())
+		}
+	}
+}
+
+func TestOverlapMatrixDimensionError(t *testing.T) {
+	a, _ := Grid([]float64{0}, []float64{1}, []int{2})
+	b, _ := Grid([]float64{0, 0}, []float64{1, 1}, []int{2, 2})
+	if _, err := OverlapMatrix(a, b); err == nil {
+		t.Error("cross-dimension overlap accepted")
+	}
+}
+
+func TestNewPartitionValidation(t *testing.T) {
+	if _, err := NewPartition(nil); err == nil {
+		t.Error("empty partition accepted")
+	}
+	b1, _ := NewBox([]float64{0}, []float64{1})
+	b2, _ := NewBox([]float64{0, 0}, []float64{1, 1})
+	if _, err := NewPartition([]Box{b1, b2}); err == nil {
+		t.Error("mixed-dimension partition accepted")
+	}
+}
+
+// Property: overlap is symmetric and bounded by min volume, in any
+// dimension 1..4.
+func TestOverlapSymmetricBoundedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 1 + rng.Intn(4)
+		a := randomBox(rng, dim)
+		b := randomBox(rng, dim)
+		x, y := a.Overlap(b), b.Overlap(a)
+		if math.Abs(x-y) > 1e-12 {
+			return false
+		}
+		return x <= math.Min(a.Volume(), b.Volume())+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomBox(rng *rand.Rand, dim int) Box {
+	lo := make([]float64, dim)
+	hi := make([]float64, dim)
+	for d := range lo {
+		lo[d] = rng.Float64() * 5
+		hi[d] = lo[d] + 0.1 + rng.Float64()*3
+	}
+	b, _ := NewBox(lo, hi)
+	return b
+}

@@ -1,0 +1,369 @@
+// Package partition defines the dimension-agnostic unit-system
+// abstraction of §2: a universe Ω partitioned into disjoint units, in
+// 1-D (intervals), 2-D (polygon feature layers) or n-D (boxes). It
+// computes the two geometric products GeoAlign's pipeline needs from a
+// pair of unit systems over the same universe:
+//
+//   - the area/length/volume disaggregation matrix (the "measure" of
+//     every source∩target intersection unit), which is the areal
+//     weighting method's reference, and
+//   - point location, used to aggregate individual-level point datasets
+//     into source×target intersection counts (their disaggregation
+//     matrices).
+package partition
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"geoalign/internal/geom"
+	"geoalign/internal/interval"
+	"geoalign/internal/ndbox"
+	"geoalign/internal/rtree"
+	"geoalign/internal/sparse"
+)
+
+// System is a unit system: a finite set of disjoint units partitioning
+// a universe, with just enough behaviour for crosswalk preprocessing.
+type System interface {
+	// Len returns the number of units.
+	Len() int
+	// Dim returns the spatial dimensionality (1, 2, or n).
+	Dim() int
+	// Locate returns the index of the unit containing the point
+	// (length-Dim coordinates), or -1 when outside the universe.
+	Locate(pt []float64) int
+	// Measure returns the size (length/area/volume) of unit i.
+	Measure(i int) float64
+}
+
+// MeasureDM computes the disaggregation matrix of the Lebesgue measure
+// between two unit systems of the same kind: entry (i, j) is the
+// measure of source unit i ∩ target unit j. It dispatches on the
+// concrete types; mixing kinds or dimensions is an error.
+func MeasureDM(src, tgt System) (*sparse.CSR, error) {
+	switch s := src.(type) {
+	case *PolygonSystem:
+		switch t := tgt.(type) {
+		case *PolygonSystem:
+			return polygonMeasureDM(s, t), nil
+		case *MultiPolygonSystem:
+			sm, err := s.asMulti()
+			if err != nil {
+				return nil, err
+			}
+			return multiMeasureDM(sm, t), nil
+		case *HoledPolygonSystem:
+			sh, err := s.asHoled()
+			if err != nil {
+				return nil, err
+			}
+			return holedMeasureDM(sh, t), nil
+		default:
+			return nil, fmt.Errorf("partition: cannot intersect %T with %T", src, tgt)
+		}
+	case *HoledPolygonSystem:
+		switch t := tgt.(type) {
+		case *HoledPolygonSystem:
+			return holedMeasureDM(s, t), nil
+		case *PolygonSystem:
+			th, err := t.asHoled()
+			if err != nil {
+				return nil, err
+			}
+			return holedMeasureDM(s, th), nil
+		default:
+			return nil, fmt.Errorf("partition: cannot intersect %T with %T", src, tgt)
+		}
+	case *MultiPolygonSystem:
+		switch t := tgt.(type) {
+		case *MultiPolygonSystem:
+			return multiMeasureDM(s, t), nil
+		case *PolygonSystem:
+			tm, err := t.asMulti()
+			if err != nil {
+				return nil, err
+			}
+			return multiMeasureDM(s, tm), nil
+		default:
+			return nil, fmt.Errorf("partition: cannot intersect %T with %T", src, tgt)
+		}
+	case *IntervalSystem:
+		t, ok := tgt.(*IntervalSystem)
+		if !ok {
+			return nil, fmt.Errorf("partition: cannot intersect %T with %T", src, tgt)
+		}
+		return intervalMeasureDM(s, t), nil
+	case *BoxSystem:
+		t, ok := tgt.(*BoxSystem)
+		if !ok {
+			return nil, fmt.Errorf("partition: cannot intersect %T with %T", src, tgt)
+		}
+		return boxMeasureDM(s, t)
+	default:
+		return nil, fmt.Errorf("partition: unsupported system type %T", src)
+	}
+}
+
+// PointDM aggregates weighted points into a source×target count
+// disaggregation matrix: each point is located in both systems and its
+// weight added to the corresponding cell. Points outside either system
+// are counted in the returned dropped total (the paper's real datasets
+// have records that geocode outside the universe too). The two systems
+// must share a dimensionality.
+func PointDM(src, tgt System, pts [][]float64, weights []float64) (dm *sparse.CSR, dropped float64, err error) {
+	if src.Dim() != tgt.Dim() {
+		return nil, 0, fmt.Errorf("partition: source is %d-D, target is %d-D", src.Dim(), tgt.Dim())
+	}
+	if weights != nil && len(weights) != len(pts) {
+		return nil, 0, fmt.Errorf("partition: %d points but %d weights", len(pts), len(weights))
+	}
+	coo := sparse.NewCOO(src.Len(), tgt.Len())
+	for n, pt := range pts {
+		w := 1.0
+		if weights != nil {
+			w = weights[n]
+		}
+		i := src.Locate(pt)
+		j := tgt.Locate(pt)
+		if i < 0 || j < 0 {
+			dropped += w
+			continue
+		}
+		coo.Add(i, j, w)
+	}
+	return coo.ToCSR(), dropped, nil
+}
+
+// --- 2-D polygon systems ---
+
+// PolygonSystem is a 2-D unit system backed by simple polygons with an
+// R-tree for point location and overlap search. A Diagram-style nearest
+// locator can be plugged in for Voronoi layers, where point location by
+// nearest seed is faster and numerically exact on cell boundaries.
+type PolygonSystem struct {
+	Units   []geom.Polygon
+	Names   []string // optional; len 0 or Len()
+	tree    *rtree.Tree
+	areas   []float64
+	locator func(geom.Point) int // optional override (e.g. Voronoi nearest)
+}
+
+// NewPolygonSystem indexes the given polygons as a unit system. Names
+// may be nil. The polygons are assumed disjoint (a partition); that
+// invariant is the generator's responsibility and is validated in
+// tests, not on every construction.
+func NewPolygonSystem(units []geom.Polygon, names []string) (*PolygonSystem, error) {
+	if len(units) == 0 {
+		return nil, fmt.Errorf("partition: no units")
+	}
+	if names != nil && len(names) != len(units) {
+		return nil, fmt.Errorf("partition: %d names for %d units", len(names), len(units))
+	}
+	entries := make([]rtree.Entry, len(units))
+	areas := make([]float64, len(units))
+	for i, u := range units {
+		if len(u) < 3 {
+			return nil, fmt.Errorf("partition: unit %d is degenerate (%d vertices)", i, len(u))
+		}
+		entries[i] = rtree.Entry{Box: u.BBox(), ID: i}
+		areas[i] = u.Area()
+	}
+	return &PolygonSystem{
+		Units: units,
+		Names: names,
+		tree:  rtree.New(entries),
+		areas: areas,
+	}, nil
+}
+
+// SetLocator installs a custom point locator (unit index or -1), such
+// as a Voronoi nearest-seed lookup.
+func (s *PolygonSystem) SetLocator(fn func(geom.Point) int) { s.locator = fn }
+
+// Len returns the number of units.
+func (s *PolygonSystem) Len() int { return len(s.Units) }
+
+// Dim returns 2.
+func (s *PolygonSystem) Dim() int { return 2 }
+
+// Measure returns the area of unit i.
+func (s *PolygonSystem) Measure(i int) float64 { return s.areas[i] }
+
+// Locate returns the unit containing (pt[0], pt[1]), or -1.
+func (s *PolygonSystem) Locate(pt []float64) int {
+	if len(pt) != 2 {
+		return -1
+	}
+	p := geom.Point{X: pt[0], Y: pt[1]}
+	return s.LocatePoint(p)
+}
+
+// LocatePoint is Locate with a geom.Point argument.
+func (s *PolygonSystem) LocatePoint(p geom.Point) int {
+	if s.locator != nil {
+		return s.locator(p)
+	}
+	found := -1
+	s.tree.Visit(geom.BBox{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}, func(e rtree.Entry) bool {
+		if s.Units[e.ID].Contains(p) {
+			found = e.ID
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Overlapping appends to dst the indices of units whose bounding boxes
+// intersect the query box.
+func (s *PolygonSystem) Overlapping(b geom.BBox, dst []int) []int {
+	return s.tree.Search(b, dst)
+}
+
+// polygonMeasureDM computes pairwise intersection areas using the
+// R-tree to prune candidate pairs. Rows are computed in parallel (one
+// worker per CPU) and merged in row order, so the result is
+// deterministic.
+func polygonMeasureDM(src, tgt *PolygonSystem) *sparse.CSR {
+	rows := parallelRows(src.Len(), func(i int, add func(j int, v float64)) {
+		su := src.Units[i]
+		for _, j := range tgt.Overlapping(su.BBox(), nil) {
+			if a := geom.IntersectionArea(su, tgt.Units[j]); a > 0 {
+				add(j, a)
+			}
+		}
+	})
+	return assembleRows(rows, src.Len(), tgt.Len())
+}
+
+// rowEntries is one source unit's crosswalk row under construction.
+type rowEntries struct {
+	cols []int
+	vals []float64
+}
+
+// parallelRows fans the per-row computation out over GOMAXPROCS
+// workers. fill must only touch row i through the provided add
+// callback.
+func parallelRows(n int, fill func(i int, add func(j int, v float64))) []rowEntries {
+	rows := make([]rowEntries, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fill(i, func(j int, v float64) {
+					rows[i].cols = append(rows[i].cols, j)
+					rows[i].vals = append(rows[i].vals, v)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	return rows
+}
+
+// assembleRows turns per-row entries into a CSR matrix, in row order.
+func assembleRows(rows []rowEntries, nr, nc int) *sparse.CSR {
+	coo := sparse.NewCOO(nr, nc)
+	for i, r := range rows {
+		for k, j := range r.cols {
+			coo.Add(i, j, r.vals[k])
+		}
+	}
+	return coo.ToCSR()
+}
+
+// --- 1-D interval systems ---
+
+// IntervalSystem adapts interval.Partition to the System interface.
+type IntervalSystem struct {
+	P *interval.Partition
+}
+
+// NewIntervalSystem wraps a 1-D partition.
+func NewIntervalSystem(p *interval.Partition) *IntervalSystem { return &IntervalSystem{P: p} }
+
+// Len returns the number of bins.
+func (s *IntervalSystem) Len() int { return s.P.Len() }
+
+// Dim returns 1.
+func (s *IntervalSystem) Dim() int { return 1 }
+
+// Measure returns the length of bin i.
+func (s *IntervalSystem) Measure(i int) float64 { return s.P.Units[i].Length() }
+
+// Locate returns the bin containing pt[0], or -1.
+func (s *IntervalSystem) Locate(pt []float64) int {
+	if len(pt) != 1 {
+		return -1
+	}
+	return s.P.Locate(pt[0])
+}
+
+func intervalMeasureDM(src, tgt *IntervalSystem) *sparse.CSR {
+	m := interval.OverlapMatrix(src.P, tgt.P)
+	coo := sparse.NewCOO(src.Len(), tgt.Len())
+	for i, row := range m {
+		for j, v := range row {
+			if v > 0 {
+				coo.Add(i, j, v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// --- n-D box systems ---
+
+// BoxSystem adapts ndbox.Partition to the System interface.
+type BoxSystem struct {
+	P *ndbox.Partition
+}
+
+// NewBoxSystem wraps an n-D box partition.
+func NewBoxSystem(p *ndbox.Partition) *BoxSystem { return &BoxSystem{P: p} }
+
+// Len returns the number of boxes.
+func (s *BoxSystem) Len() int { return s.P.Len() }
+
+// Dim returns the box dimensionality.
+func (s *BoxSystem) Dim() int { return s.P.Dim() }
+
+// Measure returns the volume of box i.
+func (s *BoxSystem) Measure(i int) float64 { return s.P.Boxes[i].Volume() }
+
+// Locate returns the box containing pt, or -1.
+func (s *BoxSystem) Locate(pt []float64) int { return s.P.Locate(pt) }
+
+func boxMeasureDM(src, tgt *BoxSystem) (*sparse.CSR, error) {
+	m, err := ndbox.OverlapMatrix(src.P, tgt.P)
+	if err != nil {
+		return nil, err
+	}
+	coo := sparse.NewCOO(src.Len(), tgt.Len())
+	for i, row := range m {
+		for j, v := range row {
+			if v > 0 {
+				coo.Add(i, j, v)
+			}
+		}
+	}
+	return coo.ToCSR(), nil
+}

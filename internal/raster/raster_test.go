@@ -1,0 +1,234 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geoalign/internal/geom"
+	"geoalign/internal/partition"
+	"geoalign/internal/voronoi"
+)
+
+func gridSystems(t *testing.T) (*Grid, *partition.PolygonSystem, *partition.PolygonSystem) {
+	t.Helper()
+	bounds := geom.BBox{MinX: 0, MinY: 0, MaxX: 8, MaxY: 8}
+	// Source: 4 vertical strips; target: 4 horizontal strips.
+	var src, tgt []geom.Polygon
+	for i := 0; i < 4; i++ {
+		src = append(src, geom.Rect(geom.BBox{MinX: float64(i) * 2, MinY: 0, MaxX: float64(i+1) * 2, MaxY: 8}))
+		tgt = append(tgt, geom.Rect(geom.BBox{MinX: 0, MinY: float64(i) * 2, MaxX: 8, MaxY: float64(i+1) * 2}))
+	}
+	ss, err := partition.NewPolygonSystem(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := partition.NewPolygonSystem(tgt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGrid(bounds, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ss, ts
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 0, 4); err == nil {
+		t.Error("zero nx accepted")
+	}
+	if _, err := NewGrid(geom.EmptyBBox(), 4, 4); err == nil {
+		t.Error("empty bounds accepted")
+	}
+}
+
+func TestGridGeometry(t *testing.T) {
+	g, err := NewGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 4, MaxY: 2}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cells() != 8 {
+		t.Errorf("Cells = %d", g.Cells())
+	}
+	if g.CellArea() != 1 {
+		t.Errorf("CellArea = %v", g.CellArea())
+	}
+	if c := g.Center(0, 0); c != (geom.Point{X: 0.5, Y: 0.5}) {
+		t.Errorf("Center = %v", c)
+	}
+	if g.Index(3, 1) != 7 {
+		t.Errorf("Index = %d", g.Index(3, 1))
+	}
+}
+
+func TestZonesAndAggregate(t *testing.T) {
+	g, ss, _ := gridSystems(t)
+	zones := g.Zones(ss)
+	counts := ZoneCellCounts(zones, ss.Len())
+	for z, c := range counts {
+		if c != 32*32/4 {
+			t.Errorf("zone %d has %d cells, want %d", z, c, 32*32/4)
+		}
+	}
+	field := make([]float64, g.Cells())
+	for i := range field {
+		field[i] = 1
+	}
+	agg := Aggregate(field, zones, ss.Len())
+	for z, v := range agg {
+		if v != float64(counts[z]) {
+			t.Errorf("zone %d aggregate %v", z, v)
+		}
+	}
+}
+
+func TestSpreadUniform(t *testing.T) {
+	zones := []int{0, 0, 1, -1}
+	field := SpreadUniform([]float64{10, 6}, zones, 4)
+	want := []float64{5, 5, 6, 0}
+	for i := range want {
+		if field[i] != want[i] {
+			t.Errorf("field[%d] = %v, want %v", i, field[i], want[i])
+		}
+	}
+}
+
+func TestPycnophylacticPreservesVolume(t *testing.T) {
+	g, ss, _ := gridSystems(t)
+	zones := g.Zones(ss)
+	agg := []float64{100, 50, 10, 200}
+	field, err := Pycnophylactic(g, zones, agg, PycnoOptions{Iterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := MaxZoneError(field, zones, agg); e > 1e-6 {
+		t.Errorf("max zone error = %v", e)
+	}
+	for i, v := range field {
+		if v < 0 {
+			t.Fatalf("cell %d negative: %v", i, v)
+		}
+	}
+}
+
+func TestPycnophylacticSmooths(t *testing.T) {
+	// Two adjacent zones with very different masses: after smoothing,
+	// cells near the shared boundary must be between the two uniform
+	// levels (high zone drops towards the border, low zone rises).
+	bounds := geom.BBox{MinX: 0, MinY: 0, MaxX: 2, MaxY: 1}
+	left := geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	right := geom.Rect(geom.BBox{MinX: 1, MinY: 0, MaxX: 2, MaxY: 1})
+	sys, err := partition.NewPolygonSystem([]geom.Polygon{left, right}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGrid(bounds, 40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := g.Zones(sys)
+	agg := []float64{4000, 0} // all mass on the left
+	field, err := Pycnophylactic(g, zones, agg, PycnoOptions{Iterations: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Left-zone cell adjacent to the border must now be lower than a
+	// deep-interior left cell (mass smoothed towards the empty side...
+	// but volume correction keeps zone totals; the *gradient* inside the
+	// left zone must slope down toward the border with the empty zone).
+	interior := field[g.Index(2, 10)]
+	border := field[g.Index(19, 10)]
+	if !(border < interior) {
+		t.Errorf("no smoothing gradient: interior %v, border %v", interior, border)
+	}
+	if e := MaxZoneError(field, zones, agg); e > 1e-6 {
+		t.Errorf("volume broken: %v", e)
+	}
+}
+
+func TestPycnophylacticErrors(t *testing.T) {
+	g, _ := NewGrid(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 4, 4)
+	if _, err := Pycnophylactic(g, []int{0}, []float64{1}, PycnoOptions{}); err == nil {
+		t.Error("zones length mismatch accepted")
+	}
+	zones := make([]int, 16) // all zone 0
+	if _, err := Pycnophylactic(g, zones, []float64{1, 5}, PycnoOptions{}); err == nil {
+		t.Error("aggregate for empty zone accepted")
+	}
+}
+
+func TestPycnoRealignUniformCase(t *testing.T) {
+	// With uniform mass, realignment must reproduce the exact overlap
+	// proportions: each vertical strip (25% of total) spreads equally
+	// over the four horizontal strips.
+	g, ss, ts := gridSystems(t)
+	srcZones := g.Zones(ss)
+	tgtZones := g.Zones(ts)
+	objective := []float64{100, 100, 100, 100}
+	got, err := PycnoRealign(g, srcZones, tgtZones, objective, ts.Len(), PycnoOptions{Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range got {
+		if math.Abs(v-100) > 1e-6 {
+			t.Errorf("target %d = %v, want 100", j, v)
+		}
+	}
+}
+
+func TestPycnoRealignBeatsUniformOnSmoothField(t *testing.T) {
+	// A smooth density over Voronoi units: the pycnophylactic estimate
+	// should be closer to the truth than the flat (areal-weighting-like)
+	// spread, since its whole premise is smoothness.
+	rng := rand.New(rand.NewSource(11))
+	bounds := geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	sd, err := voronoi.Compute(voronoi.RandomSeeds(rng, 25, bounds), bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, err := voronoi.Compute(voronoi.RandomSeeds(rng, 6, bounds), bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, _ := partition.NewPolygonSystem(sd.Cells, nil)
+	ts, _ := partition.NewPolygonSystem(td.Cells, nil)
+	g, err := NewGrid(bounds, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcZones := g.Zones(ss)
+	tgtZones := g.Zones(ts)
+
+	// Truth: a smooth density evaluated per cell.
+	density := func(p geom.Point) float64 {
+		return 1 + math.Sin(p.X/3)*math.Cos(p.Y/4) + p.X/10
+	}
+	truthField := make([]float64, g.Cells())
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			truthField[g.Index(cx, cy)] = density(g.Center(cx, cy)) * g.CellArea()
+		}
+	}
+	srcAgg := Aggregate(truthField, srcZones, ss.Len())
+	tgtTruth := Aggregate(truthField, tgtZones, ts.Len())
+
+	pycno, err := PycnoRealign(g, srcZones, tgtZones, srcAgg, ts.Len(), PycnoOptions{Iterations: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatField := SpreadUniform(srcAgg, srcZones, g.Cells())
+	flat := Aggregate(flatField, tgtZones, ts.Len())
+
+	rmse := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(a)))
+	}
+	if rp, rf := rmse(pycno, tgtTruth), rmse(flat, tgtTruth); rp > rf {
+		t.Errorf("pycnophylactic (%v) worse than flat spread (%v) on a smooth field", rp, rf)
+	}
+}

@@ -1,0 +1,38 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"geoalign/internal/geom"
+)
+
+func benchEntries(n int) []Entry {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]Entry, n)
+	for i := range out {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		out[i] = Entry{Box: geom.BBox{MinX: x, MinY: y, MaxX: x + 5, MaxY: y + 5}, ID: i}
+	}
+	return out
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	entries := benchEntries(30238)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = New(entries)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	entries := benchEntries(30238)
+	tr := New(entries)
+	rng := rand.New(rand.NewSource(2))
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		dst = tr.Search(geom.BBox{MinX: x, MinY: y, MaxX: x + 20, MaxY: y + 20}, dst[:0])
+	}
+}

@@ -1,0 +1,208 @@
+// Package rtree provides a static, bulk-loaded R-tree over 2-D bounding
+// boxes. GeoAlign's geometric preprocessing uses it to enumerate
+// candidate (source unit, target unit) pairs whose polygons may overlap
+// — the same role the spatial index inside ArcGIS plays in the paper's
+// data preparation (§4.1).
+//
+// The tree is built once with Sort-Tile-Recursive (STR) packing
+// (Leutenegger et al., 1997) and then queried; there is no dynamic
+// insert/delete because unit systems are immutable inputs.
+package rtree
+
+import (
+	"sort"
+
+	"geoalign/internal/geom"
+)
+
+// Entry associates a bounding box with a caller-defined index (usually
+// a unit index in a partition).
+type Entry struct {
+	Box geom.BBox
+	ID  int
+}
+
+// Tree is an immutable STR-packed R-tree.
+type Tree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	box      geom.BBox
+	children []*node // nil for leaves
+	entries  []Entry // nil for internal nodes
+}
+
+// DefaultFanout is the node capacity used by New.
+const DefaultFanout = 16
+
+// New bulk-loads a tree from the given entries using STR packing with
+// the default fanout. The entries slice is copied.
+func New(entries []Entry) *Tree {
+	return NewWithFanout(entries, DefaultFanout)
+}
+
+// NewWithFanout bulk-loads with an explicit node capacity (minimum 2).
+func NewWithFanout(entries []Entry, fanout int) *Tree {
+	if fanout < 2 {
+		fanout = 2
+	}
+	t := &Tree{size: len(entries)}
+	if len(entries) == 0 {
+		return t
+	}
+	work := append([]Entry(nil), entries...)
+	leaves := packLeaves(work, fanout)
+	nodes := leaves
+	for len(nodes) > 1 {
+		nodes = packNodes(nodes, fanout)
+	}
+	t.root = nodes[0]
+	return t
+}
+
+// packLeaves tiles entries into leaf nodes: sort by center X, slice into
+// vertical strips, sort each strip by center Y, chunk into leaves.
+func packLeaves(entries []Entry, fanout int) []*node {
+	n := len(entries)
+	leafCount := (n + fanout - 1) / fanout
+	stripCount := intSqrtCeil(leafCount)
+	perStrip := stripCount * fanout
+
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Box.Center().X < entries[j].Box.Center().X
+	})
+	var leaves []*node
+	for s := 0; s < n; s += perStrip {
+		e := min(s+perStrip, n)
+		strip := entries[s:e]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].Box.Center().Y < strip[j].Box.Center().Y
+		})
+		for ls := 0; ls < len(strip); ls += fanout {
+			le := min(ls+fanout, len(strip))
+			leaf := &node{entries: append([]Entry(nil), strip[ls:le]...)}
+			leaf.box = geom.EmptyBBox()
+			for _, en := range leaf.entries {
+				leaf.box = leaf.box.Union(en.Box)
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+func packNodes(children []*node, fanout int) []*node {
+	n := len(children)
+	parentCount := (n + fanout - 1) / fanout
+	stripCount := intSqrtCeil(parentCount)
+	perStrip := stripCount * fanout
+
+	sort.Slice(children, func(i, j int) bool {
+		return children[i].box.Center().X < children[j].box.Center().X
+	})
+	var parents []*node
+	for s := 0; s < n; s += perStrip {
+		e := min(s+perStrip, n)
+		strip := children[s:e]
+		sort.Slice(strip, func(i, j int) bool {
+			return strip[i].box.Center().Y < strip[j].box.Center().Y
+		})
+		for ls := 0; ls < len(strip); ls += fanout {
+			le := min(ls+fanout, len(strip))
+			p := &node{children: append([]*node(nil), strip[ls:le]...)}
+			p.box = geom.EmptyBBox()
+			for _, c := range p.children {
+				p.box = p.box.Union(c.box)
+			}
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+func intSqrtCeil(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Len returns the number of indexed entries.
+func (t *Tree) Len() int { return t.size }
+
+// Search appends to dst the IDs of all entries whose boxes intersect
+// query and returns the extended slice. Pass nil to allocate fresh.
+func (t *Tree) Search(query geom.BBox, dst []int) []int {
+	if t.root == nil {
+		return dst
+	}
+	return search(t.root, query, dst)
+}
+
+func search(nd *node, q geom.BBox, dst []int) []int {
+	if !nd.box.Intersects(q) {
+		return dst
+	}
+	if nd.children == nil {
+		for _, e := range nd.entries {
+			if e.Box.Intersects(q) {
+				dst = append(dst, e.ID)
+			}
+		}
+		return dst
+	}
+	for _, c := range nd.children {
+		dst = search(c, q, dst)
+	}
+	return dst
+}
+
+// Visit calls fn for every entry whose box intersects query; returning
+// false from fn stops the traversal early.
+func (t *Tree) Visit(query geom.BBox, fn func(Entry) bool) {
+	if t.root != nil {
+		visit(t.root, query, fn)
+	}
+}
+
+func visit(nd *node, q geom.BBox, fn func(Entry) bool) bool {
+	if !nd.box.Intersects(q) {
+		return true
+	}
+	if nd.children == nil {
+		for _, e := range nd.entries {
+			if e.Box.Intersects(q) && !fn(e) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range nd.children {
+		if !visit(c, q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns the bounding box of all indexed entries (empty box for
+// an empty tree).
+func (t *Tree) Bounds() geom.BBox {
+	if t.root == nil {
+		return geom.EmptyBBox()
+	}
+	return t.root.box
+}

@@ -1,0 +1,177 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"geoalign/internal/geom"
+)
+
+func randomEntries(rng *rand.Rand, n int) []Entry {
+	out := make([]Entry, n)
+	for i := range out {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		w, h := rng.Float64()*5, rng.Float64()*5
+		out[i] = Entry{Box: geom.BBox{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}, ID: i}
+	}
+	return out
+}
+
+func bruteForce(entries []Entry, q geom.BBox) []int {
+	var ids []int
+	for _, e := range entries {
+		if e.Box.Intersects(q) {
+			ids = append(ids, e.ID)
+		}
+	}
+	return ids
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	if got := tr.Search(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, nil); len(got) != 0 {
+		t.Errorf("Search on empty tree = %v", got)
+	}
+	if !tr.Bounds().IsEmpty() {
+		t.Error("empty tree bounds not empty")
+	}
+}
+
+func TestSingleEntry(t *testing.T) {
+	e := Entry{Box: geom.BBox{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}, ID: 42}
+	tr := New([]Entry{e})
+	if got := tr.Search(geom.BBox{MinX: 0, MinY: 0, MaxX: 3, MaxY: 3}, nil); len(got) != 1 || got[0] != 42 {
+		t.Errorf("Search = %v", got)
+	}
+	if got := tr.Search(geom.BBox{MinX: 5, MinY: 5, MaxX: 6, MaxY: 6}, nil); len(got) != 0 {
+		t.Errorf("miss returned %v", got)
+	}
+	if tr.Bounds() != e.Box {
+		t.Errorf("Bounds = %v", tr.Bounds())
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	entries := randomEntries(rng, 500)
+	tr := New(entries)
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 100; trial++ {
+		x, y := rng.Float64()*100, rng.Float64()*100
+		q := geom.BBox{MinX: x, MinY: y, MaxX: x + rng.Float64()*20, MaxY: y + rng.Float64()*20}
+		got := tr.Search(q, nil)
+		want := bruteForce(entries, q)
+		sort.Ints(got)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSearchAppendsToDst(t *testing.T) {
+	entries := []Entry{{Box: geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, ID: 7}}
+	tr := New(entries)
+	dst := []int{99}
+	got := tr.Search(geom.BBox{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}, dst)
+	if len(got) != 2 || got[0] != 99 || got[1] != 7 {
+		t.Errorf("Search append = %v", got)
+	}
+}
+
+func TestVisitEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	entries := randomEntries(rng, 200)
+	tr := New(entries)
+	count := 0
+	tr.Visit(geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, func(Entry) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("Visit stopped after %d, want 5", count)
+	}
+}
+
+func TestVisitSeesAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	entries := randomEntries(rng, 123)
+	tr := New(entries)
+	seen := make(map[int]bool)
+	tr.Visit(geom.BBox{MinX: -1, MinY: -1, MaxX: 200, MaxY: 200}, func(e Entry) bool {
+		seen[e.ID] = true
+		return true
+	})
+	if len(seen) != 123 {
+		t.Errorf("Visit saw %d entries, want 123", len(seen))
+	}
+}
+
+func TestFanoutVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	entries := randomEntries(rng, 300)
+	q := geom.BBox{MinX: 20, MinY: 20, MaxX: 50, MaxY: 50}
+	want := bruteForce(entries, q)
+	sort.Ints(want)
+	for _, fan := range []int{2, 3, 4, 16, 64, 1000} {
+		tr := NewWithFanout(entries, fan)
+		got := tr.Search(q, nil)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("fanout %d: got %d, want %d", fan, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("fanout %d: mismatch", fan)
+			}
+		}
+	}
+}
+
+func TestFanoutBelowMinimumClamped(t *testing.T) {
+	entries := randomEntries(rand.New(rand.NewSource(1)), 20)
+	tr := NewWithFanout(entries, 0)
+	if got := tr.Search(geom.BBox{MinX: -1, MinY: -1, MaxX: 200, MaxY: 200}, nil); len(got) != 20 {
+		t.Errorf("clamped-fanout tree returned %d of 20", len(got))
+	}
+}
+
+func TestQuickSearchEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		entries := randomEntries(rng, 1+rng.Intn(100))
+		tr := New(entries)
+		for trial := 0; trial < 5; trial++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			q := geom.BBox{MinX: x, MinY: y, MaxX: x + rng.Float64()*30, MaxY: y + rng.Float64()*30}
+			got := tr.Search(q, nil)
+			want := bruteForce(entries, q)
+			if len(got) != len(want) {
+				return false
+			}
+			sort.Ints(got)
+			sort.Ints(want)
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,47 @@
+package shapefile
+
+import (
+	"testing"
+
+	"geoalign/internal/geom"
+)
+
+// FuzzReadSHP checks the .shp parser never panics or over-allocates on
+// arbitrary bytes — it must either return polygons or an error.
+func FuzzReadSHP(f *testing.F) {
+	shp, _, dbf, err := Write(&File{
+		Fields: []Field{{Name: "N", Length: 4}},
+		Records: []Record{{
+			Polygon: geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}),
+			Attrs:   map[string]string{"N": "a"},
+		}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(shp, dbf)
+	f.Add([]byte{}, []byte{})
+	f.Add(shp[:50], dbf[:10])
+	// Header claiming absurd record sizes.
+	corrupt := append([]byte(nil), shp...)
+	corrupt[104] = 0xFF
+	corrupt[105] = 0xFF
+	f.Add(corrupt, dbf)
+
+	f.Fuzz(func(t *testing.T, shpData, dbfData []byte) {
+		var dbfArg []byte
+		if len(dbfData) > 0 {
+			dbfArg = dbfData
+		}
+		file, err := Read(shpData, dbfArg)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must be structurally sound.
+		for i, r := range file.Records {
+			if len(r.Polygon) < 3 {
+				t.Fatalf("record %d has %d vertices", i, len(r.Polygon))
+			}
+		}
+	})
+}

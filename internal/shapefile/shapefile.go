@@ -1,0 +1,477 @@
+// Package shapefile reads and writes the minimal subset of the ESRI
+// shapefile format (the .shp geometry file, the .shx index and the
+// .dbf attribute table) needed to exchange polygon unit systems. The
+// paper's inputs — TIGER county and ZCTA layers, Esri point layers —
+// ship as shapefiles; this package lets the tools in cmd/ emit and
+// ingest the same format without any GIS dependency.
+//
+// Scope: shape type 5 (Polygon) with one outer ring per part (no
+// holes) and DBF fields of type C (character) and N (numeric). That
+// covers partition layers, including multi-part island units via
+// MultiFile; it is not a general-purpose shapefile library.
+package shapefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"geoalign/internal/geom"
+)
+
+const (
+	fileCode     = 9994
+	version      = 1000
+	shapePolygon = 5
+	headerLen    = 100
+)
+
+// Record is one polygon with its attribute row.
+type Record struct {
+	Polygon geom.Polygon
+	Attrs   map[string]string
+}
+
+// Field describes one DBF column.
+type Field struct {
+	Name    string // max 10 bytes
+	Numeric bool
+	Length  int // max 254
+}
+
+// File is an in-memory shapefile: records plus the attribute schema.
+type File struct {
+	Fields  []Field
+	Records []Record
+}
+
+// Write serialises the file into its three components.
+func Write(f *File) (shp, shx, dbf []byte, err error) {
+	if err := validateFields(f.Fields); err != nil {
+		return nil, nil, nil, err
+	}
+	shp, shx, err = writeSHP(f.Records)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dbf, err = writeDBF(f.Fields, f.Records)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return shp, shx, dbf, nil
+}
+
+// Read parses the .shp and (optionally) .dbf components; pass nil dbf
+// to skip attributes. Multi-part records are rejected — use ReadMulti
+// for layers with island units.
+func Read(shp, dbf []byte) (*File, error) {
+	mf, err := ReadMulti(shp, dbf)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Fields: mf.Fields}
+	for i, r := range mf.Records {
+		if len(r.Parts) != 1 {
+			return nil, fmt.Errorf("shapefile: record %d has %d parts; use ReadMulti", i, len(r.Parts))
+		}
+		f.Records = append(f.Records, Record{Polygon: r.Parts[0], Attrs: r.Attrs})
+	}
+	return f, nil
+}
+
+// MultiRecord is one possibly-multi-part polygon with its attributes.
+type MultiRecord struct {
+	Parts geom.MultiPolygon
+	Attrs map[string]string
+}
+
+// MultiFile is the multi-part counterpart of File.
+type MultiFile struct {
+	Fields  []Field
+	Records []MultiRecord
+}
+
+// WriteMulti serialises a multi-part layer. Each multipolygon becomes
+// one Polygon-type record with one shapefile part per polygon.
+func WriteMulti(f *MultiFile) (shp, shx, dbf []byte, err error) {
+	if err := validateFields(f.Fields); err != nil {
+		return nil, nil, nil, err
+	}
+	parts := make([]geom.MultiPolygon, len(f.Records))
+	attrs := make([]Record, len(f.Records))
+	for i, r := range f.Records {
+		parts[i] = r.Parts
+		attrs[i] = Record{Attrs: r.Attrs}
+	}
+	shp, shx, err = writeSHPParts(parts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dbf, err = writeDBF(f.Fields, attrs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return shp, shx, dbf, nil
+}
+
+// ReadMulti parses a layer keeping multi-part geometries intact.
+func ReadMulti(shp, dbf []byte) (*MultiFile, error) {
+	polys, err := readSHP(shp)
+	if err != nil {
+		return nil, err
+	}
+	f := &MultiFile{}
+	for _, mp := range polys {
+		f.Records = append(f.Records, MultiRecord{Parts: mp})
+	}
+	if dbf != nil {
+		fields, rows, err := readDBF(dbf)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) != len(polys) {
+			return nil, fmt.Errorf("shapefile: %d geometries but %d attribute rows", len(polys), len(rows))
+		}
+		f.Fields = fields
+		for i := range f.Records {
+			f.Records[i].Attrs = rows[i]
+		}
+	}
+	return f, nil
+}
+
+func validateFields(fields []Field) error {
+	for i, fd := range fields {
+		if fd.Name == "" || len(fd.Name) > 10 {
+			return fmt.Errorf("shapefile: field %d name %q must be 1-10 bytes", i, fd.Name)
+		}
+		if fd.Length <= 0 || fd.Length > 254 {
+			return fmt.Errorf("shapefile: field %q length %d out of range", fd.Name, fd.Length)
+		}
+	}
+	return nil
+}
+
+// --- .shp / .shx ---
+
+func writeSHP(records []Record) (shp, shx []byte, err error) {
+	parts := make([]geom.MultiPolygon, len(records))
+	for i, r := range records {
+		parts[i] = geom.SinglePart(r.Polygon)
+	}
+	return writeSHPParts(parts)
+}
+
+// writeSHPParts serialises one polygon record per multipolygon, with
+// one shapefile part per polygon.
+func writeSHPParts(records []geom.MultiPolygon) (shp, shx []byte, err error) {
+	var body bytes.Buffer
+	var index bytes.Buffer
+	bbox := geom.EmptyBBox()
+	offsetWords := headerLen / 2
+	for i, mp := range records {
+		content, rb, err := encodePolygonRecord(mp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shapefile: record %d: %w", i, err)
+		}
+		bbox = bbox.Union(rb)
+		contentWords := len(content) / 2
+		_ = binary.Write(&body, binary.BigEndian, int32(i+1))
+		_ = binary.Write(&body, binary.BigEndian, int32(contentWords))
+		body.Write(content)
+
+		_ = binary.Write(&index, binary.BigEndian, int32(offsetWords))
+		_ = binary.Write(&index, binary.BigEndian, int32(contentWords))
+		offsetWords += 4 + contentWords
+	}
+	shp = append(mainHeader((headerLen+body.Len())/2, bbox), body.Bytes()...)
+	shx = append(mainHeader((headerLen+index.Len())/2, bbox), index.Bytes()...)
+	return shp, shx, nil
+}
+
+// encodePolygonRecord emits the content of one Polygon-type record.
+// Shapefile outer rings are clockwise; every part is an outer ring.
+func encodePolygonRecord(mp geom.MultiPolygon) (content []byte, bbox geom.BBox, err error) {
+	if len(mp) == 0 {
+		return nil, geom.BBox{}, fmt.Errorf("no parts")
+	}
+	bbox = mp.BBox()
+	rings := make([]geom.Polygon, len(mp))
+	totalPoints := 0
+	for p, pg := range mp {
+		if len(pg) < 3 {
+			return nil, geom.BBox{}, fmt.Errorf("part %d is degenerate", p)
+		}
+		rings[p] = pg.Clone().EnsureCCW().Reverse()
+		totalPoints += len(pg) + 1 // closing vertex per part
+	}
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	writeLE := func(v any) { _ = binary.Write(&buf, le, v) }
+	writeLE(int32(shapePolygon))
+	writeLE(bbox.MinX)
+	writeLE(bbox.MinY)
+	writeLE(bbox.MaxX)
+	writeLE(bbox.MaxY)
+	writeLE(int32(len(rings)))
+	writeLE(int32(totalPoints))
+	start := 0
+	for _, ring := range rings {
+		writeLE(int32(start))
+		start += len(ring) + 1
+	}
+	for _, ring := range rings {
+		for _, p := range ring {
+			writeLE(p.X)
+			writeLE(p.Y)
+		}
+		writeLE(ring[0].X)
+		writeLE(ring[0].Y)
+	}
+	return buf.Bytes(), bbox, nil
+}
+
+func mainHeader(lengthWords int, bbox geom.BBox) []byte {
+	h := make([]byte, headerLen)
+	binary.BigEndian.PutUint32(h[0:4], fileCode)
+	binary.BigEndian.PutUint32(h[24:28], uint32(lengthWords))
+	binary.LittleEndian.PutUint32(h[28:32], version)
+	binary.LittleEndian.PutUint32(h[32:36], shapePolygon)
+	if bbox.IsEmpty() {
+		bbox = geom.BBox{}
+	}
+	putF64 := func(off int, v float64) {
+		binary.LittleEndian.PutUint64(h[off:off+8], math.Float64bits(v))
+	}
+	putF64(36, bbox.MinX)
+	putF64(44, bbox.MinY)
+	putF64(52, bbox.MaxX)
+	putF64(60, bbox.MaxY)
+	// Z and M ranges stay zero.
+	return h
+}
+
+func readSHP(shp []byte) ([]geom.MultiPolygon, error) {
+	if len(shp) < headerLen {
+		return nil, fmt.Errorf("shapefile: .shp too short (%d bytes)", len(shp))
+	}
+	if code := binary.BigEndian.Uint32(shp[0:4]); code != fileCode {
+		return nil, fmt.Errorf("shapefile: bad file code %d", code)
+	}
+	if st := binary.LittleEndian.Uint32(shp[32:36]); st != shapePolygon {
+		return nil, fmt.Errorf("shapefile: shape type %d unsupported (want %d)", st, shapePolygon)
+	}
+	var polys []geom.MultiPolygon
+	off := headerLen
+	for off < len(shp) {
+		if off+8 > len(shp) {
+			return nil, fmt.Errorf("shapefile: truncated record header at %d", off)
+		}
+		contentWords := int(int32(binary.BigEndian.Uint32(shp[off+4 : off+8])))
+		off += 8
+		if contentWords < 0 {
+			return nil, fmt.Errorf("shapefile: negative record length at %d", off-4)
+		}
+		end := off + contentWords*2
+		if end > len(shp) || end < off {
+			return nil, fmt.Errorf("shapefile: truncated record content at %d", off)
+		}
+		mp, err := parsePolygonRecord(shp[off:end])
+		if err != nil {
+			return nil, err
+		}
+		polys = append(polys, mp)
+		off = end
+	}
+	return polys, nil
+}
+
+func parsePolygonRecord(b []byte) (geom.MultiPolygon, error) {
+	if len(b) < 44 {
+		return nil, fmt.Errorf("shapefile: polygon record too short (%d bytes)", len(b))
+	}
+	le := binary.LittleEndian
+	if st := int32(le.Uint32(b[0:4])); st != shapePolygon {
+		return nil, fmt.Errorf("shapefile: record shape type %d unsupported", st)
+	}
+	numParts := int(int32(le.Uint32(b[36:40])))
+	numPoints := int(int32(le.Uint32(b[40:44])))
+	if numParts < 1 || numParts > numPoints {
+		return nil, fmt.Errorf("shapefile: record with %d parts, %d points", numParts, numPoints)
+	}
+	if numPoints < 4 { // at least a triangle plus the closing vertex
+		return nil, fmt.Errorf("shapefile: record with %d points", numPoints)
+	}
+	ptsOff := 44 + 4*numParts
+	need := ptsOff + 16*numPoints
+	if need < 0 || len(b) < need {
+		return nil, fmt.Errorf("shapefile: record needs %d bytes, has %d", need, len(b))
+	}
+	starts := make([]int, numParts+1)
+	for p := 0; p < numParts; p++ {
+		starts[p] = int(int32(le.Uint32(b[44+4*p:])))
+	}
+	starts[numParts] = numPoints
+	mp := make(geom.MultiPolygon, 0, numParts)
+	for p := 0; p < numParts; p++ {
+		lo, hi := starts[p], starts[p+1]
+		if lo < 0 || hi > numPoints || hi-lo < 4 {
+			return nil, fmt.Errorf("shapefile: part %d spans [%d,%d) of %d points", p, lo, hi, numPoints)
+		}
+		pg := make(geom.Polygon, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			x := math.Float64frombits(le.Uint64(b[ptsOff+16*i:]))
+			y := math.Float64frombits(le.Uint64(b[ptsOff+16*i+8:]))
+			pg = append(pg, geom.Point{X: x, Y: y})
+		}
+		if len(pg) > 1 && pg[0] == pg[len(pg)-1] {
+			pg = pg[:len(pg)-1]
+		}
+		if len(pg) < 3 {
+			return nil, fmt.Errorf("shapefile: part %d has %d vertices", p, len(pg))
+		}
+		mp = append(mp, pg.EnsureCCW())
+	}
+	return mp, nil
+}
+
+// --- .dbf ---
+
+func writeDBF(fields []Field, records []Record) ([]byte, error) {
+	recSize := 1 // deletion flag
+	for _, f := range fields {
+		recSize += f.Length
+	}
+	headerSize := 32 + 32*len(fields) + 1
+
+	var buf bytes.Buffer
+	h := make([]byte, 32)
+	h[0] = 0x03 // dBASE III, no memo
+	h[1], h[2], h[3] = 126, 7, 4
+	binary.LittleEndian.PutUint32(h[4:8], uint32(len(records)))
+	binary.LittleEndian.PutUint16(h[8:10], uint16(headerSize))
+	binary.LittleEndian.PutUint16(h[10:12], uint16(recSize))
+	buf.Write(h)
+
+	for _, f := range fields {
+		fd := make([]byte, 32)
+		copy(fd[0:11], f.Name)
+		if f.Numeric {
+			fd[11] = 'N'
+		} else {
+			fd[11] = 'C'
+		}
+		fd[16] = byte(f.Length)
+		buf.Write(fd)
+	}
+	buf.WriteByte(0x0D)
+
+	for i, r := range records {
+		buf.WriteByte(' ') // not deleted
+		for _, f := range fields {
+			v := r.Attrs[f.Name]
+			if len(v) > f.Length {
+				return nil, fmt.Errorf("shapefile: record %d field %q value %q exceeds length %d",
+					i, f.Name, v, f.Length)
+			}
+			if f.Numeric {
+				// Numeric fields are right-justified, space padded.
+				buf.WriteString(strings.Repeat(" ", f.Length-len(v)))
+				buf.WriteString(v)
+			} else {
+				buf.WriteString(v)
+				buf.WriteString(strings.Repeat(" ", f.Length-len(v)))
+			}
+		}
+	}
+	buf.WriteByte(0x1A)
+	return buf.Bytes(), nil
+}
+
+func readDBF(b []byte) ([]Field, []map[string]string, error) {
+	if len(b) < 33 {
+		return nil, nil, fmt.Errorf("shapefile: .dbf too short")
+	}
+	numRecords := int(binary.LittleEndian.Uint32(b[4:8]))
+	headerSize := int(binary.LittleEndian.Uint16(b[8:10]))
+	recSize := int(binary.LittleEndian.Uint16(b[10:12]))
+	if headerSize < 33 || headerSize > len(b) {
+		return nil, nil, fmt.Errorf("shapefile: bad .dbf header size %d", headerSize)
+	}
+	if recSize < 1 {
+		return nil, nil, fmt.Errorf("shapefile: bad .dbf record size %d", recSize)
+	}
+	if numRecords < 0 || numRecords > (len(b)-headerSize)/recSize+1 {
+		return nil, nil, fmt.Errorf("shapefile: .dbf claims %d records of %d bytes but only %d bytes remain",
+			numRecords, recSize, len(b)-headerSize)
+	}
+	var fields []Field
+	for off := 32; off+32 <= headerSize-1; off += 32 {
+		fd := b[off : off+32]
+		if fd[0] == 0x0D {
+			break
+		}
+		name := string(bytes.TrimRight(fd[0:11], "\x00"))
+		fields = append(fields, Field{
+			Name:    name,
+			Numeric: fd[11] == 'N' || fd[11] == 'F',
+			Length:  int(fd[16]),
+		})
+	}
+	fieldBytes := 1 // deletion flag
+	for _, f := range fields {
+		fieldBytes += f.Length
+	}
+	if fieldBytes > recSize {
+		return nil, nil, fmt.Errorf("shapefile: .dbf fields need %d bytes but record size is %d", fieldBytes, recSize)
+	}
+	rows := make([]map[string]string, 0, numRecords)
+	off := headerSize
+	for r := 0; r < numRecords; r++ {
+		if off+recSize > len(b) {
+			return nil, nil, fmt.Errorf("shapefile: truncated .dbf record %d", r)
+		}
+		rec := b[off : off+recSize]
+		off += recSize
+		if rec[0] == '*' { // deleted
+			continue
+		}
+		row := make(map[string]string, len(fields))
+		p := 1
+		for _, f := range fields {
+			raw := strings.TrimSpace(string(rec[p : p+f.Length]))
+			row[f.Name] = raw
+			p += f.Length
+		}
+		rows = append(rows, row)
+	}
+	return fields, rows, nil
+}
+
+// NumericAttr parses a record's numeric attribute.
+func (r Record) NumericAttr(name string) (float64, error) {
+	s, ok := r.Attrs[name]
+	if !ok || s == "" {
+		return 0, fmt.Errorf("shapefile: attribute %q missing", name)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// FormatNumeric renders a float for a numeric DBF field of the given
+// width.
+func FormatNumeric(v float64, width int) string {
+	s := strconv.FormatFloat(v, 'f', -1, 64)
+	if len(s) > width {
+		// Reduce precision until it fits.
+		for prec := width - 2; prec >= 0; prec-- {
+			s = strconv.FormatFloat(v, 'f', prec, 64)
+			if len(s) <= width {
+				break
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,250 @@
+package shapefile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"geoalign/internal/geom"
+)
+
+func sampleFile() *File {
+	return &File{
+		Fields: []Field{
+			{Name: "NAME", Numeric: false, Length: 16},
+			{Name: "POP", Numeric: true, Length: 12},
+		},
+		Records: []Record{
+			{
+				Polygon: geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 2, MaxY: 1}),
+				Attrs:   map[string]string{"NAME": "New York", "POP": "21102"},
+			},
+			{
+				Polygon: geom.Polygon{{X: 3, Y: 0}, {X: 5, Y: 0}, {X: 4, Y: 2}},
+				Attrs:   map[string]string{"NAME": "Westchester", "POP": "56024.5"},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := sampleFile()
+	shp, shx, dbf, err := Write(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shx) <= 100 {
+		t.Errorf(".shx too short: %d", len(shx))
+	}
+	back, err := Read(shp, dbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 2 {
+		t.Fatalf("records = %d", len(back.Records))
+	}
+	for i, r := range back.Records {
+		want := f.Records[i].Polygon.Area()
+		if math.Abs(r.Polygon.Area()-want) > 1e-9 {
+			t.Errorf("record %d area = %v, want %v", i, r.Polygon.Area(), want)
+		}
+		if r.Polygon.SignedArea() <= 0 {
+			t.Errorf("record %d not CCW after read", i)
+		}
+	}
+	if back.Records[0].Attrs["NAME"] != "New York" {
+		t.Errorf("NAME = %q", back.Records[0].Attrs["NAME"])
+	}
+	if v, err := back.Records[1].NumericAttr("POP"); err != nil || v != 56024.5 {
+		t.Errorf("POP = %v, %v", v, err)
+	}
+}
+
+func TestReadWithoutDBF(t *testing.T) {
+	shp, _, _, err := Write(sampleFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(shp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 2 || back.Records[0].Attrs != nil {
+		t.Errorf("records = %+v", back.Records)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	bad := &File{
+		Fields:  []Field{{Name: "WAYTOOLONGNAME", Length: 4}},
+		Records: nil,
+	}
+	if _, _, _, err := Write(bad); err == nil {
+		t.Error("long field name accepted")
+	}
+	bad = &File{Fields: []Field{{Name: "F", Length: 0}}}
+	if _, _, _, err := Write(bad); err == nil {
+		t.Error("zero-length field accepted")
+	}
+	bad = &File{
+		Fields:  []Field{{Name: "F", Length: 2}},
+		Records: []Record{{Polygon: geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}), Attrs: map[string]string{"F": "toolong"}}},
+	}
+	if _, _, _, err := Write(bad); err == nil {
+		t.Error("overflowing value accepted")
+	}
+	bad = &File{Records: []Record{{Polygon: geom.Polygon{{X: 0, Y: 0}}}}}
+	if _, _, _, err := Write(bad); err == nil {
+		t.Error("degenerate polygon accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read([]byte("short"), nil); err == nil {
+		t.Error("short .shp accepted")
+	}
+	shp, _, _, _ := Write(sampleFile())
+	corrupt := append([]byte(nil), shp...)
+	corrupt[3] = 0xFF // break the file code (9994 big-endian ends in 0x0A)
+	if _, err := Read(corrupt, nil); err == nil {
+		t.Error("bad file code accepted")
+	}
+	// Truncated record.
+	if _, err := Read(shp[:len(shp)-10], nil); err == nil {
+		t.Error("truncated .shp accepted")
+	}
+}
+
+func TestDBFRecordCountMismatch(t *testing.T) {
+	f := sampleFile()
+	shp, _, _, err := Write(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := &File{Fields: f.Fields, Records: f.Records[:1]}
+	_, _, dbfOne, err := Write(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(shp, dbfOne); err == nil {
+		t.Error("geometry/attribute count mismatch accepted")
+	}
+}
+
+func TestNumericAttrMissing(t *testing.T) {
+	r := Record{Attrs: map[string]string{}}
+	if _, err := r.NumericAttr("POP"); err == nil {
+		t.Error("missing attribute parsed")
+	}
+}
+
+func TestFormatNumeric(t *testing.T) {
+	if s := FormatNumeric(123.456, 12); s != "123.456" {
+		t.Errorf("FormatNumeric = %q", s)
+	}
+	s := FormatNumeric(1.0/3.0, 8)
+	if len(s) > 8 {
+		t.Errorf("FormatNumeric did not fit width: %q", s)
+	}
+}
+
+// Property: polygons survive a write/read cycle with identical areas
+// and vertex counts.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		file := &File{
+			Fields: []Field{{Name: "ID", Numeric: true, Length: 8}},
+		}
+		for i := 0; i < n; i++ {
+			c := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			pg := geom.RegularPolygon(c, 0.5+rng.Float64()*3, 3+rng.Intn(8), rng.Float64())
+			file.Records = append(file.Records, Record{
+				Polygon: pg,
+				Attrs:   map[string]string{"ID": FormatNumeric(float64(i), 8)},
+			})
+		}
+		shp, _, dbf, err := Write(file)
+		if err != nil {
+			return false
+		}
+		back, err := Read(shp, dbf)
+		if err != nil || len(back.Records) != n {
+			return false
+		}
+		for i, r := range back.Records {
+			if len(r.Polygon) != len(file.Records[i].Polygon) {
+				return false
+			}
+			if math.Abs(r.Polygon.Area()-file.Records[i].Polygon.Area()) > 1e-9 {
+				return false
+			}
+			if r.Attrs["ID"] != file.Records[i].Attrs["ID"] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiPartRoundTrip(t *testing.T) {
+	mf := &MultiFile{
+		Fields: []Field{{Name: "NAME", Length: 12}},
+		Records: []MultiRecord{
+			{
+				Parts: geom.MultiPolygon{
+					geom.Rect(geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}),
+					geom.Rect(geom.BBox{MinX: 3, MinY: 0, MaxX: 4, MaxY: 2}),
+				},
+				Attrs: map[string]string{"NAME": "islands"},
+			},
+			{
+				Parts: geom.SinglePart(geom.Polygon{{X: 5, Y: 5}, {X: 7, Y: 5}, {X: 6, Y: 7}}),
+				Attrs: map[string]string{"NAME": "solid"},
+			},
+		},
+	}
+	shp, shx, dbf, err := WriteMulti(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shx) <= 100 {
+		t.Error("shx too short")
+	}
+	back, err := ReadMulti(shp, dbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 2 {
+		t.Fatalf("records = %d", len(back.Records))
+	}
+	if len(back.Records[0].Parts) != 2 {
+		t.Fatalf("parts = %d", len(back.Records[0].Parts))
+	}
+	if math.Abs(back.Records[0].Parts.Area()-3) > 1e-9 {
+		t.Errorf("area = %v, want 3", back.Records[0].Parts.Area())
+	}
+	if back.Records[0].Attrs["NAME"] != "islands" {
+		t.Errorf("attrs = %v", back.Records[0].Attrs)
+	}
+	// The strict single-part Read rejects this file.
+	if _, err := Read(shp, dbf); err == nil {
+		t.Error("multi-part file accepted by single-part Read")
+	}
+}
+
+func TestWriteMultiValidation(t *testing.T) {
+	mf := &MultiFile{Records: []MultiRecord{{Parts: geom.MultiPolygon{}}}}
+	if _, _, _, err := WriteMulti(mf); err == nil {
+		t.Error("empty parts accepted")
+	}
+	mf = &MultiFile{Records: []MultiRecord{{Parts: geom.MultiPolygon{{{X: 0, Y: 0}}}}}}
+	if _, _, _, err := WriteMulti(mf); err == nil {
+		t.Error("degenerate part accepted")
+	}
+}

@@ -1,0 +1,351 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func denseEq(a, b [][]float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if math.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func randomCOO(rng *rand.Rand, rows, cols, nnz int) *COO {
+	coo := NewCOO(rows, cols)
+	for k := 0; k < nnz; k++ {
+		coo.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+	}
+	return coo
+}
+
+func TestCOOToCSRBasic(t *testing.T) {
+	coo := NewCOO(2, 3)
+	coo.Add(0, 2, 5)
+	coo.Add(1, 0, 1)
+	coo.Add(0, 1, 2)
+	m := coo.ToCSR()
+	want := [][]float64{{0, 2, 5}, {1, 0, 0}}
+	if !denseEq(m.ToDense(), want, 0) {
+		t.Errorf("ToDense = %v, want %v", m.ToDense(), want)
+	}
+	if m.NNZ() != 3 {
+		t.Errorf("NNZ = %d, want 3", m.NNZ())
+	}
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	coo := NewCOO(1, 2)
+	coo.Add(0, 1, 1)
+	coo.Add(0, 1, 2)
+	coo.Add(0, 1, 3)
+	m := coo.ToCSR()
+	if m.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 after merging", m.NNZ())
+	}
+	if got := m.At(0, 1); got != 6 {
+		t.Errorf("At(0,1) = %v, want 6", got)
+	}
+}
+
+func TestCSRColumnsSortedWithinRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomCOO(rng, 10, 10, 80).ToCSR()
+	for i := 0; i < m.Rows; i++ {
+		cols, _ := m.Row(i)
+		for k := 1; k < len(cols); k++ {
+			if cols[k-1] >= cols[k] {
+				t.Fatalf("row %d columns not strictly increasing: %v", i, cols)
+			}
+		}
+	}
+}
+
+func TestCOOBoundsPanic(t *testing.T) {
+	coo := NewCOO(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds Add did not panic")
+		}
+	}()
+	coo.Add(2, 0, 1)
+}
+
+func TestAtAbsentIsZero(t *testing.T) {
+	coo := NewCOO(3, 3)
+	coo.Add(1, 1, 4)
+	m := coo.ToCSR()
+	if m.At(0, 0) != 0 || m.At(2, 2) != 0 {
+		t.Error("absent entries not zero")
+	}
+	if m.At(1, 1) != 4 {
+		t.Errorf("At(1,1) = %v, want 4", m.At(1, 1))
+	}
+}
+
+func TestRowColSums(t *testing.T) {
+	m, err := FromDense([][]float64{
+		{1, 0, 2},
+		{0, 3, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := m.RowSums()
+	if rs[0] != 3 || rs[1] != 3 {
+		t.Errorf("RowSums = %v, want [3 3]", rs)
+	}
+	cs := m.ColSums()
+	if cs[0] != 1 || cs[1] != 3 || cs[2] != 2 {
+		t.Errorf("ColSums = %v, want [1 3 2]", cs)
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomCOO(rng, 12, 7, 40).ToCSR()
+	d := m.ToDense()
+	x := make([]float64, 7)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := m.MulVec(x)
+	for i := range d {
+		var want float64
+		for j := range d[i] {
+			want += d[i][j] * x[j]
+		}
+		if math.Abs(got[i]-want) > 1e-12 {
+			t.Errorf("MulVec[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestMulVecTMatchesTransposeMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := randomCOO(rng, 9, 14, 50).ToCSR()
+	x := make([]float64, 9)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := m.MulVecT(x)
+	want := m.Transpose().MulVec(x)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("MulVecT[%d] = %v, transpose gives %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomCOO(rng, 6, 8, 25).ToCSR()
+	tt := m.Transpose().Transpose()
+	if !Equal(m, tt, 0) {
+		t.Error("transpose twice != original")
+	}
+}
+
+func TestScaleRows(t *testing.T) {
+	m, _ := FromDense([][]float64{{1, 2}, {3, 4}})
+	m.ScaleRows([]float64{2, 0.5})
+	want := [][]float64{{2, 4}, {1.5, 2}}
+	if !denseEq(m.ToDense(), want, 1e-12) {
+		t.Errorf("ScaleRows = %v, want %v", m.ToDense(), want)
+	}
+}
+
+func TestScale(t *testing.T) {
+	m, _ := FromDense([][]float64{{1, -2}})
+	m.Scale(-3)
+	want := [][]float64{{-3, 6}}
+	if !denseEq(m.ToDense(), want, 0) {
+		t.Errorf("Scale = %v, want %v", m.ToDense(), want)
+	}
+}
+
+func TestPrune(t *testing.T) {
+	m, _ := FromDense([][]float64{{1e-12, 5}, {0, -1e-12}})
+	p := m.Prune(1e-9)
+	if p.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1", p.NNZ())
+	}
+	if p.At(0, 1) != 5 {
+		t.Errorf("surviving entry = %v, want 5", p.At(0, 1))
+	}
+	if p.Rows != 2 || p.Cols != 2 {
+		t.Errorf("dims changed: %dx%d", p.Rows, p.Cols)
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	a, _ := FromDense([][]float64{{1, 0}, {0, 2}})
+	b, _ := FromDense([][]float64{{0, 3}, {4, 0}})
+	s, err := WeightedSum([]*CSR{a, b}, []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.5, 6}, {8, 1}}
+	if !denseEq(s.ToDense(), want, 1e-12) {
+		t.Errorf("WeightedSum = %v, want %v", s.ToDense(), want)
+	}
+}
+
+func TestWeightedSumZeroWeightSkipsMatrix(t *testing.T) {
+	a, _ := FromDense([][]float64{{1, 1}})
+	b, _ := FromDense([][]float64{{5, 5}})
+	s, err := WeightedSum([]*CSR{a, b}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(s, a, 0) {
+		t.Errorf("WeightedSum with zero weight = %v", s.ToDense())
+	}
+}
+
+func TestWeightedSumErrors(t *testing.T) {
+	a, _ := FromDense([][]float64{{1}})
+	b, _ := FromDense([][]float64{{1, 2}})
+	if _, err := WeightedSum(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := WeightedSum([]*CSR{a}, []float64{1, 2}); err == nil {
+		t.Error("weight count mismatch accepted")
+	}
+	if _, err := WeightedSum([]*CSR{a, b}, []float64{1, 1}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestEqualDifferentSparsityPatterns(t *testing.T) {
+	// Same logical contents, different explicit-zero patterns.
+	cooA := NewCOO(2, 2)
+	cooA.Add(0, 0, 1)
+	cooA.Add(0, 1, 0) // explicit zero
+	a := cooA.ToCSR()
+	cooB := NewCOO(2, 2)
+	cooB.Add(0, 0, 1)
+	b := cooB.ToCSR()
+	if !Equal(a, b, 0) {
+		t.Error("matrices with equal contents reported unequal")
+	}
+	cooC := NewCOO(2, 2)
+	cooC.Add(1, 1, 2)
+	if Equal(a, cooC.ToCSR(), 0) {
+		t.Error("different matrices reported equal")
+	}
+}
+
+func TestFromDenseRagged(t *testing.T) {
+	if _, err := FromDense([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged dense input accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m, _ := FromDense([][]float64{{1, 2}})
+	c := m.Clone()
+	c.Scale(10)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+// Property: dense round trip preserves contents; row sums equal dense
+// row sums; column sums of M equal row sums of Mᵀ.
+func TestCSRPropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		m := randomCOO(rng, rows, cols, rng.Intn(60)).ToCSR()
+		rt, err := FromDense(m.ToDense())
+		if err != nil || !Equal(m, rt, 1e-12) {
+			return false
+		}
+		cs := m.ColSums()
+		rsT := m.Transpose().RowSums()
+		for i := range cs {
+			if math.Abs(cs[i]-rsT[i]) > 1e-12 {
+				return false
+			}
+		}
+		ones := make([]float64, cols)
+		for i := range ones {
+			ones[i] = 1
+		}
+		rs := m.RowSums()
+		mv := m.MulVec(ones)
+		for i := range rs {
+			if math.Abs(rs[i]-mv[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WeightedSum distributes over MulVec.
+func TestWeightedSumLinearityQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 2+rng.Intn(8), 2+rng.Intn(8)
+		n := 1 + rng.Intn(4)
+		mats := make([]*CSR, n)
+		w := make([]float64, n)
+		for k := range mats {
+			mats[k] = randomCOO(rng, rows, cols, rng.Intn(30)).ToCSR()
+			w[k] = rng.NormFloat64()
+		}
+		s, err := WeightedSum(mats, w)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := s.MulVec(x)
+		want := make([]float64, rows)
+		for k := range mats {
+			mv := mats[k].MulVec(x)
+			for i := range want {
+				want[i] += w[k] * mv[i]
+			}
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewEmptyCSR(t *testing.T) {
+	m := NewEmptyCSR(3, 4)
+	if m.NNZ() != 0 || m.Rows != 3 || m.Cols != 4 {
+		t.Errorf("empty CSR malformed: %+v", m)
+	}
+	if got := m.RowSums(); len(got) != 3 {
+		t.Errorf("RowSums len = %d", len(got))
+	}
+}

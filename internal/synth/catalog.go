@@ -1,0 +1,378 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"geoalign/internal/geom"
+)
+
+// CatalogKind selects which of the paper's two dataset collections to
+// synthesise.
+type CatalogKind int
+
+const (
+	// NewYork mirrors the 8-dataset New York State collection (§4.1):
+	// three population-level references (Census population, USPS
+	// residential and business addresses) plus five individual-level
+	// datasets from data.ny.gov.
+	NewYork CatalogKind = iota
+	// UnitedStates mirrors the 10-dataset national collection: the three
+	// population-level references, six Esri individual-level layers, and
+	// the purely geometric Area dataset.
+	UnitedStates
+)
+
+// Catalog bundles a universe with its datasets.
+type Catalog struct {
+	Universe *Universe
+	Datasets []*Dataset
+}
+
+// DatasetNames lists the catalog's dataset names in order.
+func (c *Catalog) DatasetNames() []string {
+	out := make([]string, len(c.Datasets))
+	for i, d := range c.Datasets {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// ByName returns the dataset with the given name, or nil.
+func (c *Catalog) ByName(name string) *Dataset {
+	for _, d := range c.Datasets {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// BuildCatalog generates the full dataset collection for a universe.
+// pointBudget is the record count of the densest dataset (population);
+// the others are scaled down from it the way sparse real datasets are
+// smaller than the Census.
+func BuildCatalog(kind CatalogKind, u *Universe, pointBudget int) (*Catalog, error) {
+	if pointBudget < 100 {
+		return nil, fmt.Errorf("synth: point budget %d too small (min 100)", pointBudget)
+	}
+	fields := u.catalogFields()
+	cat := &Catalog{Universe: u}
+	add := func(name string, f Field, frac float64) {
+		n := int(float64(pointBudget) * frac)
+		if n < 50 {
+			n = 50
+		}
+		cat.Datasets = append(cat.Datasets, u.PointDataset(name, f, n))
+	}
+	switch kind {
+	case NewYork:
+		add("Attorney Registration", fields.professional, 0.08)
+		add("DMV License Facilities", fields.facilities, 0.01)
+		add("Food Service Inspections", fields.restaurants, 0.15)
+		add("Liquor Licenses", fields.nightlife, 0.06)
+		add("New York State Restaurants", fields.restaurantsSub, 0.05)
+		add("Population", fields.population, 1.0)
+		add("USPS Business Address", fields.business, 0.35)
+		add("USPS Residential Address", fields.residential, 0.8)
+	case UnitedStates:
+		add("Accidents", fields.accidents, 0.12)
+		area, err := u.AreaDataset()
+		if err != nil {
+			return nil, err
+		}
+		cat.Datasets = append(cat.Datasets, area)
+		add("Cemeteries", fields.cemeteries, 0.02)
+		add("Population", fields.population, 1.0)
+		add("Public Buildings", fields.publicBuildings, 0.03)
+		add("Shopping Centers", fields.shopping, 0.04)
+		add("Starbucks", fields.starbucks, 0.015)
+		add("USA Uninhabited Places", fields.uninhabited, 0.05)
+		add("USPS Business Address", fields.business, 0.35)
+		add("USPS Residential Address", fields.residential, 0.8)
+	default:
+		return nil, fmt.Errorf("synth: unknown catalog kind %d", kind)
+	}
+	return cat, nil
+}
+
+// catalogFields derives every dataset's intensity field from the
+// universe's shared urban centres, fixing the correlation structure the
+// experiments rely on.
+type fieldSet struct {
+	population      Field
+	residential     Field
+	business        Field
+	professional    Field
+	facilities      Field
+	restaurants     Field
+	restaurantsSub  Field
+	nightlife       Field
+	accidents       Field
+	cemeteries      Field
+	publicBuildings Field
+	shopping        Field
+	starbucks       Field
+	uninhabited     Field
+}
+
+func (u *Universe) catalogFields() fieldSet {
+	rng := rand.New(rand.NewSource(int64(len(u.Centers))*7919 + 17))
+	// The generator's model, matching the assumption the paper validates
+	// in §3.4: every attribute's spatial distribution is (approximately)
+	// a convex combination of a few shared latent land-use geographies —
+	// residential blocks, business cores, leisure strips, civic sites,
+	// historic towns, a diffuse floor, and wilderness — plus a small
+	// idiosyncratic component. Source-level similarity between two
+	// attributes then genuinely implies intersection-level similarity,
+	// which is what makes GeoAlign's weight learning work on real data.
+	//
+	// Latent displacements scale with the typical source-unit size, not
+	// the universe: a city's restaurant strip is a few blocks from its
+	// homes regardless of how finely the map is partitioned.
+	cell := math.Sqrt((u.Bounds.MaxX - u.Bounds.MinX) * (u.Bounds.MaxY - u.Bounds.MinY) / float64(u.Source.Len()))
+
+	// Rural population is not uniform: it clusters in villages. Without
+	// this, an area split would approximate a population split in the
+	// countryside and dasymetric-by-population would predict the Area
+	// dataset well — the opposite of Figure 5b.
+	villages := villageCenters(rng, u.Bounds, 6*metroCount(u.Centers))
+	lres := &MixtureField{Centers: append(append([]GaussianCenter{}, u.Centers...), villages...), Base: 0.005}
+	lbiz := &MixtureField{Centers: Tighten(displace(rng, modulate(rng, u.Centers, 0.3), 0.15*cell), 0.5), Base: 0}
+	lleisure := &MixtureField{Centers: Tighten(displace(rng, modulate(rng, u.Centers, 0.8), 0.2*cell), 0.6), Base: 0}
+	lcivic := &MixtureField{Centers: displace(rng, modulate(rng, u.Centers, 0.9), 0.15*cell), Base: 0}
+	lold := &MixtureField{Centers: Tighten(displace(rng, modulate(rng, append(append([]GaussianCenter{}, villages...), u.Centers...), 1.2), 0.35*cell), 0.9), Base: 0}
+	ldiffuse := UniformField{Level: 1}
+	lwild := &MixtureField{Centers: wildernessCenters(rng, lres, u.Bounds, len(u.Centers)/4), Base: 0.02}
+
+	// mix builds a dataset field: convex weights over latents plus a
+	// small idiosyncratic clustered component unique to the dataset.
+	mix := func(own float64, parts []Field, coeffs []float64) Field {
+		ownField := &MixtureField{Centers: Tighten(displace(rng, modulate(rng, u.Centers, 1.0), 0.2*cell), 0.7), Base: 0}
+		normParts := append([]Field{}, parts...)
+		normCoeffs := append([]float64{}, coeffs...)
+		if own > 0 {
+			normParts = append(normParts, ownField)
+			normCoeffs = append(normCoeffs, own)
+		}
+		// Normalise each latent by its mass so the coefficients express
+		// shares of the dataset's total mass, not raw intensity scales.
+		for i, part := range normParts {
+			m := fieldMass(part, u.Bounds)
+			if m > 0 {
+				normCoeffs[i] = normCoeffs[i] / m
+			}
+		}
+		return &BlendField{Parts: normParts, Coeffs: normCoeffs}
+	}
+
+	// The restaurant latents are shared between the two restaurant
+	// datasets, which keeps them near-duplicates of each other (the NY
+	// catalog derives one from the other, §4.1).
+	foodService := mix(0.05, []Field{lleisure, lbiz}, []float64{0.8, 0.15})
+
+	return fieldSet{
+		population:      mix(0, []Field{lres}, []float64{1}),
+		residential:     mix(0.02, []Field{lres}, []float64{0.98}),
+		business:        mix(0.03, []Field{lbiz, lres}, []float64{0.35, 0.62}),
+		professional:    mix(0.08, []Field{lbiz, lcivic, lres}, []float64{0.62, 0.15, 0.15}),
+		facilities:      mix(0.05, []Field{lres, ldiffuse}, []float64{0.3, 0.65}),
+		restaurants:     foodService,
+		restaurantsSub:  foodService,
+		nightlife:       mix(0.1, []Field{lleisure, lbiz}, []float64{0.75, 0.15}),
+		accidents:       mix(0.05, []Field{lres, lcivic, ldiffuse}, []float64{0.5, 0.25, 0.2}),
+		cemeteries:      mix(0.1, []Field{lold, ldiffuse, lres}, []float64{0.35, 0.3, 0.25}),
+		publicBuildings: mix(0.05, []Field{lcivic, lres, lold, ldiffuse}, []float64{0.4, 0.25, 0.15, 0.15}),
+		shopping:        mix(0.05, []Field{lbiz, lleisure}, []float64{0.55, 0.4}),
+		starbucks:       mix(0.1, []Field{lbiz, lleisure}, []float64{0.5, 0.4}),
+		uninhabited:     mix(0.05, []Field{lwild, ldiffuse}, []float64{0.85, 0.1}),
+	}
+}
+
+func jitterCenters(rng *rand.Rand, centers []GaussianCenter, bounds geom.BBox, frac float64) []GaussianCenter {
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	out := make([]GaussianCenter, len(centers))
+	for i, c := range centers {
+		out[i] = c
+		out[i].At.X += rng.NormFloat64() * frac * w
+		out[i].At.Y += rng.NormFloat64() * frac * h
+	}
+	return out
+}
+
+func widenCenters(centers []GaussianCenter, factor float64) []GaussianCenter {
+	return Tighten(centers, factor)
+}
+
+// modulate scales each centre's weight by an independent log-normal
+// factor exp(λ·z − λ²/2) (mean 1), giving the attribute its own
+// per-city propensity while keeping the same settlement geography.
+func modulate(rng *rand.Rand, centers []GaussianCenter, lambda float64) []GaussianCenter {
+	out := make([]GaussianCenter, len(centers))
+	for i, c := range centers {
+		out[i] = c
+		out[i].Weight = c.Weight * math.Exp(lambda*rng.NormFloat64()-lambda*lambda/2)
+	}
+	return out
+}
+
+// displace moves each centre by an independent N(0, d²) offset in both
+// axes — the attribute's facilities sit near, but not exactly at, the
+// population centre.
+func displace(rng *rand.Rand, centers []GaussianCenter, d float64) []GaussianCenter {
+	out := make([]GaussianCenter, len(centers))
+	for i, c := range centers {
+		out[i] = c
+		out[i].At.X += rng.NormFloat64() * d
+		out[i].At.Y += rng.NormFloat64() * d
+	}
+	return out
+}
+
+// villageCenters scatters k small settlements uniformly — the rural
+// texture that keeps population distinct from area everywhere.
+func villageCenters(rng *rand.Rand, bounds geom.BBox, k int) []GaussianCenter {
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	scale := math.Sqrt(w * h)
+	out := make([]GaussianCenter, k)
+	for i := range out {
+		out[i] = GaussianCenter{
+			At: geom.Point{
+				X: bounds.MinX + rng.Float64()*w,
+				Y: bounds.MinY + rng.Float64()*h,
+			},
+			Weight: math.Pow(rng.Float64(), 2) * 4,
+			Sigma:  scale * (0.002 + rng.Float64()*0.006),
+		}
+	}
+	return out
+}
+
+// metroCount recovers the number of metros from the expanded centre
+// list (RandomCenters emits a core plus satellites per metro).
+func metroCount(centers []GaussianCenter) int {
+	const blocksPerMetro = 6
+	n := len(centers) / (blocksPerMetro + 1)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// wildernessCenters places k broad centres in the low-intensity parts
+// of the base field (deserts and mountains, not cities).
+func wildernessCenters(rng *rand.Rand, base Field, bounds geom.BBox, k int) []GaussianCenter {
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	scale := math.Sqrt(w * h)
+	// Threshold: accept locations in the bottom intensity range. Use a
+	// small sample to estimate a low quantile.
+	probe := make([]float64, 0, 256)
+	for i := 0; i < 256; i++ {
+		p := geom.Point{X: bounds.MinX + rng.Float64()*w, Y: bounds.MinY + rng.Float64()*h}
+		probe = append(probe, base.Intensity(p))
+	}
+	insertionSortF(probe)
+	threshold := probe[len(probe)/4] // 25th percentile
+	out := make([]GaussianCenter, 0, k)
+	for tries := 0; len(out) < k && tries < 100000; tries++ {
+		p := geom.Point{X: bounds.MinX + rng.Float64()*w, Y: bounds.MinY + rng.Float64()*h}
+		if base.Intensity(p) > threshold {
+			continue
+		}
+		out = append(out, GaussianCenter{
+			At:     p,
+			Weight: math.Pow(rng.Float64(), 2) * 10,
+			Sigma:  scale * (0.02 + rng.Float64()*0.05),
+		})
+	}
+	return out
+}
+
+func insertionSortF(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NYConfig returns the default config for a reduced-scale New York
+// State universe (the paper's real counts are 1794 zips / 62 counties;
+// the default here is laptop-test scale — cmd/experiments can raise it).
+func NYConfig(seed int64, scale float64) Config {
+	return Config{
+		Seed:        seed,
+		SourceUnits: scaleCount(1794, scale, 30),
+		TargetUnits: scaleCount(62, scale, 5),
+		Centers:     8,
+	}
+}
+
+// USConfig returns the default config for a reduced-scale United States
+// universe (real counts: 30238 zips / 3142 counties).
+func USConfig(seed int64, scale float64) Config {
+	return Config{
+		Seed:        seed,
+		SourceUnits: scaleCount(30238, scale, 60),
+		TargetUnits: scaleCount(3142, scale, 8),
+		Centers:     40,
+	}
+}
+
+func scaleCount(full int, scale float64, min int) int {
+	n := int(float64(full) * scale)
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+// ScalingUniverses returns the six-universe hierarchy of §4.3 (NY,
+// Mid-Atlantic, Northeast, Eastern Time Zone, non-West, US) with unit
+// counts proportional to the paper's, multiplied by scale.
+func ScalingUniverses(scale float64) []Config {
+	specs := []struct {
+		name     string
+		src, tgt int
+	}{
+		{"New York State", 1794, 62},
+		{"Mid-Atlantic States", 4990, 150},
+		{"Northeast States", 7022, 217},
+		{"Eastern Time Zone States", 12486, 1052},
+		{"Non-West States", 22628, 2693},
+		{"United States", 30238, 3142},
+	}
+	out := make([]Config, len(specs))
+	for i, s := range specs {
+		out[i] = Config{
+			Seed:        int64(1000 + i),
+			SourceUnits: scaleCount(s.src, scale, 20),
+			TargetUnits: scaleCount(s.tgt, scale, 4),
+			Centers:     6 + 6*i,
+		}
+	}
+	return out
+}
+
+// ScalingUniverseNames returns the names matching ScalingUniverses.
+func ScalingUniverseNames() []string {
+	return []string{
+		"New York State",
+		"Mid-Atlantic States",
+		"Northeast States",
+		"Eastern Time Zone States",
+		"Non-West States",
+		"United States",
+	}
+}

@@ -1,0 +1,340 @@
+// Package synth generates the synthetic universes and datasets that
+// stand in for the paper's real inputs (data.ny.gov, Census, HUD/USPS,
+// Esri — see DESIGN.md "Substitutions"). A universe is a pair of
+// spatially incongruent Voronoi partitions over a rectangle — the
+// zip-code-like source layer and the county-like target layer. A
+// dataset is an individual-level point collection drawn from a spatial
+// intensity field; aggregating its points over source units, target
+// units and their intersections yields the aggregate vectors and the
+// disaggregation matrix with exactly known ground truth.
+//
+// Each catalog dataset's intensity field is shaped to mirror the
+// documented character of the corresponding real dataset (population:
+// dense and smooth; USPS residential ≈ population; USPS business
+// tightly co-located with residential to reproduce the §4.4.2
+// collinearity; Starbucks: clustered at the largest centres; USA
+// uninhabited places: anti-correlated with population; area: purely
+// geometric). The experiments depend on this correlation structure, not
+// on real boundaries.
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"geoalign/internal/geom"
+)
+
+// Field is a non-negative spatial intensity over the universe.
+type Field interface {
+	// Intensity returns the unnormalised density at p.
+	Intensity(p geom.Point) float64
+	// MaxIntensity returns an upper bound on Intensity over the
+	// universe, used for rejection sampling.
+	MaxIntensity() float64
+}
+
+// GaussianCenter is one component of a mixture field.
+type GaussianCenter struct {
+	At     geom.Point
+	Weight float64 // peak height
+	Sigma  float64 // spatial spread
+}
+
+// MixtureField is a Gaussian mixture plus a uniform base level — the
+// workhorse shape for urban-style attributes.
+type MixtureField struct {
+	Centers []GaussianCenter
+	Base    float64
+}
+
+// Intensity implements Field.
+func (f *MixtureField) Intensity(p geom.Point) float64 {
+	v := f.Base
+	for _, c := range f.Centers {
+		d2 := p.Dist2(c.At)
+		v += c.Weight * math.Exp(-d2/(2*c.Sigma*c.Sigma))
+	}
+	return v
+}
+
+// MaxIntensity implements Field: base plus all peak heights is a safe
+// bound (attained only if every centre coincides, but cheap and valid).
+func (f *MixtureField) MaxIntensity() float64 {
+	v := f.Base
+	for _, c := range f.Centers {
+		v += c.Weight
+	}
+	return v
+}
+
+// UniformField is constant intensity.
+type UniformField struct{ Level float64 }
+
+// Intensity implements Field.
+func (f UniformField) Intensity(geom.Point) float64 { return f.Level }
+
+// MaxIntensity implements Field.
+func (f UniformField) MaxIntensity() float64 { return f.Level }
+
+// InverseField is anti-correlated with a base field:
+// Scale / (1 + Of.Intensity). It models "uninhabited places".
+type InverseField struct {
+	Of    Field
+	Scale float64
+}
+
+// Intensity implements Field.
+func (f InverseField) Intensity(p geom.Point) float64 {
+	return f.Scale / (1 + f.Of.Intensity(p))
+}
+
+// MaxIntensity implements Field.
+func (f InverseField) MaxIntensity() float64 { return f.Scale }
+
+// BlendField is a fixed linear combination of fields with non-negative
+// coefficients — used to build attributes with controlled correlation
+// to others (e.g. USPS business ≈ 0.9·residential + business cores).
+type BlendField struct {
+	Parts  []Field
+	Coeffs []float64
+	Extra  float64 // additional uniform base
+}
+
+// Intensity implements Field.
+func (f *BlendField) Intensity(p geom.Point) float64 {
+	v := f.Extra
+	for i, part := range f.Parts {
+		v += f.Coeffs[i] * part.Intensity(p)
+	}
+	return v
+}
+
+// MaxIntensity implements Field.
+func (f *BlendField) MaxIntensity() float64 {
+	v := f.Extra
+	for i, part := range f.Parts {
+		v += f.Coeffs[i] * part.MaxIntensity()
+	}
+	return v
+}
+
+// Sampler is implemented by fields that can draw points directly,
+// bypassing rejection sampling. Direct sampling is essential for the
+// strongly concentrated urban fields, where a rejection envelope at the
+// peak intensity would reject almost every candidate.
+type Sampler interface {
+	Sample(rng *rand.Rand, bounds geom.BBox) geom.Point
+}
+
+// SamplePoints draws n points from the field over bounds, using direct
+// sampling when the field supports it and rejection sampling otherwise.
+func SamplePoints(rng *rand.Rand, f Field, bounds geom.BBox, n int) []geom.Point {
+	out := make([]geom.Point, 0, n)
+	if s, ok := f.(Sampler); ok {
+		for len(out) < n {
+			out = append(out, s.Sample(rng, bounds))
+		}
+		return out
+	}
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	mx := f.MaxIntensity()
+	for len(out) < n {
+		p := geom.Point{
+			X: bounds.MinX + rng.Float64()*w,
+			Y: bounds.MinY + rng.Float64()*h,
+		}
+		if rng.Float64()*mx <= f.Intensity(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Sample implements Sampler for the mixture: a component is chosen in
+// proportion to its (untruncated) mass — base·area for the uniform
+// floor, weight·2πσ² for each Gaussian — then a point is drawn from it,
+// re-drawing the rare samples that land outside bounds. Edge-truncated
+// components are therefore very slightly over-weighted relative to the
+// analytic density; for synthetic data generation that bias is
+// irrelevant (the aggregates are measured from the points themselves).
+func (f *MixtureField) Sample(rng *rand.Rand, bounds geom.BBox) geom.Point {
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	total := f.Base * w * h
+	for _, c := range f.Centers {
+		total += c.Weight * 2 * math.Pi * c.Sigma * c.Sigma
+	}
+	for {
+		pick := rng.Float64() * total
+		pick -= f.Base * w * h
+		if pick < 0 {
+			return geom.Point{X: bounds.MinX + rng.Float64()*w, Y: bounds.MinY + rng.Float64()*h}
+		}
+		for _, c := range f.Centers {
+			pick -= c.Weight * 2 * math.Pi * c.Sigma * c.Sigma
+			if pick < 0 {
+				for try := 0; try < 64; try++ {
+					p := geom.Point{
+						X: c.At.X + rng.NormFloat64()*c.Sigma,
+						Y: c.At.Y + rng.NormFloat64()*c.Sigma,
+					}
+					if bounds.ContainsPoint(p) {
+						return p
+					}
+				}
+				break // centre far outside bounds: re-pick a component
+			}
+		}
+	}
+}
+
+// Sample implements Sampler for blends by picking a part in proportion
+// to its mass over bounds and delegating; parts without direct
+// samplers fall back to rejection against their own envelope.
+func (f *BlendField) Sample(rng *rand.Rand, bounds geom.BBox) geom.Point {
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	masses := make([]float64, len(f.Parts)+1)
+	total := 0.0
+	for i, part := range f.Parts {
+		masses[i] = f.Coeffs[i] * fieldMass(part, bounds)
+		total += masses[i]
+	}
+	masses[len(f.Parts)] = f.Extra * w * h
+	total += masses[len(f.Parts)]
+	pick := rng.Float64() * total
+	for i, m := range masses {
+		pick -= m
+		if pick < 0 {
+			if i == len(f.Parts) {
+				break // uniform extra
+			}
+			return samplePart(rng, f.Parts[i], bounds)
+		}
+	}
+	return geom.Point{X: bounds.MinX + rng.Float64()*w, Y: bounds.MinY + rng.Float64()*h}
+}
+
+// fieldMass approximates the integral of a field over bounds, used for
+// component selection in blends.
+func fieldMass(f Field, bounds geom.BBox) float64 {
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	switch v := f.(type) {
+	case *MixtureField:
+		total := v.Base * w * h
+		for _, c := range v.Centers {
+			total += c.Weight * 2 * math.Pi * c.Sigma * c.Sigma
+		}
+		return total
+	case UniformField:
+		return v.Level * w * h
+	case *BlendField:
+		total := v.Extra * w * h
+		for i, part := range v.Parts {
+			total += v.Coeffs[i] * fieldMass(part, bounds)
+		}
+		return total
+	case InverseField:
+		// Crude but adequate: grid quadrature.
+		const g = 16
+		var s float64
+		for i := 0; i < g; i++ {
+			for j := 0; j < g; j++ {
+				p := geom.Point{
+					X: bounds.MinX + (float64(i)+0.5)*w/g,
+					Y: bounds.MinY + (float64(j)+0.5)*h/g,
+				}
+				s += v.Intensity(p)
+			}
+		}
+		return s * w * h / (g * g)
+	default:
+		return f.MaxIntensity() * w * h
+	}
+}
+
+func samplePart(rng *rand.Rand, f Field, bounds geom.BBox) geom.Point {
+	if s, ok := f.(Sampler); ok {
+		return s.Sample(rng, bounds)
+	}
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	mx := f.MaxIntensity()
+	for {
+		p := geom.Point{X: bounds.MinX + rng.Float64()*w, Y: bounds.MinY + rng.Float64()*h}
+		if rng.Float64()*mx <= f.Intensity(p) {
+			return p
+		}
+	}
+}
+
+// RandomCenters places n metropolitan areas uniformly in bounds and
+// expands each into a clump of tight satellite blocks (the core plus a
+// handful of neighbourhoods). Weights are heavy-tailed — a few
+// metropolises dominate, the way real settlement masses do — and the
+// block-level clumpiness means mass is spiky below the source-unit
+// scale, which is what makes area-proportional splitting fail the way
+// Figure 5 shows.
+func RandomCenters(rng *rand.Rand, n int, bounds geom.BBox) []GaussianCenter {
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	scale := math.Sqrt(w * h)
+	const blocksPerMetro = 6
+	out := make([]GaussianCenter, 0, n*(blocksPerMetro+1))
+	for i := 0; i < n; i++ {
+		at := geom.Point{
+			X: bounds.MinX + rng.Float64()*w,
+			Y: bounds.MinY + rng.Float64()*h,
+		}
+		weight := math.Pow(rng.Float64(), 4) * 400
+		sigma := scale * (0.004 + rng.Float64()*0.012)
+		// The dense core holds half the metro's mass.
+		out = append(out, GaussianCenter{At: at, Weight: weight, Sigma: sigma / 3})
+		for b := 0; b < blocksPerMetro; b++ {
+			out = append(out, GaussianCenter{
+				At: geom.Point{
+					X: at.X + rng.NormFloat64()*1.5*sigma,
+					Y: at.Y + rng.NormFloat64()*1.5*sigma,
+				},
+				Weight: weight / blocksPerMetro * (0.4 + rng.Float64()),
+				Sigma:  sigma / 4,
+			})
+		}
+	}
+	return out
+}
+
+// TopCenters returns the k highest-weight centres (for tightly
+// clustered attributes like coffee shops).
+func TopCenters(centers []GaussianCenter, k int) []GaussianCenter {
+	cp := append([]GaussianCenter(nil), centers...)
+	// Selection sort for the top-k; k is tiny.
+	for i := 0; i < k && i < len(cp); i++ {
+		best := i
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j].Weight > cp[best].Weight {
+				best = j
+			}
+		}
+		cp[i], cp[best] = cp[best], cp[i]
+	}
+	if k > len(cp) {
+		k = len(cp)
+	}
+	return cp[:k]
+}
+
+// Tighten returns copies of the centres with sigma scaled by factor —
+// used to turn a residential field into a denser business-district
+// field.
+func Tighten(centers []GaussianCenter, factor float64) []GaussianCenter {
+	out := make([]GaussianCenter, len(centers))
+	for i, c := range centers {
+		out[i] = c
+		out[i].Sigma = c.Sigma * factor
+	}
+	return out
+}

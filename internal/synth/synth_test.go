@@ -1,0 +1,384 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"geoalign/internal/geom"
+)
+
+var b100 = geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+
+func TestMixtureFieldBounds(t *testing.T) {
+	f := &MixtureField{
+		Centers: []GaussianCenter{{At: geom.Point{X: 50, Y: 50}, Weight: 10, Sigma: 5}},
+		Base:    1,
+	}
+	peak := f.Intensity(geom.Point{X: 50, Y: 50})
+	if math.Abs(peak-11) > 1e-12 {
+		t.Errorf("peak = %v, want 11", peak)
+	}
+	far := f.Intensity(geom.Point{X: 0, Y: 0})
+	if far < 1 || far > 1.01 {
+		t.Errorf("far intensity = %v, want ≈ base", far)
+	}
+	if f.MaxIntensity() < peak {
+		t.Error("MaxIntensity below actual peak")
+	}
+}
+
+func TestUniformAndInverseFields(t *testing.T) {
+	u := UniformField{Level: 2}
+	if u.Intensity(geom.Point{}) != 2 || u.MaxIntensity() != 2 {
+		t.Error("uniform field wrong")
+	}
+	inv := InverseField{Of: u, Scale: 6}
+	if got := inv.Intensity(geom.Point{}); got != 2 {
+		t.Errorf("inverse intensity = %v, want 2", got)
+	}
+	if inv.MaxIntensity() < inv.Intensity(geom.Point{}) {
+		t.Error("inverse MaxIntensity below value")
+	}
+}
+
+func TestBlendField(t *testing.T) {
+	f := &BlendField{
+		Parts:  []Field{UniformField{Level: 1}, UniformField{Level: 10}},
+		Coeffs: []float64{2, 0.5},
+		Extra:  1,
+	}
+	if got := f.Intensity(geom.Point{}); got != 8 {
+		t.Errorf("blend = %v, want 8", got)
+	}
+	if f.MaxIntensity() != 8 {
+		t.Errorf("blend max = %v", f.MaxIntensity())
+	}
+}
+
+func TestSamplePointsFollowsField(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := &MixtureField{
+		Centers: []GaussianCenter{{At: geom.Point{X: 25, Y: 25}, Weight: 50, Sigma: 8}},
+		Base:    0.1,
+	}
+	pts := SamplePoints(rng, f, b100, 4000)
+	if len(pts) != 4000 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	nearCentre := 0
+	for _, p := range pts {
+		if !b100.ContainsPoint(p) {
+			t.Fatalf("point %v outside bounds", p)
+		}
+		if p.Dist(geom.Point{X: 25, Y: 25}) < 20 {
+			nearCentre++
+		}
+	}
+	// The Gaussian holds most of the mass; uniform sampling would put
+	// ~12.6% inside radius 20.
+	if frac := float64(nearCentre) / 4000; frac < 0.5 {
+		t.Errorf("only %.0f%% of points near the centre; field not respected", frac*100)
+	}
+}
+
+func TestRandomCentersAndHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cs := RandomCenters(rng, 12, b100)
+	// Each metro expands into a core plus satellite blocks.
+	if len(cs) < 12 || len(cs)%12 != 0 {
+		t.Fatalf("centers = %d, want a multiple of 12", len(cs))
+	}
+	for _, c := range cs {
+		if c.Sigma <= 0 || c.Weight < 0 {
+			t.Fatalf("bad center %+v", c)
+		}
+	}
+	top := TopCenters(cs, 3)
+	if len(top) != 3 {
+		t.Fatalf("top = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Weight > top[i-1].Weight {
+			t.Error("TopCenters not sorted by weight")
+		}
+	}
+	tight := Tighten(cs, 0.5)
+	for i := range tight {
+		if math.Abs(tight[i].Sigma-cs[i].Sigma*0.5) > 1e-12 {
+			t.Error("Tighten wrong")
+		}
+	}
+	if got := TopCenters(cs, 9999); len(got) != len(cs) {
+		t.Errorf("TopCenters over-ask = %d, want %d", len(got), len(cs))
+	}
+}
+
+func TestBuildUniverseDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, SourceUnits: 50, TargetUnits: 6, Centers: 4}
+	u1, err := BuildUniverse("t", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := BuildUniverse("t", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range u1.SourceDiagram.Seeds {
+		if u1.SourceDiagram.Seeds[i] != u2.SourceDiagram.Seeds[i] {
+			t.Fatal("universe generation not deterministic")
+		}
+	}
+	if u1.Source.Len() != 50 || u1.Target.Len() != 6 {
+		t.Errorf("unit counts %d/%d", u1.Source.Len(), u1.Target.Len())
+	}
+}
+
+func TestPointDatasetConsistency(t *testing.T) {
+	u, err := BuildUniverse("t", Config{Seed: 9, SourceUnits: 40, TargetUnits: 5, Centers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &MixtureField{Centers: u.Centers, Base: 0.5}
+	d := u.PointDataset("pop", f, 2000)
+	if d.Points != 2000 {
+		t.Errorf("Points = %d", d.Points)
+	}
+	// Source aggregates = DM row sums, target = column sums, and the
+	// total mass is the point count (no point is dropped: fields sample
+	// inside bounds and Voronoi covers the bounds).
+	var total float64
+	for _, v := range d.Source {
+		total += v
+	}
+	if total != 2000 {
+		t.Errorf("source total = %v, want 2000", total)
+	}
+	total = 0
+	for _, v := range d.Target {
+		total += v
+	}
+	if total != 2000 {
+		t.Errorf("target total = %v, want 2000", total)
+	}
+}
+
+func TestAreaDataset(t *testing.T) {
+	u, err := BuildUniverse("t", Config{Seed: 4, SourceUnits: 30, TargetUnits: 4, Centers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := u.AreaDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range d.Source {
+		total += v
+	}
+	want := u.Bounds.Area()
+	if math.Abs(total-want) > 1e-5*want {
+		t.Errorf("area total = %v, want %v", total, want)
+	}
+}
+
+func TestBuildCatalogNY(t *testing.T) {
+	u, err := BuildUniverse("NY", NYConfig(3, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := BuildCatalog(NewYork, u, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Datasets) != 8 {
+		t.Fatalf("NY catalog has %d datasets, want 8", len(cat.Datasets))
+	}
+	names := cat.DatasetNames()
+	wantNames := map[string]bool{
+		"Attorney Registration": true, "Population": true,
+		"USPS Business Address": true, "USPS Residential Address": true,
+	}
+	for _, n := range names {
+		delete(wantNames, n)
+	}
+	if len(wantNames) != 0 {
+		t.Errorf("missing datasets: %v (have %v)", wantNames, names)
+	}
+	if cat.ByName("Population") == nil {
+		t.Error("ByName failed")
+	}
+	if cat.ByName("nope") != nil {
+		t.Error("ByName found a ghost")
+	}
+}
+
+func TestBuildCatalogUS(t *testing.T) {
+	u, err := BuildUniverse("US", USConfig(3, 0.003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := BuildCatalog(UnitedStates, u, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Datasets) != 10 {
+		t.Fatalf("US catalog has %d datasets, want 10", len(cat.Datasets))
+	}
+	if cat.ByName("Area (Sq. Miles)") == nil {
+		t.Error("Area dataset missing")
+	}
+	if cat.ByName("USA Uninhabited Places") == nil {
+		t.Error("Uninhabited dataset missing")
+	}
+}
+
+func TestBuildCatalogValidation(t *testing.T) {
+	u, _ := BuildUniverse("t", Config{Seed: 1, SourceUnits: 30, TargetUnits: 4})
+	if _, err := BuildCatalog(NewYork, u, 10); err == nil {
+		t.Error("tiny budget accepted")
+	}
+	if _, err := BuildCatalog(CatalogKind(99), u, 1000); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestEngineeredCorrelations(t *testing.T) {
+	// The USPS residential and business fields must be highly correlated
+	// at source level (the paper reports ≈96%), and uninhabited places
+	// anti-correlated with population.
+	u, err := BuildUniverse("US", USConfig(11, 0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := BuildCatalog(UnitedStates, u, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cat.ByName("USPS Residential Address")
+	bus := cat.ByName("USPS Business Address")
+	pop := cat.ByName("Population")
+	if r := pearson(res.Source, bus.Source); r < 0.85 {
+		t.Errorf("residential-business correlation = %.3f, want > 0.85", r)
+	}
+	if r := pearson(pop.Source, res.Source); r < 0.85 {
+		t.Errorf("population-residential correlation = %.3f, want > 0.85", r)
+	}
+	un := cat.ByName("USA Uninhabited Places")
+	if r := pearson(pop.Source, un.Source); r > 0.35 {
+		t.Errorf("population-uninhabited correlation = %.3f, want low/negative", r)
+	}
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var num, da, db float64
+	for i := range a {
+		x, y := a[i]-ma, b[i]-mb
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+func TestSyntheticDMStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	dm := SyntheticDM(rng, 500, 40)
+	if dm.Rows != 500 || dm.Cols != 40 {
+		t.Fatalf("dims %dx%d", dm.Rows, dm.Cols)
+	}
+	rows := dm.RowSums()
+	for i, s := range rows {
+		if s <= 0 {
+			t.Fatalf("row %d empty", i)
+		}
+	}
+	// Sparsity: at most 3 entries per row.
+	for i := 0; i < dm.Rows; i++ {
+		cols, _ := dm.Row(i)
+		if len(cols) > 3 {
+			t.Fatalf("row %d has %d entries", i, len(cols))
+		}
+	}
+}
+
+func TestScalingProblemRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	p := ScalingProblem(rng, 800, 60, 4)
+	if len(p.Objective) != 800 || len(p.References) != 4 {
+		t.Fatalf("problem malformed")
+	}
+}
+
+func TestScalingUniverses(t *testing.T) {
+	cfgs := ScalingUniverses(0.01)
+	names := ScalingUniverseNames()
+	if len(cfgs) != 6 || len(names) != 6 {
+		t.Fatalf("want 6 universes, got %d/%d", len(cfgs), len(names))
+	}
+	for i := 1; i < len(cfgs); i++ {
+		if cfgs[i].SourceUnits < cfgs[i-1].SourceUnits {
+			t.Error("source units not increasing across hierarchy")
+		}
+	}
+}
+
+func TestBuild1DCatalog(t *testing.T) {
+	cat, err := Build1DCatalog(3, 20, nil, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Datasets) != 6 {
+		t.Fatalf("datasets = %d", len(cat.Datasets))
+	}
+	if cat.Source.Len() != 20 || cat.Target.Len() != 5 {
+		t.Fatalf("bins %d/%d", cat.Source.Len(), cat.Target.Len())
+	}
+	for _, d := range cat.Datasets {
+		var src, tgt float64
+		for _, v := range d.Source {
+			src += v
+		}
+		for _, v := range d.Target {
+			tgt += v
+		}
+		if src != tgt {
+			t.Errorf("%s: source mass %v != target mass %v", d.Name, src, tgt)
+		}
+		if src == 0 {
+			t.Errorf("%s: empty dataset", d.Name)
+		}
+	}
+	// School enrollment is concentrated in the youngest wide bin.
+	school := cat.Datasets[1]
+	var total float64
+	for _, v := range school.Target {
+		total += v
+	}
+	if school.Target[0] < 0.7*total {
+		t.Errorf("school enrollment in first bin = %v of %v, want dominant", school.Target[0], total)
+	}
+}
+
+func TestBuild1DCatalogValidation(t *testing.T) {
+	if _, err := Build1DCatalog(1, 1, nil, 1000); err == nil {
+		t.Error("1 narrow bin accepted")
+	}
+	if _, err := Build1DCatalog(1, 20, nil, 10); err == nil {
+		t.Error("tiny budget accepted")
+	}
+	if _, err := Build1DCatalog(1, 20, []float64{0, 0}, 1000); err == nil {
+		t.Error("bad wide breaks accepted")
+	}
+}

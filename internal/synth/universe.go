@@ -1,0 +1,223 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"geoalign/internal/geom"
+	"geoalign/internal/partition"
+	"geoalign/internal/sparse"
+	"geoalign/internal/voronoi"
+)
+
+// Config controls universe construction.
+type Config struct {
+	Seed        int64
+	SourceUnits int       // zip-code-like fine partition size
+	TargetUnits int       // county-like coarse partition size
+	Bounds      geom.BBox // universe rectangle; zero value ⇒ unit scale 0..100
+	Centers     int       // number of urban centres for intensity fields
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Bounds.IsEmpty() || c.Bounds == (geom.BBox{}) {
+		c.Bounds = geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	}
+	if c.SourceUnits <= 0 {
+		c.SourceUnits = 200
+	}
+	if c.TargetUnits <= 0 {
+		c.TargetUnits = 20
+	}
+	if c.Centers <= 0 {
+		c.Centers = 10
+	}
+	return c
+}
+
+// Universe is a synthetic geography: two incongruent Voronoi partitions
+// of one rectangle, with Voronoi-exact point location wired into both
+// systems and the urban-centre list shared by all dataset fields.
+type Universe struct {
+	Name          string
+	Bounds        geom.BBox
+	Source        *partition.PolygonSystem
+	Target        *partition.PolygonSystem
+	SourceDiagram *voronoi.Diagram
+	TargetDiagram *voronoi.Diagram
+	Centers       []GaussianCenter
+	rng           *rand.Rand
+}
+
+// BuildUniverse constructs a universe from a config. The same seed
+// always produces the same geography and datasets.
+func BuildUniverse(name string, cfg Config) (*Universe, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SourceUnits < 1 || cfg.TargetUnits < 1 {
+		return nil, fmt.Errorf("synth: need at least one unit per layer")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Urban centres come first: the target (county-like) layer is
+	// density-biased towards them, because real administrative units are
+	// smallest where people are — Manhattan is its own county. County
+	// borders therefore cross the big cities, which is the mechanism
+	// that makes areal weighting fail catastrophically in Figure 5: a
+	// city's mass sits point-like inside one source unit that straddles
+	// several small urban target units, and an area-proportional split
+	// scatters it. The source (zip-like) layer stays uniform so cities
+	// remain concentrated within single source units.
+	centers := RandomCenters(rng, cfg.Centers, cfg.Bounds)
+	srcSeeds := voronoi.RandomSeeds(rng, cfg.SourceUnits, cfg.Bounds)
+	tgtSeeds := biasedSeeds(rng, cfg.TargetUnits, cfg.Bounds, centers, 0.5)
+	sd, err := voronoi.Compute(srcSeeds, cfg.Bounds)
+	if err != nil {
+		return nil, fmt.Errorf("synth: source layer: %w", err)
+	}
+	td, err := voronoi.Compute(tgtSeeds, cfg.Bounds)
+	if err != nil {
+		return nil, fmt.Errorf("synth: target layer: %w", err)
+	}
+	src, err := partition.NewPolygonSystem(sd.Cells, unitNames("Z", cfg.SourceUnits))
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := partition.NewPolygonSystem(td.Cells, unitNames("C", cfg.TargetUnits))
+	if err != nil {
+		return nil, err
+	}
+	// Voronoi point location is exact and fast: nearest seed.
+	src.SetLocator(func(p geom.Point) int {
+		if !cfg.Bounds.ContainsPoint(p) {
+			return -1
+		}
+		return sd.Nearest(p)
+	})
+	tgt.SetLocator(func(p geom.Point) int {
+		if !cfg.Bounds.ContainsPoint(p) {
+			return -1
+		}
+		return td.Nearest(p)
+	})
+	return &Universe{
+		Name:          name,
+		Bounds:        cfg.Bounds,
+		Source:        src,
+		Target:        tgt,
+		SourceDiagram: sd,
+		TargetDiagram: td,
+		Centers:       centers,
+		rng:           rng,
+	}, nil
+}
+
+// biasedSeeds draws n distinct seeds, a fracDensity share of them
+// scattered around the weighted urban centres and the rest uniform, so
+// the resulting Voronoi units are small in dense regions.
+func biasedSeeds(rng *rand.Rand, n int, bounds geom.BBox, centers []GaussianCenter, fracDensity float64) []geom.Point {
+	if len(centers) == 0 {
+		return voronoi.RandomSeeds(rng, n, bounds)
+	}
+	var totalW float64
+	for _, c := range centers {
+		totalW += c.Weight
+	}
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	minSep := 0.02 * math.Sqrt(w*h/float64(n+1))
+	seeds := make([]geom.Point, 0, n)
+	tooClose := func(p geom.Point) bool {
+		for _, s := range seeds {
+			if s.Dist2(p) < minSep*minSep {
+				return true
+			}
+		}
+		return false
+	}
+	for len(seeds) < n {
+		var p geom.Point
+		if rng.Float64() < fracDensity && totalW > 0 {
+			pick := rng.Float64() * totalW
+			c := centers[len(centers)-1]
+			for _, cand := range centers {
+				pick -= cand.Weight
+				if pick < 0 {
+					c = cand
+					break
+				}
+			}
+			p = geom.Point{
+				X: c.At.X + rng.NormFloat64()*2*c.Sigma,
+				Y: c.At.Y + rng.NormFloat64()*2*c.Sigma,
+			}
+			if !bounds.ContainsPoint(p) {
+				continue
+			}
+		} else {
+			p = geom.Point{
+				X: bounds.MinX + rng.Float64()*w,
+				Y: bounds.MinY + rng.Float64()*h,
+			}
+		}
+		if tooClose(p) {
+			continue
+		}
+		seeds = append(seeds, p)
+	}
+	return seeds
+}
+
+func unitNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s%04d", prefix, i)
+	}
+	return out
+}
+
+// Dataset is one synthetic attribute with exact ground truth at every
+// level.
+type Dataset struct {
+	Name   string
+	DM     *sparse.CSR // source×target intersection aggregates (truth)
+	Source []float64   // aggregates by source unit (truth)
+	Target []float64   // aggregates by target unit (truth)
+	Points int         // number of individual records aggregated
+}
+
+// PointDataset samples n points from the field and aggregates them into
+// a dataset.
+func (u *Universe) PointDataset(name string, f Field, n int) *Dataset {
+	pts := SamplePoints(u.rng, f, u.Bounds, n)
+	coo := sparse.NewCOO(u.Source.Len(), u.Target.Len())
+	for _, p := range pts {
+		i := u.SourceDiagram.Nearest(p)
+		j := u.TargetDiagram.Nearest(p)
+		coo.Add(i, j, 1)
+	}
+	dm := coo.ToCSR()
+	return &Dataset{
+		Name:   name,
+		DM:     dm,
+		Source: dm.RowSums(),
+		Target: dm.ColSums(),
+		Points: n,
+	}
+}
+
+// AreaDataset builds the purely geometric "Area" dataset from polygon
+// intersection areas.
+func (u *Universe) AreaDataset() (*Dataset, error) {
+	dm, err := partition.MeasureDM(u.Source, u.Target)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Name:   "Area (Sq. Miles)",
+		DM:     dm,
+		Source: dm.RowSums(),
+		Target: dm.ColSums(),
+	}, nil
+}

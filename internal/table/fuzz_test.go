@@ -1,0 +1,61 @@
+package table
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadAggregateCSV: the reader must never panic, and any accepted
+// table must round-trip.
+func FuzzReadAggregateCSV(f *testing.F) {
+	f.Add("unit,steam\n10001,5946\n")
+	f.Add("unit,x\n")
+	f.Add("")
+	f.Add("unit,x\na,nan\n")
+	f.Add("unit,x\n\"quoted,unit\",3.5\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		agg, err := ReadAggregateCSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := agg.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted table failed to serialise: %v", err)
+		}
+		back, err := ReadAggregateCSV(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if back.Len() != agg.Len() {
+			t.Fatalf("round trip changed row count")
+		}
+	})
+}
+
+// FuzzReadCrosswalkCSV mirrors the aggregate fuzzer for crosswalk
+// relationship files.
+func FuzzReadCrosswalkCSV(f *testing.F) {
+	f.Add("source,target,population\n10001,New York,21102\n")
+	f.Add("source,target,x\n")
+	f.Add("s,t,v\na,b,notanumber\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		cw, err := ReadCrosswalkCSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := cw.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted crosswalk failed to serialise: %v", err)
+		}
+		back, err := ReadCrosswalkCSV(&buf)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if back.DM.NNZ() != cw.DM.NNZ() {
+			t.Fatalf("round trip changed entry count: %d -> %d", cw.DM.NNZ(), back.DM.NNZ())
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package voronoi
+
+import (
+	"math/rand"
+	"testing"
+
+	"geoalign/internal/geom"
+)
+
+var benchBounds = geom.BBox{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+
+// BenchmarkComputeNYScale builds a zip-layer-sized diagram (the paper's
+// New York State count).
+func BenchmarkComputeNYScale(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	seeds := RandomSeeds(rng, 1794, benchBounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(seeds, benchBounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	seeds := RandomSeeds(rng, 5000, benchBounds)
+	d, err := Compute(seeds, benchBounds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]geom.Point, 1024)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Nearest(pts[i%len(pts)])
+	}
+}

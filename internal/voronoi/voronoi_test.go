@@ -1,0 +1,253 @@
+package voronoi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"geoalign/internal/geom"
+)
+
+var testBounds = geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+
+func TestComputeSingleSeed(t *testing.T) {
+	d, err := Compute([]geom.Point{{X: 5, Y: 5}}, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Cells) != 1 {
+		t.Fatalf("cells = %d", len(d.Cells))
+	}
+	if math.Abs(d.Cells[0].Area()-100) > 1e-9 {
+		t.Errorf("single cell area = %v, want 100", d.Cells[0].Area())
+	}
+}
+
+func TestComputeTwoSeeds(t *testing.T) {
+	d, err := Compute([]geom.Point{{X: 2.5, Y: 5}, {X: 7.5, Y: 5}}, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range d.Cells {
+		if math.Abs(c.Area()-50) > 1e-9 {
+			t.Errorf("cell %d area = %v, want 50", i, c.Area())
+		}
+	}
+	// Left cell must not cross x=5.
+	for _, p := range d.Cells[0] {
+		if p.X > 5+1e-9 {
+			t.Errorf("left cell vertex %v crosses the bisector", p)
+		}
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, testBounds); err == nil {
+		t.Error("no seeds accepted")
+	}
+	if _, err := Compute([]geom.Point{{X: 50, Y: 50}}, testBounds); err == nil {
+		t.Error("out-of-bounds seed accepted")
+	}
+	if _, err := Compute([]geom.Point{{X: 1, Y: 1}}, geom.EmptyBBox()); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := Compute([]geom.Point{{X: 1, Y: 1}, {X: 1, Y: 1}}, testBounds); err == nil {
+		t.Error("duplicate seeds accepted")
+	}
+}
+
+func TestPartitionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	seeds := RandomSeeds(rng, 60, testBounds)
+	d, err := Compute(seeds, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Areas sum to the universe area.
+	var total float64
+	for i, c := range d.Cells {
+		a := c.Area()
+		if a <= 0 {
+			t.Fatalf("cell %d has non-positive area", i)
+		}
+		if !c.IsConvex() {
+			t.Fatalf("cell %d not convex", i)
+		}
+		if !c.Contains(seeds[i]) {
+			t.Fatalf("cell %d does not contain its own seed", i)
+		}
+		total += a
+	}
+	if math.Abs(total-100) > 1e-6 {
+		t.Errorf("cell areas sum to %v, want 100", total)
+	}
+	// Pairwise overlap is (numerically) zero.
+	for i := 0; i < len(d.Cells); i++ {
+		for j := i + 1; j < len(d.Cells); j++ {
+			if ov := geom.IntersectionArea(d.Cells[i], d.Cells[j]); ov > 1e-7 {
+				t.Fatalf("cells %d and %d overlap by %v", i, j, ov)
+			}
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	seeds := RandomSeeds(rng, 120, testBounds)
+	d, err := Compute(seeds, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		p := geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		got := d.Nearest(p)
+		want, wd := -1, math.Inf(1)
+		for i, s := range seeds {
+			if dd := s.Dist(p); dd < wd {
+				want, wd = i, dd
+			}
+		}
+		if got != want && math.Abs(seeds[got].Dist(p)-wd) > 1e-12 {
+			t.Fatalf("Nearest(%v) = %d (dist %v), want %d (dist %v)",
+				p, got, seeds[got].Dist(p), want, wd)
+		}
+	}
+}
+
+func TestNearestAgreesWithCellContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	seeds := RandomSeeds(rng, 40, testBounds)
+	d, err := Compute(seeds, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		p := geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+		i := d.Nearest(p)
+		if !d.Cells[i].Contains(p) {
+			// Allow boundary fuzz: the point must at least be very close
+			// to the chosen cell.
+			cl := d.Cells[i]
+			minD := math.Inf(1)
+			for k := range cl {
+				if dd := cl[k].Dist(p); dd < minD {
+					minD = dd
+				}
+			}
+			if minD > 1e-6 {
+				t.Fatalf("point %v not in its nearest cell %d", p, i)
+			}
+		}
+	}
+}
+
+func TestRandomSeedsDistinctAndInBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(80)
+		seeds := RandomSeeds(rng, n, testBounds)
+		if len(seeds) != n {
+			return false
+		}
+		seen := map[geom.Point]bool{}
+		for _, s := range seeds {
+			if !testBounds.ContainsPoint(s) || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargeDiagramScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(7))
+	seeds := RandomSeeds(rng, 3000, testBounds)
+	d, err := Compute(seeds, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, c := range d.Cells {
+		total += c.Area()
+	}
+	if math.Abs(total-100) > 1e-4 {
+		t.Errorf("3000-cell areas sum to %v, want 100", total)
+	}
+}
+
+func TestSeedsNearBoundary(t *testing.T) {
+	seeds := []geom.Point{
+		{X: 0.001, Y: 0.001},
+		{X: 9.999, Y: 9.999},
+		{X: 0.001, Y: 9.999},
+		{X: 9.999, Y: 0.001},
+		{X: 5, Y: 5},
+	}
+	d, err := Compute(seeds, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for i, c := range d.Cells {
+		if c.Area() <= 0 {
+			t.Fatalf("cell %d empty", i)
+		}
+		total += c.Area()
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("areas sum to %v", total)
+	}
+}
+
+func TestVeryCloseSeeds(t *testing.T) {
+	seeds := []geom.Point{
+		{X: 5, Y: 5},
+		{X: 5 + 1e-9, Y: 5},
+		{X: 2, Y: 2},
+	}
+	d, err := Compute(seeds, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, c := range d.Cells {
+		total += c.Area()
+	}
+	if math.Abs(total-100) > 1e-6 {
+		t.Errorf("areas sum to %v with near-duplicate seeds", total)
+	}
+}
+
+func TestCollinearSeeds(t *testing.T) {
+	var seeds []geom.Point
+	for i := 0; i < 8; i++ {
+		seeds = append(seeds, geom.Point{X: 1 + float64(i), Y: 5})
+	}
+	d, err := Compute(seeds, testBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, c := range d.Cells {
+		if !c.IsConvex() {
+			t.Error("collinear-seed cell not convex")
+		}
+		total += c.Area()
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("areas sum to %v", total)
+	}
+	// Interior cells of a horizontal seed row are vertical strips of
+	// width 1.
+	if math.Abs(d.Cells[3].Area()-10) > 1e-9 {
+		t.Errorf("strip area = %v, want 10", d.Cells[3].Area())
+	}
+}
