@@ -1,0 +1,120 @@
+package geoalign
+
+import (
+	"fmt"
+	"runtime"
+
+	"geoalign/internal/core"
+)
+
+// AlignerOptions tunes a reusable Aligner. The zero value (or a nil
+// pointer) gives the defaults: one worker per CPU, no fallback
+// crosswalk, estimated crosswalks retained on every Result.
+type AlignerOptions struct {
+	// Workers bounds the AlignAll worker pool. 0 ⇒ runtime.NumCPU().
+	Workers int
+	// Fallback, if set, redistributes the aggregates of source units
+	// where every reference is zero according to this crosswalk instead
+	// of dropping them — see AlignWithFallback.
+	Fallback *Crosswalk
+	// DiscardCrosswalks skips retaining the estimated disaggregation
+	// matrix on each Result (EstimatedCrosswalk returns nil). Saves one
+	// matrix copy per attribute in large batches.
+	DiscardCrosswalks bool
+}
+
+// Aligner is a reusable GeoAlign engine for crosswalking many
+// attributes over one fixed set of references — the paper's §4.3 /
+// Figure 8 workload, where dozens of attributes move between the same
+// pair of unit systems. NewAligner precomputes and caches everything
+// attribute-independent (validated shapes, compressed crosswalk forms,
+// reference row sums, the normalised disaggregation structure of
+// Eq. 14 and its zero-row degenerate mask), so each Align call runs
+// only the per-attribute work: weight learning (Eq. 15) plus
+// redistribution (Eq. 14/17).
+//
+// An Aligner is immutable after construction and safe for concurrent
+// use from multiple goroutines. It snapshots the reference crosswalks
+// at construction: entries Added to a Crosswalk afterwards do not
+// affect the Aligner.
+type Aligner struct {
+	engine  *core.Engine
+	workers int
+}
+
+// NewAligner validates the references and builds the cached engine.
+// opts may be nil for defaults.
+func NewAligner(refs []Reference, opts *AlignerOptions) (*Aligner, error) {
+	if opts == nil {
+		opts = &AlignerOptions{}
+	}
+	if len(refs) == 0 {
+		return nil, ErrNoReferences
+	}
+	coreRefs := make([]core.Reference, len(refs))
+	for k, r := range refs {
+		if r.Crosswalk == nil {
+			return nil, fmt.Errorf("geoalign: reference %q has no crosswalk", r.Name)
+		}
+		coreRefs[k] = core.Reference{Name: r.Name, Source: r.Source, DM: r.Crosswalk.matrix()}
+	}
+	coreOpts := core.Options{KeepDM: !opts.DiscardCrosswalks}
+	if opts.Fallback != nil {
+		coreOpts.FallbackDM = opts.Fallback.matrix()
+	}
+	engine, err := core.NewEngine(coreRefs, coreOpts)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Aligner{engine: engine, workers: workers}, nil
+}
+
+// SourceUnits returns the number of source units the references share.
+func (a *Aligner) SourceUnits() int { return a.engine.SourceUnits() }
+
+// TargetUnits returns the number of target units.
+func (a *Aligner) TargetUnits() int { return a.engine.TargetUnits() }
+
+// Align crosswalks one objective attribute, exactly like the package
+// Align function with this Aligner's references, but reusing the
+// cached precomputation. Safe to call from many goroutines at once.
+func (a *Aligner) Align(objective []float64) (*Result, error) {
+	res, err := a.engine.Align(objective)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return &Result{Target: res.Target, Weights: res.Weights, dm: res.DM}, nil
+}
+
+// Weights runs only the weight-learning step for one objective.
+func (a *Aligner) Weights(objective []float64) ([]float64, error) {
+	w, err := a.engine.LearnWeights(objective)
+	if err != nil {
+		return nil, mapErr(err)
+	}
+	return w, nil
+}
+
+// AlignAll crosswalks a batch of objective attributes, fanning the
+// per-attribute solves across the worker pool. results[i] corresponds
+// to objectives[i]; the output is deterministic and identical to
+// calling Align on each objective in sequence. On error, the first
+// failure in input order is reported and the remaining results may be
+// partially populated.
+func (a *Aligner) AlignAll(objectives [][]float64) ([]*Result, error) {
+	coreResults, err := a.engine.AlignAll(objectives, a.workers)
+	results := make([]*Result, len(coreResults))
+	for i, r := range coreResults {
+		if r != nil {
+			results[i] = &Result{Target: r.Target, Weights: r.Weights, dm: r.DM}
+		}
+	}
+	if err != nil {
+		return results, mapErr(err)
+	}
+	return results, nil
+}

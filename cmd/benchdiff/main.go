@@ -1,0 +1,271 @@
+// Command benchdiff runs the repository benchmarks and gates on
+// regressions against the previous recorded run.
+//
+// It invokes `go test -json -bench=<pattern> -run=^$`, parses the
+// benchmark result lines out of the test2json stream, writes them to
+// BENCH_<date>.json in the snapshot directory, and compares against the
+// most recent earlier BENCH_*.json file: any benchmark slower than the
+// previous run by more than the tolerance (default ±20%) fails the run
+// with exit status 1.
+//
+//	benchdiff                      # bench everything, compare, record
+//	benchdiff -bench AlignerBatch  # one benchmark family
+//	benchdiff -check-only          # compare without writing a snapshot
+//
+// Speedups beyond the tolerance are reported but never fail the gate;
+// benchmarks present in only one of the two runs are listed and
+// otherwise ignored.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is the on-disk BENCH_<date>.json format.
+type Snapshot struct {
+	Date    string             `json:"date"`
+	Go      string             `json:"go"`
+	Results map[string]float64 `json:"results"` // benchmark name -> ns/op
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name     string
+	Old, New float64 // ns/op
+	Ratio    float64 // New/Old
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	var (
+		bench     = fs.String("bench", ".", "benchmark pattern passed to -bench")
+		benchtime = fs.String("benchtime", "1x", "value passed to -benchtime")
+		pkg       = fs.String("pkg", ".", "package pattern to benchmark")
+		dir       = fs.String("dir", ".", "directory holding BENCH_*.json snapshots")
+		tol       = fs.Float64("tol", 0.20, "allowed slowdown fraction before failing")
+		checkOnly = fs.Bool("check-only", false, "compare against the latest snapshot without writing a new one")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cmd := exec.Command("go", "test", "-json", "-bench="+*bench,
+		"-benchtime="+*benchtime, "-run=^$", *pkg)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go test: %w\n%s", err, stderr.String())
+	}
+	results, err := ParseBenchJSON(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results matched -bench %q", *bench)
+	}
+
+	now := time.Now().Format("2006-01-02")
+	cur := &Snapshot{Date: now, Go: runtime.Version(), Results: results}
+
+	prevPath, err := LatestSnapshot(*dir, "BENCH_"+now+".json")
+	if err != nil {
+		return err
+	}
+	if prevPath == "" {
+		fmt.Fprintf(out, "no previous BENCH_*.json in %s; recording baseline only\n", *dir)
+	} else {
+		prev, err := readSnapshot(prevPath)
+		if err != nil {
+			return err
+		}
+		deltas, onlyOld, onlyNew := Compare(prev.Results, cur.Results)
+		printReport(out, filepath.Base(prevPath), deltas, onlyOld, onlyNew, *tol)
+		if regressed := Regressions(deltas, *tol); len(regressed) > 0 {
+			return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regressed), *tol*100)
+		}
+	}
+
+	if !*checkOnly {
+		path := filepath.Join(*dir, "BENCH_"+now+".json")
+		if err := writeSnapshot(path, cur); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "recorded %s (%d benchmarks)\n", path, len(results))
+	}
+	return nil
+}
+
+// benchLine matches a benchmark result line inside test2json Output
+// fields, e.g. "BenchmarkAlignUS-4   \t  10\t 123456 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// ParseBenchJSON extracts benchmark results from a `go test -json`
+// stream. A single result line usually arrives split across several
+// Output events (the benchmark name is flushed before the timed run,
+// the numbers after it), so the stream is reassembled per package
+// before matching lines. The trailing -<procs> suffix on benchmark
+// names is kept: runs at different GOMAXPROCS are different benchmarks.
+func ParseBenchJSON(r io.Reader) (map[string]float64, error) {
+	text := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action  string `json:"Action"`
+			Package string `json:"Package"`
+			Output  string `json:"Output"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // interleaved non-JSON output (e.g. from -v builds)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		sb, ok := text[ev.Package]
+		if !ok {
+			sb = &strings.Builder{}
+			text[ev.Package] = sb
+		}
+		sb.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	results := make(map[string]float64)
+	for _, sb := range text {
+		for _, line := range strings.Split(sb.String(), "\n") {
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", line, err)
+			}
+			results[m[1]] = ns
+		}
+	}
+	return results, nil
+}
+
+// Compare pairs up two result sets. Deltas are sorted by descending
+// ratio (worst regression first); unpaired names are returned sorted.
+func Compare(old, cur map[string]float64) (deltas []Delta, onlyOld, onlyNew []string) {
+	for name, o := range old {
+		n, ok := cur[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		d := Delta{Name: name, Old: o, New: n}
+		if o > 0 {
+			d.Ratio = n / o
+		}
+		deltas = append(deltas, d)
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Ratio != deltas[j].Ratio {
+			return deltas[i].Ratio > deltas[j].Ratio
+		}
+		return deltas[i].Name < deltas[j].Name
+	})
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// Regressions returns the deltas slower than the tolerance allows.
+func Regressions(deltas []Delta, tol float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Ratio > 1+tol {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// LatestSnapshot returns the lexicographically greatest BENCH_*.json in
+// dir other than skip ("" when none exists). ISO dates in the names
+// make lexicographic order chronological.
+func LatestSnapshot(dir, skip string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		if filepath.Base(matches[i]) != skip {
+			return matches[i], nil
+		}
+	}
+	return "", nil
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func writeSnapshot(path string, s *Snapshot) error {
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func printReport(out io.Writer, prevName string, deltas []Delta, onlyOld, onlyNew []string, tol float64) {
+	fmt.Fprintf(out, "comparing against %s (gate: +%.0f%%)\n", prevName, tol*100)
+	fmt.Fprintf(out, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, d := range deltas {
+		mark := ""
+		switch {
+		case d.Ratio > 1+tol:
+			mark = "  REGRESSION"
+		case d.Ratio < 1-tol:
+			mark = "  improved"
+		}
+		fmt.Fprintf(out, "%-60s %14.0f %14.0f %7.2fx%s\n", d.Name, d.Old, d.New, d.Ratio, mark)
+	}
+	for _, n := range onlyOld {
+		fmt.Fprintf(out, "%-60s removed\n", n)
+	}
+	for _, n := range onlyNew {
+		fmt.Fprintf(out, "%-60s new\n", n)
+	}
+}

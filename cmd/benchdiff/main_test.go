@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchJSON(t *testing.T) {
+	stream := strings.Join([]string{
+		`{"Action":"start","Package":"geoalign"}`,
+		`{"Action":"output","Package":"geoalign","Output":"goos: linux\n"}`,
+		// One result line split across events, as go test actually emits
+		// it: the name flushes before the timed run, the numbers after.
+		`{"Action":"output","Package":"geoalign","Output":"BenchmarkAlignUS-4   \t"}`,
+		`{"Action":"output","Package":"geoalign","Output":"      10\t 123456.5 ns/op\n"}`,
+		`{"Action":"output","Package":"geoalign","Output":"BenchmarkAlignerBatch/serial-loop \t       1\t1203260341 ns/op\n"}`,
+		`{"Action":"output","Package":"geoalign","Output":"--- BENCH: BenchmarkX\n"}`,
+		`not json at all`,
+		`{"Action":"output","Package":"geoalign","Output":"PASS\n"}`,
+		`{"Action":"pass","Package":"geoalign"}`,
+	}, "\n")
+	got, err := ParseBenchJSON(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkAlignUS-4":                123456.5,
+		"BenchmarkAlignerBatch/serial-loop": 1203260341,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestCompareAndRegressions(t *testing.T) {
+	old := map[string]float64{
+		"BenchmarkA":    100,
+		"BenchmarkB":    100,
+		"BenchmarkC":    100,
+		"BenchmarkGone": 50,
+	}
+	cur := map[string]float64{
+		"BenchmarkA":   125, // +25%: regression at 20% tolerance
+		"BenchmarkB":   119, // +19%: within tolerance
+		"BenchmarkC":   70,  // improvement
+		"BenchmarkNew": 10,
+	}
+	deltas, onlyOld, onlyNew := Compare(old, cur)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3", len(deltas))
+	}
+	// Sorted worst-first.
+	if deltas[0].Name != "BenchmarkA" || deltas[2].Name != "BenchmarkC" {
+		t.Errorf("sort order: %v", deltas)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+	reg := Regressions(deltas, 0.20)
+	if len(reg) != 1 || reg[0].Name != "BenchmarkA" {
+		t.Errorf("regressions = %v, want only BenchmarkA", reg)
+	}
+	if reg := Regressions(deltas, 0.30); len(reg) != 0 {
+		t.Errorf("regressions at 30%% = %v, want none", reg)
+	}
+}
+
+func TestLatestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-07-01.json", "BENCH_2026-08-05.json", "BENCH_2026-07-20.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestSnapshot(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-08-05.json" {
+		t.Errorf("latest = %q", got)
+	}
+	// Skipping today's own snapshot finds the one before it.
+	got, err = LatestSnapshot(dir, "BENCH_2026-08-05.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-07-20.json" {
+		t.Errorf("latest with skip = %q", got)
+	}
+	empty := t.TempDir()
+	got, err = LatestSnapshot(empty, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "" {
+		t.Errorf("latest in empty dir = %q, want empty", got)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_2026-08-05.json")
+	in := &Snapshot{Date: "2026-08-05", Go: "go1.24.0", Results: map[string]float64{"BenchmarkA": 42.5}}
+	if err := writeSnapshot(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Date != in.Date || out.Go != in.Go || out.Results["BenchmarkA"] != 42.5 {
+		t.Errorf("round trip: %+v", out)
+	}
+}

@@ -29,7 +29,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "fig5a | fig5b | fig6 | fig7 | fig8 | ext1 | corr | txt2 | all")
+		exp    = fs.String("exp", "all", "fig5a | fig5b | fig6 | fig7 | fig8 | ext1 | corr | txt2 | batch | all")
 		scale  = fs.Float64("scale", 0.02, "unit-count scale relative to the paper's real counts (1.0 = full)")
 		budget = fs.Int("budget", 100000, "points in the densest dataset")
 		seed   = fs.Int64("seed", 42, "generation seed")
@@ -140,6 +140,14 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "GeoAlign beats pycnophylactic on %d/%d datasets\n", wins, total)
 		wins, total = rep.GeoAlignWinsOver("regression")
 		fmt.Fprintf(out, "GeoAlign beats naive regression on %d/%d datasets\n\n", wins, total)
+	}
+	if want("batch") {
+		ran = true
+		bt, err := eval.BatchThroughput(30238, 3142, 7, 32, 0, *trials, *seed)
+		if err != nil {
+			return err
+		}
+		section(out, "BATCH", bt.String())
 	}
 	if want("corr") {
 		ran = true

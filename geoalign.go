@@ -23,6 +23,19 @@
 //	res, err := geoalign.Align(steamByZip, refs)
 //	// res.Target holds estimated steam consumption by county.
 //
+// # Aligning many attributes
+//
+// Align rebuilds the reference precomputation on every call. When many
+// attributes are crosswalked over the same references, build an
+// Aligner once and reuse it — it caches everything
+// attribute-independent and fans batches across a worker pool:
+//
+//	aligner, err := geoalign.NewAligner(refs, nil)
+//	results, err := aligner.AlignAll(attributeColumns)
+//
+// An Aligner is safe for concurrent use; AlignAll returns exactly what
+// per-attribute Align calls would, in input order.
+//
 // Aggregate interpolation is dimension-independent: the same call
 // realigns 1-D histograms, 2-D map layers, or n-D space–time grids —
 // only the crosswalk construction differs. The subpackages under

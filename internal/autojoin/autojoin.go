@@ -14,6 +14,7 @@ package autojoin
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"geoalign/internal/core"
 	"geoalign/internal/table"
@@ -80,56 +81,100 @@ func Join(tables []Table, pool []CrosswalkFile, opts Options) (*Joined, error) {
 		return nil, fmt.Errorf("autojoin: no units of target type %q found in tables or crosswalks", target)
 	}
 
+	// Tables sharing a unit type AND an identical source-key order see
+	// exactly the same reference crosswalks, so they share one cached
+	// alignment engine and are realigned as a batch (core.Engine.AlignAll)
+	// instead of re-deriving the crosswalk precomputation per table. The
+	// key order matters: ReorderTo output — and hence the engine — depends
+	// on it, so differently-ordered tables get separate engines rather
+	// than a behaviour-changing canonicalisation.
 	out := &Joined{UnitType: target, Keys: keys}
-	for _, tb := range tables {
-		col, err := realignOne(tb, pool, target, keys)
-		if err != nil {
+	cols := make([]*Column, len(tables))
+	groups := make(map[string][]int)
+	var order []string
+	for idx, tb := range tables {
+		if tb.UnitType == target {
+			vals, err := reorderLoose(tb.Data, keys)
+			if err != nil {
+				return nil, fmt.Errorf("autojoin: table %q: %w", tb.Data.Attribute, err)
+			}
+			cols[idx] = &Column{Attribute: tb.Data.Attribute, Values: vals}
+			continue
+		}
+		sig := tb.UnitType + "\x00" + strings.Join(tb.Data.Keys, "\x00")
+		if _, ok := groups[sig]; !ok {
+			order = append(order, sig)
+		}
+		groups[sig] = append(groups[sig], idx)
+	}
+	for _, sig := range order {
+		if err := realignGroup(tables, groups[sig], pool, target, keys, cols); err != nil {
 			return nil, err
 		}
+	}
+	for _, col := range cols {
 		out.Columns = append(out.Columns, *col)
 	}
 	return out, nil
 }
 
-func realignOne(tb Table, pool []CrosswalkFile, target string, keys []string) (*Column, error) {
-	if tb.UnitType == target {
-		vals, err := reorderLoose(tb.Data, keys)
-		if err != nil {
-			return nil, fmt.Errorf("autojoin: table %q: %w", tb.Data.Attribute, err)
-		}
-		return &Column{Attribute: tb.Data.Attribute, Values: vals}, nil
-	}
+// realignGroup realigns the tables at the given indices — all with the
+// same unit type and source-key order — through one shared engine,
+// filling their slots in cols.
+func realignGroup(tables []Table, members []int, pool []CrosswalkFile, target string, keys []string, cols []*Column) error {
+	first := tables[members[0]]
 	var refs []core.Reference
 	var names []string
 	for _, cw := range pool {
-		if cw.SourceType != tb.UnitType || cw.TargetType != target {
+		if cw.SourceType != first.UnitType || cw.TargetType != target {
 			continue
 		}
-		dm, err := cw.Data.ReorderTo(tb.Data.Keys, keys)
+		dm, err := cw.Data.ReorderTo(first.Data.Keys, keys)
 		if err != nil {
-			return nil, fmt.Errorf("autojoin: crosswalk %q: %w", cw.Data.Attribute, err)
+			return fmt.Errorf("autojoin: crosswalk %q: %w", cw.Data.Attribute, err)
 		}
 		refs = append(refs, core.Reference{Name: cw.Data.Attribute, DM: dm})
 		names = append(names, cw.Data.Attribute)
 	}
 	if len(refs) == 0 {
-		return nil, fmt.Errorf("autojoin: no crosswalk from %q to %q for table %q",
-			tb.UnitType, target, tb.Data.Attribute)
+		return fmt.Errorf("autojoin: no crosswalk from %q to %q for table %q",
+			first.UnitType, target, first.Data.Attribute)
 	}
-	res, err := core.Align(core.Problem{Objective: tb.Data.Values, References: refs}, core.Options{})
+	engine, err := core.NewEngine(refs, core.Options{})
 	if err != nil {
-		return nil, fmt.Errorf("autojoin: realigning %q: %w", tb.Data.Attribute, err)
+		return fmt.Errorf("autojoin: realigning %q: %w", first.Data.Attribute, err)
 	}
-	col := &Column{
-		Attribute: tb.Data.Attribute,
-		Values:    res.Target,
-		Realigned: true,
-		Weights:   make(map[string]float64, len(names)),
+	objectives := make([][]float64, len(members))
+	for m, idx := range members {
+		objectives[m] = tables[idx].Data.Values
 	}
-	for k, n := range names {
-		col.Weights[n] = res.Weights[k]
+	results, err := engine.AlignAll(objectives, 0)
+	if err != nil {
+		// Re-derive the first failure in member order with its table name
+		// (AlignAll reports it by batch index only).
+		for m, idx := range members {
+			if results[m] == nil {
+				if _, e := engine.Align(objectives[m]); e != nil {
+					return fmt.Errorf("autojoin: realigning %q: %w", tables[idx].Data.Attribute, e)
+				}
+			}
+		}
+		return fmt.Errorf("autojoin: realigning %q: %w", first.Data.Attribute, err)
 	}
-	return col, nil
+	for m, idx := range members {
+		res := results[m]
+		col := &Column{
+			Attribute: tables[idx].Data.Attribute,
+			Values:    res.Target,
+			Realigned: true,
+			Weights:   make(map[string]float64, len(names)),
+		}
+		for k, n := range names {
+			col.Weights[n] = res.Weights[k]
+		}
+		cols[idx] = col
+	}
+	return nil
 }
 
 // pickTargetType returns the unit type shared by the most tables.

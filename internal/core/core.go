@@ -79,76 +79,32 @@ type Options struct {
 
 // Align runs GeoAlign (Algorithm 1): weight learning (Eq. 15),
 // disaggregation (Eq. 14), re-aggregation (Eq. 17).
+//
+// The Eq. 14 numerator is Σ_k β_k·DM'_rk with each reference crosswalk
+// normalised by its largest source aggregate, matching the
+// max-normalisation of the weight-learning step ("the magnitude of the
+// references should not be a contributing factor", §3.4) — without it,
+// Eq. (14) as printed would let a large-valued reference dominate the
+// share mixture regardless of β. The denominator per source unit i is
+// the numerator's own row sum rather than any separately published
+// source vector — the consistent reading of Eq. (14): it makes the
+// volume-preserving property (Eq. 16) hold exactly, and it is what
+// keeps GeoAlign robust when the published source aggregates are noisy
+// (§4.4.1): noise then only perturbs the learned weights.
+//
+// Align is a thin wrapper that builds a single-use Engine; callers
+// crosswalking many attributes over the same references should build
+// the Engine once with NewEngine and use Align/AlignAll on it, which
+// amortises the crosswalk precomputation across attributes.
 func Align(p Problem, opts Options) (*Result, error) {
-	ns, _, err := validate(p)
+	if _, _, err := validate(p); err != nil {
+		return nil, err
+	}
+	e, err := NewEngine(p.References, opts)
 	if err != nil {
 		return nil, err
 	}
-
-	// Step 1 — weight learning on max-normalised source aggregates.
-	beta, err := LearnWeights(p, opts)
-	if err != nil {
-		return nil, err
-	}
-
-	// Step 2 — disaggregation: build DM̂_o row by row.
-	// Numerator: Σ_k β_k·DM'_rk with each reference crosswalk normalised
-	// by its largest source aggregate, matching the max-normalisation of
-	// the weight-learning step ("the magnitude of the references should
-	// not be a contributing factor", §3.4) — without it, Eq. (14) as
-	// printed would let a large-valued reference dominate the share
-	// mixture regardless of β. The denominator per source unit i is the
-	// numerator's own row sum rather than any separately published
-	// source vector — the consistent reading of Eq. (14): it makes the
-	// volume-preserving property (Eq. 16) hold exactly, and it is what
-	// keeps GeoAlign robust when the published source aggregates are
-	// noisy (§4.4.1): noise then only perturbs the learned weights.
-	dms := make([]*sparse.CSR, len(p.References))
-	w := make([]float64, len(p.References))
-	for k, r := range p.References {
-		dms[k] = r.DM
-		w[k] = beta[k]
-		if mx := linalg.MaxAbs(r.DM.RowSums()); mx > 0 {
-			w[k] = beta[k] / mx
-		}
-	}
-	num, err := sparse.WeightedSum(dms, w)
-	if err != nil {
-		return nil, err
-	}
-	den := num.RowSums()
-	scale := make([]float64, ns)
-	var degenerate []int
-	for i := 0; i < ns; i++ {
-		if den[i] != 0 {
-			scale[i] = p.Objective[i] / den[i]
-		} else if p.Objective[i] != 0 {
-			// The paper's degenerate case in Eq. 14: zero estimate,
-			// unless a fallback crosswalk is provided.
-			degenerate = append(degenerate, i)
-		}
-	}
-	dmo := num.ScaleRows(scale) // num is freshly built; in-place is safe
-
-	if opts.FallbackDM != nil && len(degenerate) > 0 {
-		fb := opts.FallbackDM
-		if fb.Rows != ns || fb.Cols != dmo.Cols {
-			return nil, fmt.Errorf("core: fallback DM is %dx%d, want %dx%d", fb.Rows, fb.Cols, ns, dmo.Cols)
-		}
-		dmo, err = patchRows(dmo, fb, degenerate, p.Objective)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Step 3 — re-aggregation: column sums (Eq. 17).
-	target := dmo.ColSums()
-
-	res := &Result{Target: target, Weights: beta}
-	if opts.KeepDM {
-		res.DM = dmo
-	}
-	return res, nil
+	return e.Align(p.Objective)
 }
 
 // LearnWeights performs only GeoAlign's weight-learning step and

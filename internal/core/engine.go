@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"geoalign/internal/linalg"
+	"geoalign/internal/sparse"
+)
+
+// Engine is a reusable GeoAlign aligner for crosswalking many
+// attributes over one fixed set of references — the §4.3 / Figure 8
+// workload. Construction precomputes everything that does not depend
+// on the objective attribute:
+//
+//   - validated shapes (every reference |U^s|×|U^t|),
+//   - the Eq. 15 design matrix of max-normalised reference source
+//     aggregates,
+//   - each reference crosswalk's row sums and their maximum (the
+//     per-reference normaliser of the Eq. 14 numerator),
+//   - the union sparsity pattern of the reference crosswalks plus a
+//     per-reference map from stored entries into that pattern, so the
+//     β-weighted combination fills a flat value buffer with no
+//     allocation, sorting or merging per call,
+//   - the zero-row mask of source units with no stored entry in any
+//     reference (the Eq. 14 degenerate case for every objective).
+//
+// After construction an Engine is immutable and safe for concurrent
+// use: Align may be called from many goroutines, and AlignAll fans a
+// batch of objectives across a worker pool. Per-call state lives in
+// pooled scratch buffers; no two concurrent calls share mutable data.
+type Engine struct {
+	ns, nt int
+	refs   []Reference
+	opts   Options
+
+	weightMat *linalg.Matrix // Eq. 15 design matrix (ns × k)
+	normSrc   [][]float64    // its columns: maxNormalise(source_k)
+	maxRow    []float64      // max |row sum| per reference crosswalk
+	pat       *sparse.CSR    // union sparsity pattern (Val is nil)
+	slots     [][]int        // slots[k][t]: union position of ref k's t-th entry
+	zeroRow   []bool         // no reference has support in this source unit
+
+	scratch sync.Pool
+}
+
+// engineScratch is the per-call mutable state of one Align solve.
+type engineScratch struct {
+	val   []float64 // union-pattern value buffer (the Eq. 14 numerator)
+	den   []float64 // its row sums
+	scale []float64 // per-row disaggregation factor
+	w     []float64 // β scaled by the per-reference normaliser
+	b     []float64 // max-normalised objective
+}
+
+// NewEngine validates the references and precomputes the shared
+// crosswalk structure. The references' matrices are captured by
+// reference and must not be mutated while the engine is in use.
+func NewEngine(refs []Reference, opts Options) (*Engine, error) {
+	if len(refs) == 0 {
+		return nil, ErrNoReferences
+	}
+	for k, r := range refs {
+		if r.DM == nil {
+			return nil, fmt.Errorf("core: reference %d (%s) has no disaggregation matrix", k, r.Name)
+		}
+	}
+	ns, nt := refs[0].DM.Rows, refs[0].DM.Cols
+	for k, r := range refs {
+		if r.DM.Rows != ns || r.DM.Cols != nt {
+			return nil, fmt.Errorf("core: reference %d (%s) DM is %dx%d, reference 0 is %dx%d",
+				k, r.Name, r.DM.Rows, r.DM.Cols, ns, nt)
+		}
+		if r.Source != nil && len(r.Source) != ns {
+			return nil, fmt.Errorf("core: reference %d (%s) source vector length %d, want %d",
+				k, r.Name, len(r.Source), ns)
+		}
+	}
+	e := &Engine{
+		ns:   ns,
+		nt:   nt,
+		refs: append([]Reference(nil), refs...),
+		opts: opts,
+	}
+
+	// Eq. 15 design matrix and Eq. 14 normalisers.
+	k := len(refs)
+	e.normSrc = make([][]float64, k)
+	e.maxRow = make([]float64, k)
+	for i, r := range refs {
+		e.normSrc[i] = maxNormalise(referenceSource(r))
+		e.maxRow[i] = linalg.MaxAbs(r.DM.RowSums())
+	}
+	var err error
+	e.weightMat, err = linalg.MatrixFromColumns(e.normSrc)
+	if err != nil {
+		return nil, err
+	}
+
+	e.buildPattern()
+
+	e.scratch.New = func() any {
+		return &engineScratch{
+			// The pattern CSR carries no values; its entry count is the
+			// length of ColIdx.
+			val:   make([]float64, len(e.pat.ColIdx)),
+			den:   make([]float64, e.ns),
+			scale: make([]float64, e.ns),
+			w:     make([]float64, len(e.refs)),
+			b:     make([]float64, e.ns),
+		}
+	}
+	return e, nil
+}
+
+// buildPattern merges the references' sparsity patterns row by row into
+// one union CSR pattern and records, for every stored entry of every
+// reference, its position in that pattern.
+func (e *Engine) buildPattern() {
+	k := len(e.refs)
+	indptr := make([]int, e.ns+1)
+	seen := make([]bool, e.nt)
+	posOf := make([]int, e.nt)
+	touched := make([]int, 0, 16)
+	var colIdx []int
+	e.slots = make([][]int, k)
+	for kk, r := range e.refs {
+		e.slots[kk] = make([]int, r.DM.NNZ())
+	}
+	e.zeroRow = make([]bool, e.ns)
+	for i := 0; i < e.ns; i++ {
+		indptr[i] = len(colIdx)
+		touched = touched[:0]
+		for _, r := range e.refs {
+			cols, _ := r.DM.Row(i)
+			for _, c := range cols {
+				if !seen[c] {
+					seen[c] = true
+					touched = append(touched, c)
+				}
+			}
+		}
+		insertionSortInts(touched)
+		base := len(colIdx)
+		for idx, c := range touched {
+			posOf[c] = base + idx
+			colIdx = append(colIdx, c)
+			seen[c] = false
+		}
+		for kk, r := range e.refs {
+			start := r.DM.IndPtr[i]
+			cols, _ := r.DM.Row(i)
+			for t, c := range cols {
+				e.slots[kk][start+t] = posOf[c]
+			}
+		}
+		e.zeroRow[i] = len(colIdx) == base && base == indptr[i]
+	}
+	indptr[e.ns] = len(colIdx)
+	e.pat = &sparse.CSR{Rows: e.ns, Cols: e.nt, IndPtr: indptr, ColIdx: colIdx}
+}
+
+// insertionSortInts sorts a small slice in place; union rows hold only
+// the handful of target units a source unit overlaps.
+func insertionSortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// SourceUnits returns |U^s|.
+func (e *Engine) SourceUnits() int { return e.ns }
+
+// TargetUnits returns |U^t|.
+func (e *Engine) TargetUnits() int { return e.nt }
+
+// References returns the number of references.
+func (e *Engine) References() int { return len(e.refs) }
+
+// ZeroSupportRows reports the precomputed Eq. 14 degenerate mask:
+// true for source units in which every reference is zero. The returned
+// slice is shared and must not be mutated.
+func (e *Engine) ZeroSupportRows() []bool { return e.zeroRow }
+
+// LearnWeights runs only the weight-learning step (Eq. 15) against the
+// precomputed design matrix.
+func (e *Engine) LearnWeights(objective []float64) ([]float64, error) {
+	if err := e.checkObjective(objective); err != nil {
+		return nil, err
+	}
+	return e.learnWeights(objective, nil)
+}
+
+// Align crosswalks one objective attribute. Safe for concurrent use.
+func (e *Engine) Align(objective []float64) (*Result, error) {
+	return e.AlignWithSources(objective, nil)
+}
+
+// AlignWithSources is Align with per-call reference source vectors
+// overriding the precomputed ones in the weight-learning step (Eq. 15
+// only; redistribution always follows the crosswalks, so estimates
+// remain volume-preserving). sources may be nil (use precomputed), or
+// length len(refs) with nil entries falling back per reference. This
+// serves the §4.4.1 robustness protocol, which perturbs published
+// source aggregates while the crosswalk files stay exact.
+func (e *Engine) AlignWithSources(objective []float64, sources [][]float64) (*Result, error) {
+	if err := e.checkObjective(objective); err != nil {
+		return nil, err
+	}
+	beta, err := e.learnWeights(objective, sources)
+	if err != nil {
+		return nil, err
+	}
+
+	s := e.scratch.Get().(*engineScratch)
+	defer e.scratch.Put(s)
+
+	// Per-reference weight on the Eq. 14 numerator: β_k normalised by
+	// the reference's largest source aggregate (see Align's step 2).
+	for k, beta_k := range beta {
+		s.w[k] = beta_k
+		if mx := e.maxRow[k]; mx > 0 {
+			s.w[k] = beta_k / mx
+		}
+	}
+
+	// Numerator Σ_k w_k·DM_rk scattered into the union pattern. Row
+	// blocks touch disjoint slot ranges, so the parallel path is exact.
+	vm := e.valued(s.val)
+	vm.ForEachRowBlock(func(lo, hi int) {
+		for p := e.pat.IndPtr[lo]; p < e.pat.IndPtr[hi]; p++ {
+			s.val[p] = 0
+		}
+		for k, r := range e.refs {
+			wk := s.w[k]
+			if wk == 0 {
+				continue
+			}
+			slot := e.slots[k]
+			for i := lo; i < hi; i++ {
+				start := r.DM.IndPtr[i]
+				_, vals := r.DM.Row(i)
+				for t, v := range vals {
+					s.val[slot[start+t]] += wk * v
+				}
+			}
+		}
+	})
+
+	// Denominator and per-row scale (Eq. 14), degenerate rows zeroed.
+	vm.RowSumsInto(s.den)
+	var degenerate []int
+	for i := 0; i < e.ns; i++ {
+		s.scale[i] = 0
+		if s.den[i] != 0 {
+			s.scale[i] = objective[i] / s.den[i]
+		} else if objective[i] != 0 {
+			degenerate = append(degenerate, i)
+		}
+	}
+	vm.ScaleRows(s.scale)
+
+	res := &Result{Weights: beta}
+	if e.opts.FallbackDM != nil && len(degenerate) > 0 {
+		// The fallback's shape is checked only when it is actually
+		// needed: a mis-shaped fallback on a problem with no degenerate
+		// rows is ignored, matching Align's historical behaviour.
+		if fb := e.opts.FallbackDM; fb.Rows != e.ns || fb.Cols != e.nt {
+			return nil, fmt.Errorf("core: fallback DM is %dx%d, want %dx%d", fb.Rows, fb.Cols, e.ns, e.nt)
+		}
+		dmo, err := patchRows(e.materialize(s.val), e.opts.FallbackDM, degenerate, objective)
+		if err != nil {
+			return nil, err
+		}
+		res.Target = dmo.ColSums()
+		if e.opts.KeepDM {
+			res.DM = dmo
+		}
+		return res, nil
+	}
+
+	// Re-aggregation (Eq. 17).
+	res.Target = make([]float64, e.nt)
+	vm.ColSumsInto(res.Target)
+	if e.opts.KeepDM {
+		res.DM = e.materialize(s.val)
+	}
+	return res, nil
+}
+
+// AlignAll crosswalks a batch of objectives, fanning the per-attribute
+// solves across a pool of workers (0 ⇒ runtime.NumCPU()). Results are
+// written to disjoint slots, so the output order matches the input
+// order and is independent of scheduling. On error the first failure
+// in input order is returned alongside the results computed so far.
+func (e *Engine) AlignAll(objectives [][]float64, workers int) ([]*Result, error) {
+	n := len(objectives)
+	results := make([]*Result, n)
+	if n == 0 {
+		return results, nil
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i, obj := range objectives {
+			res, err := e.Align(obj)
+			if err != nil {
+				return results, fmt.Errorf("core: objective %d: %w", i, err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = e.Align(objectives[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("core: objective %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+func (e *Engine) checkObjective(objective []float64) error {
+	if len(objective) == 0 {
+		return ErrNoSourceUnits
+	}
+	if len(objective) != e.ns {
+		return fmt.Errorf("core: objective has %d source units, references have %d", len(objective), e.ns)
+	}
+	return nil
+}
+
+// learnWeights runs Eq. 15 using the precomputed design matrix, or a
+// per-call matrix when source overrides are given.
+func (e *Engine) learnWeights(objective []float64, sources [][]float64) ([]float64, error) {
+	mat := e.weightMat
+	if sources != nil {
+		if len(sources) != len(e.refs) {
+			return nil, fmt.Errorf("core: %d source overrides for %d references", len(sources), len(e.refs))
+		}
+		cols := make([][]float64, len(e.refs))
+		for k := range e.refs {
+			if sources[k] == nil {
+				cols[k] = e.normSrc[k]
+				continue
+			}
+			if len(sources[k]) != e.ns {
+				return nil, fmt.Errorf("core: source override %d has length %d, want %d", k, len(sources[k]), e.ns)
+			}
+			cols[k] = maxNormalise(sources[k])
+		}
+		var err error
+		mat, err = linalg.MatrixFromColumns(cols)
+		if err != nil {
+			return nil, err
+		}
+	}
+	b := maxNormalise(objective)
+	if e.opts.SolverIterations > 0 {
+		return linalg.SimplexLeastSquaresPG(mat, b, e.opts.SolverIterations, 0)
+	}
+	return linalg.SimplexLeastSquares(mat, b)
+}
+
+// valued wraps the union pattern around a value buffer. The returned
+// matrix shares IndPtr/ColIdx with the engine and must not escape the
+// call that owns buf.
+func (e *Engine) valued(buf []float64) *sparse.CSR {
+	return &sparse.CSR{Rows: e.ns, Cols: e.nt, IndPtr: e.pat.IndPtr, ColIdx: e.pat.ColIdx, Val: buf}
+}
+
+// materialize deep-copies the union pattern with the given values into
+// a standalone CSR the caller may keep or mutate.
+func (e *Engine) materialize(val []float64) *sparse.CSR {
+	return &sparse.CSR{
+		Rows: e.ns, Cols: e.nt,
+		IndPtr: append([]int(nil), e.pat.IndPtr...),
+		ColIdx: append([]int(nil), e.pat.ColIdx...),
+		Val:    append([]float64(nil), val...),
+	}
+}

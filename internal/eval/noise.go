@@ -53,7 +53,16 @@ func NoiseExperiment(cat *synth.Catalog, levels []float64, replicates int, seed 
 
 	for di, test := range cat.Datasets {
 		refs := referencesExcluding(cat, test.Name)
-		base, err := core.Align(core.Problem{Objective: test.Source, References: refs}, core.Options{})
+		// One cached engine per test dataset: noise perturbs only the
+		// source vectors feeding weight learning (Eq. 15), so every
+		// replicate reuses the engine's crosswalk precomputation and passes
+		// its perturbed sources per call. The engine is safe to share
+		// across the replicate goroutines.
+		engine, err := core.NewEngine(refs, core.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("eval: noise baseline on %q: %w", test.Name, err)
+		}
+		base, err := engine.Align(test.Source)
 		if err != nil {
 			return nil, fmt.Errorf("eval: noise baseline on %q: %w", test.Name, err)
 		}
@@ -71,8 +80,8 @@ func NoiseExperiment(cat *synth.Catalog, levels []float64, replicates int, seed 
 					defer func() { <-sem }()
 					repSeed := seed ^ int64(di)<<40 ^ int64(li)<<24 ^ int64(rep)<<8 ^ 0x9e3779b9
 					rng := rand.New(rand.NewSource(repSeed))
-					noisy := perturbReferences(rng, refs, level)
-					res, err := core.Align(core.Problem{Objective: test.Source, References: noisy}, core.Options{})
+					noisy := perturbSources(rng, refs, level)
+					res, err := engine.AlignWithSources(test.Source, noisy)
 					if err != nil {
 						errs[rep] = fmt.Errorf("eval: noisy run on %q: %w", test.Name, err)
 						return
@@ -101,11 +110,12 @@ func NoiseExperiment(cat *synth.Catalog, levels []float64, replicates int, seed 
 	return report, nil
 }
 
-// perturbReferences applies ±level% multiplicative noise to each
+// perturbSources applies ±level% multiplicative noise to each
 // reference's source aggregate vector (the paper perturbs the source
-// level only; the disaggregation matrices stay exact).
-func perturbReferences(rng *rand.Rand, refs []core.Reference, level float64) []core.Reference {
-	out := make([]core.Reference, len(refs))
+// level only; the disaggregation matrices stay exact) and returns the
+// per-reference override vectors for Engine.AlignWithSources.
+func perturbSources(rng *rand.Rand, refs []core.Reference, level float64) [][]float64 {
+	out := make([][]float64, len(refs))
 	for k, r := range refs {
 		src := r.Source
 		if src == nil {
@@ -122,7 +132,7 @@ func perturbReferences(rng *rand.Rand, refs []core.Reference, level float64) []c
 				noisy[i] = 0
 			}
 		}
-		out[k] = core.Reference{Name: r.Name, Source: noisy, DM: r.DM}
+		out[k] = noisy
 	}
 	return out
 }

@@ -164,6 +164,84 @@ func (s *StageBreakdown) String() string {
 		s.SourceUnits, s.TargetUnits, s.WeightLearning, s.Disaggregation, frac, s.Total)
 }
 
+// BatchThroughputResult records the many-attribute workload comparison:
+// realigning a batch of attributes over one fixed reference set, the
+// pre-engine way (one full core.Align — including crosswalk
+// precomputation — per attribute, serially) versus a shared
+// core.Engine with AlignAll fanning the per-attribute solves across a
+// worker pool.
+type BatchThroughputResult struct {
+	SourceUnits, TargetUnits int
+	Attributes, Workers      int
+	SerialSeconds            float64 // per-attribute core.Align loop
+	BatchSeconds             float64 // shared engine, AlignAll
+	Speedup                  float64 // SerialSeconds / BatchSeconds
+}
+
+// BatchThroughput measures both paths on a synthetic problem at the
+// given size with nattrs objective attributes, averaged over trials.
+// workers <= 0 uses one worker per CPU.
+func BatchThroughput(ns, nt, nrefs, nattrs, workers, trials int, seed int64) (*BatchThroughputResult, error) {
+	if nattrs <= 0 {
+		nattrs = 32
+	}
+	if trials <= 0 {
+		trials = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := synth.ScalingProblem(rng, ns, nt, nrefs)
+	objectives := make([][]float64, nattrs)
+	for a := range objectives {
+		obj := make([]float64, ns)
+		for i := range obj {
+			obj[i] = rng.Float64() * 1e4
+		}
+		objectives[a] = obj
+	}
+	out := &BatchThroughputResult{SourceUnits: ns, TargetUnits: nt, Attributes: nattrs, Workers: workers}
+
+	// Warm-up both paths outside the timed region.
+	if _, err := core.Align(core.Problem{Objective: objectives[0], References: p.References}, core.Options{}); err != nil {
+		return nil, fmt.Errorf("eval: batch warm-up: %w", err)
+	}
+	engine, err := core.NewEngine(p.References, core.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("eval: batch engine: %w", err)
+	}
+	if _, err := engine.AlignAll(objectives[:2], workers); err != nil {
+		return nil, fmt.Errorf("eval: batch warm-up: %w", err)
+	}
+
+	start := time.Now()
+	for t := 0; t < trials; t++ {
+		for _, obj := range objectives {
+			if _, err := core.Align(core.Problem{Objective: obj, References: p.References}, core.Options{}); err != nil {
+				return nil, fmt.Errorf("eval: batch serial trial: %w", err)
+			}
+		}
+	}
+	out.SerialSeconds = time.Since(start).Seconds() / float64(trials)
+
+	start = time.Now()
+	for t := 0; t < trials; t++ {
+		if _, err := engine.AlignAll(objectives, workers); err != nil {
+			return nil, fmt.Errorf("eval: batch trial: %w", err)
+		}
+	}
+	out.BatchSeconds = time.Since(start).Seconds() / float64(trials)
+	if out.BatchSeconds > 0 {
+		out.Speedup = out.SerialSeconds / out.BatchSeconds
+	}
+	return out, nil
+}
+
+// String renders the batch throughput comparison.
+func (b *BatchThroughputResult) String() string {
+	return fmt.Sprintf(
+		"batch throughput at %d×%d, %d attributes: serial per-attribute %.4fs, shared engine (workers=%d) %.4fs, speedup %.2fx",
+		b.SourceUnits, b.TargetUnits, b.Attributes, b.SerialSeconds, b.Workers, b.BatchSeconds, b.Speedup)
+}
+
 // StabilityResult records §4.3's other claim: "GeoAlign runtime is
 // stable across experiments for the same universe" — i.e. re-running
 // the crosswalk with a different objective attribute costs about the

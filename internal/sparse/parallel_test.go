@@ -1,0 +1,218 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// forceParallel forces the multi-goroutine kernel paths regardless of
+// matrix size or machine CPU count, restoring the defaults on cleanup.
+func forceParallel(t *testing.T, workers int) {
+	t.Helper()
+	SetParallelThreshold(0)
+	SetKernelWorkers(workers)
+	t.Cleanup(func() {
+		SetParallelThreshold(DefaultParallelThreshold)
+		SetKernelWorkers(0)
+	})
+}
+
+// serialOnly disables the parallel paths, restoring defaults on cleanup.
+func serialOnly(t *testing.T) {
+	t.Helper()
+	SetParallelThreshold(math.MaxInt64 / 2)
+	t.Cleanup(func() { SetParallelThreshold(DefaultParallelThreshold) })
+}
+
+func randomCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	coo := NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		if rng.Float64() < 0.1 {
+			continue // leave some rows empty
+		}
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64()*10)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func vecClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		scale := 1 + math.Abs(a[i])
+		if math.Abs(a[i]-b[i]) > tol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// vecCloseMass compares with a tolerance scaled by the accumulated
+// magnitude per slot: reduction-order changes reassociate sums, so the
+// error bound follows the L1 mass, not the (possibly cancelled) result.
+func vecCloseMass(a, b, mass []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+mass[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// colAbsMass returns Σ|v| per column (for MulVecT, weighted by |x|).
+func colAbsMass(m *CSR, x []float64) []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		w := 1.0
+		if x != nil {
+			w = math.Abs(x[i])
+		}
+		for k := m.IndPtr[i]; k < m.IndPtr[i+1]; k++ {
+			out[m.ColIdx[k]] += math.Abs(m.Val[k]) * w
+		}
+	}
+	return out
+}
+
+// TestParallelKernelsMatchSerial checks every parallel kernel against
+// its serial counterpart on randomized matrices, including empty rows,
+// single-row and single-column shapes.
+func TestParallelKernelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][2]int{{1, 1}, {1, 17}, {40, 1}, {33, 9}, {200, 31}, {997, 53}}
+	for _, sh := range shapes {
+		m := randomCSR(rng, sh[0], sh[1], 0.2)
+		x := make([]float64, m.Cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		xr := make([]float64, m.Rows)
+		for i := range xr {
+			xr[i] = rng.NormFloat64()
+		}
+		scale := make([]float64, m.Rows)
+		for i := range scale {
+			scale[i] = rng.Float64() * 3
+		}
+
+		serialOnly(t)
+		wantRow := m.RowSums()
+		wantCol := m.ColSums()
+		wantMul := m.MulVec(x)
+		wantMulT := m.MulVecT(xr)
+		wantScaled := m.Clone().ScaleRows(scale)
+
+		forceParallel(t, 5)
+		if got := m.RowSums(); !vecClose(got, wantRow, 0) {
+			t.Errorf("%v RowSums parallel != serial", sh)
+		}
+		if got := m.ColSums(); !vecCloseMass(got, wantCol, colAbsMass(m, nil), 1e-14) {
+			t.Errorf("%v ColSums parallel != serial", sh)
+		}
+		if got := m.MulVec(x); !vecClose(got, wantMul, 0) {
+			t.Errorf("%v MulVec parallel != serial", sh)
+		}
+		if got := m.MulVecT(xr); !vecCloseMass(got, wantMulT, colAbsMass(m, xr), 1e-14) {
+			t.Errorf("%v MulVecT parallel != serial", sh)
+		}
+		if got := m.Clone().ScaleRows(scale); !Equal(got, wantScaled, 0) {
+			t.Errorf("%v ScaleRows parallel != serial", sh)
+		}
+	}
+}
+
+// TestParallelKernelsDeterministic checks that repeated parallel runs
+// produce identical bits (fixed worker count ⇒ fixed reduction order).
+func TestParallelKernelsDeterministic(t *testing.T) {
+	forceParallel(t, 7)
+	rng := rand.New(rand.NewSource(8))
+	m := randomCSR(rng, 500, 23, 0.3)
+	x := make([]float64, m.Rows)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	first := m.MulVecT(x)
+	firstCol := m.ColSums()
+	for rep := 0; rep < 20; rep++ {
+		if got := m.MulVecT(x); !vecClose(got, first, 0) {
+			t.Fatal("MulVecT not deterministic across runs")
+		}
+		if got := m.ColSums(); !vecClose(got, firstCol, 0) {
+			t.Fatal("ColSums not deterministic across runs")
+		}
+	}
+}
+
+// TestRowBlocksCoverAllRows checks the partition invariants directly.
+func TestRowBlocksCoverAllRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, rows := range []int{1, 2, 3, 7, 64, 501} {
+		m := randomCSR(rng, rows, 11, 0.25)
+		for _, n := range []int{1, 2, 3, 8, 64, 1000} {
+			blocks := m.rowBlocks(n)
+			prev := 0
+			for _, b := range blocks {
+				if b[0] != prev {
+					t.Fatalf("rows=%d n=%d: gap or overlap at %v", rows, n, b)
+				}
+				if b[1] <= b[0] {
+					t.Fatalf("rows=%d n=%d: empty block %v", rows, n, b)
+				}
+				prev = b[1]
+			}
+			if prev != rows {
+				t.Fatalf("rows=%d n=%d: blocks end at %d", rows, n, prev)
+			}
+			if len(blocks) > n {
+				t.Fatalf("rows=%d n=%d: %d blocks", rows, n, len(blocks))
+			}
+		}
+	}
+}
+
+// TestParallelKernelsConcurrentReaders runs kernels on one shared
+// matrix from many goroutines; meaningful under -race.
+func TestParallelKernelsConcurrentReaders(t *testing.T) {
+	forceParallel(t, 3)
+	rng := rand.New(rand.NewSource(10))
+	m := randomCSR(rng, 300, 17, 0.3)
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := m.MulVec(x)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for rep := 0; rep < 25; rep++ {
+				if got := m.MulVec(x); !vecClose(got, want, 0) {
+					done <- errMismatch
+					return
+				}
+				m.RowSums()
+				m.ColSums()
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var errMismatch = errorString("concurrent MulVec mismatch")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -169,13 +169,7 @@ func (m *CSR) Clone() *CSR {
 // vector implied by a disaggregation matrix).
 func (m *CSR) RowSums() []float64 {
 	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		var s float64
-		for _, v := range m.Val[m.IndPtr[i]:m.IndPtr[i+1]] {
-			s += v
-		}
-		out[i] = s
-	}
+	m.RowSumsInto(out)
 	return out
 }
 
@@ -184,43 +178,21 @@ func (m *CSR) RowSums() []float64 {
 // re-aggregation step, Eq. 17).
 func (m *CSR) ColSums() []float64 {
 	out := make([]float64, m.Cols)
-	for k, c := range m.ColIdx {
-		out[c] += m.Val[k]
-	}
+	m.ColSumsInto(out)
 	return out
 }
 
 // MulVec computes y = M·x with len(x) == Cols.
 func (m *CSR) MulVec(x []float64) []float64 {
-	if len(x) != m.Cols {
-		panic(fmt.Sprintf("sparse: MulVec length %d != cols %d", len(x), m.Cols))
-	}
 	y := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		var s float64
-		for k := m.IndPtr[i]; k < m.IndPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
-		}
-		y[i] = s
-	}
+	m.MulVecInto(y, x)
 	return y
 }
 
 // MulVecT computes y = Mᵀ·x with len(x) == Rows.
 func (m *CSR) MulVecT(x []float64) []float64 {
-	if len(x) != m.Rows {
-		panic(fmt.Sprintf("sparse: MulVecT length %d != rows %d", len(x), m.Rows))
-	}
 	y := make([]float64, m.Cols)
-	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
-		if xi == 0 {
-			continue
-		}
-		for k := m.IndPtr[i]; k < m.IndPtr[i+1]; k++ {
-			y[m.ColIdx[k]] += m.Val[k] * xi
-		}
-	}
+	m.MulVecTInto(y, x)
 	return y
 }
 
@@ -229,12 +201,14 @@ func (m *CSR) ScaleRows(s []float64) *CSR {
 	if len(s) != m.Rows {
 		panic(fmt.Sprintf("sparse: ScaleRows length %d != rows %d", len(s), m.Rows))
 	}
-	for i := 0; i < m.Rows; i++ {
-		si := s[i]
-		for k := m.IndPtr[i]; k < m.IndPtr[i+1]; k++ {
-			m.Val[k] *= si
+	m.ForEachRowBlock(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			si := s[i]
+			for k := m.IndPtr[i]; k < m.IndPtr[i+1]; k++ {
+				m.Val[k] *= si
+			}
 		}
-	}
+	})
 	return m
 }
 
