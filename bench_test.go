@@ -11,12 +11,15 @@
 package geoalign
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"geoalign/internal/core"
 	"geoalign/internal/eval"
+	"geoalign/internal/geom"
+	"geoalign/internal/partition"
 	"geoalign/internal/sparse"
 	"geoalign/internal/synth"
 )
@@ -323,6 +326,101 @@ func BenchmarkAlignerBatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// measureDMLayers lazily builds the BenchmarkMeasureDMUS layers: a
+// zip→county-scale pair of convex Voronoi partitions (the shape of the
+// paper's real inputs) and a same-scale pair of jagged non-convex star
+// layers, which is where the cached triangulations pay off most.
+var (
+	measureDMOnce     sync.Once
+	measureConvexSrc  *partition.PolygonSystem
+	measureConvexTgt  *partition.PolygonSystem
+	measureJaggedSrc  *partition.PolygonSystem
+	measureJaggedTgt  *partition.PolygonSystem
+	measureDMSetupErr error
+)
+
+// jaggedBenchLayer builds a g×g layer of 14–18-vertex star polygons on
+// a jittered grid — non-convex units at controlled density.
+func jaggedBenchLayer(rng *rand.Rand, g, verts int, span float64) []geom.Polygon {
+	cell := span / float64(g)
+	out := make([]geom.Polygon, 0, g*g)
+	for r := 0; r < g; r++ {
+		for c := 0; c < g; c++ {
+			center := geom.Point{
+				X: (float64(c) + 0.3 + 0.4*rng.Float64()) * cell,
+				Y: (float64(r) + 0.3 + 0.4*rng.Float64()) * cell,
+			}
+			pg := make(geom.Polygon, verts)
+			for k := 0; k < verts; k++ {
+				ang := 2 * math.Pi * float64(k) / float64(verts)
+				rad := cell * (0.3 + 0.4*rng.Float64())
+				pg[k] = geom.Point{X: center.X + rad*math.Cos(ang), Y: center.Y + rad*math.Sin(ang)}
+			}
+			out = append(out, pg)
+		}
+	}
+	return out
+}
+
+func measureDMLayers(b *testing.B) {
+	b.Helper()
+	measureDMOnce.Do(func() {
+		u, err := synth.BuildUniverse("bench", synth.Config{
+			Seed: 99, SourceUnits: 3000, TargetUnits: 300, Centers: 12,
+		})
+		if err != nil {
+			measureDMSetupErr = err
+			return
+		}
+		measureConvexSrc, measureConvexTgt = u.Source, u.Target
+		rng := rand.New(rand.NewSource(99))
+		measureJaggedSrc, err = partition.NewPolygonSystem(jaggedBenchLayer(rng, 55, 14, 100), nil)
+		if err != nil {
+			measureDMSetupErr = err
+			return
+		}
+		measureJaggedTgt, err = partition.NewPolygonSystem(jaggedBenchLayer(rng, 17, 18, 100), nil)
+		if err != nil {
+			measureDMSetupErr = err
+		}
+	})
+	if measureDMSetupErr != nil {
+		b.Fatal(measureDMSetupErr)
+	}
+}
+
+// BenchmarkMeasureDMUS times crosswalk preprocessing — the
+// disaggregation matrix of the Lebesgue measure, §4.3's dominant cost —
+// on zip→county-scale synthetic layers (3000 source / 300 target
+// units). The convex pair is the Voronoi geometry every experiment
+// uses; the nonconvex pair is the worst case the prepared-geometry
+// cache targets. The -brute variants run the pre-dual-tree path (per-
+// row R-tree queries, uncached kernels) for the speedup comparison the
+// benchdiff snapshot records.
+func BenchmarkMeasureDMUS(b *testing.B) {
+	measureDMLayers(b)
+	run := func(name string, src, tgt *partition.PolygonSystem, brute bool) {
+		b.Run(name, func(b *testing.B) {
+			partition.UseBruteJoin(brute)
+			defer partition.UseBruteJoin(false)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dm, err := partition.MeasureDM(src, tgt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dm.NNZ() == 0 {
+					b.Fatal("empty crosswalk")
+				}
+			}
+		})
+	}
+	run("convex-voronoi", measureConvexSrc, measureConvexTgt, false)
+	run("convex-voronoi-brute", measureConvexSrc, measureConvexTgt, true)
+	run("nonconvex-jagged", measureJaggedSrc, measureJaggedTgt, false)
+	run("nonconvex-jagged-brute", measureJaggedSrc, measureJaggedTgt, true)
 }
 
 // BenchmarkPublicAlign times the public facade on a mid-size problem,

@@ -8,9 +8,10 @@
 // previous run by more than the tolerance (default ±20%) fails the run
 // with exit status 1.
 //
-//	benchdiff                      # bench everything, compare, record
-//	benchdiff -bench AlignerBatch  # one benchmark family
-//	benchdiff -check-only          # compare without writing a snapshot
+//	benchdiff                               # bench everything, compare, record
+//	benchdiff -bench AlignerBatch           # one benchmark family
+//	benchdiff -pkg '. ./internal/geom'      # several packages in one run
+//	benchdiff -check-only                   # compare without writing a snapshot
 //
 // Speedups beyond the tolerance are reported but never fail the gate;
 // benchmarks present in only one of the two runs are listed and
@@ -61,7 +62,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		bench     = fs.String("bench", ".", "benchmark pattern passed to -bench")
 		benchtime = fs.String("benchtime", "1x", "value passed to -benchtime")
-		pkg       = fs.String("pkg", ".", "package pattern to benchmark")
+		pkg       = fs.String("pkg", ".", "space-separated package patterns to benchmark")
 		dir       = fs.String("dir", ".", "directory holding BENCH_*.json snapshots")
 		tol       = fs.Float64("tol", 0.20, "allowed slowdown fraction before failing")
 		checkOnly = fs.Bool("check-only", false, "compare against the latest snapshot without writing a new one")
@@ -70,8 +71,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	cmd := exec.Command("go", "test", "-json", "-bench="+*bench,
-		"-benchtime="+*benchtime, "-run=^$", *pkg)
+	pkgs := strings.Fields(*pkg)
+	if len(pkgs) == 0 {
+		return fmt.Errorf("-pkg must name at least one package")
+	}
+	cmd := exec.Command("go", append([]string{"test", "-json", "-bench=" + *bench,
+		"-benchtime=" + *benchtime, "-run=^$"}, pkgs...)...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	raw, err := cmd.Output()

@@ -67,17 +67,10 @@ func OneDExperiment(cat *synth.Catalog1D) (*OneDReport, error) {
 }
 
 // lengthCrosswalk builds the 1-D measure crosswalk (bin overlap
-// lengths).
+// lengths) with the sparse sweep — no dense |src|×|tgt| matrix.
 func lengthCrosswalk(src, tgt *interval.Partition) *sparse.CSR {
-	m := interval.OverlapMatrix(src, tgt)
 	coo := sparse.NewCOO(src.Len(), tgt.Len())
-	for i, row := range m {
-		for j, v := range row {
-			if v > 0 {
-				coo.Add(i, j, v)
-			}
-		}
-	}
+	interval.Overlaps(src, tgt, coo.Add)
 	return coo.ToCSR()
 }
 

@@ -111,19 +111,18 @@ func (p *Partition) Locate(x float64) int {
 	return -1
 }
 
-// OverlapMatrix returns the dense |p|×|q| matrix of pairwise overlap
-// lengths; entry [i][j] is the length of p.Units[i] ∩ q.Units[j]. This
-// is the 1-D analogue of the polygon intersection areas in 2-D, and the
-// disaggregation matrix of the "length" reference attribute.
-func OverlapMatrix(p, q *Partition) [][]float64 {
-	out := make([][]float64, p.Len())
-	for i := range out {
-		out[i] = make([]float64, q.Len())
-	}
-	// Two-pointer sweep exploiting the sorted, disjoint structure.
+// Overlaps emits every strictly positive pairwise overlap between the
+// two partitions via a two-pointer sweep over their sorted, disjoint
+// units: emit(i, j, v) is called with v = |p.Units[i] ∩ q.Units[j]| > 0,
+// in (i, j) lexicographic order. A partition pair has O(|p|+|q|)
+// overlapping bin pairs, so the sweep is linear in the output and never
+// materializes the dense |p|×|q| matrix — callers building sparse
+// disaggregation matrices pass a COO Add directly.
+func Overlaps(p, q *Partition, emit func(i, j int, v float64)) {
+	nq := len(q.Units)
 	j0 := 0
 	for i, u := range p.Units {
-		for j := j0; j < q.Len(); j++ {
+		for j := j0; j < nq; j++ {
 			v := q.Units[j]
 			if v.Hi <= u.Lo {
 				j0 = j + 1
@@ -132,8 +131,21 @@ func OverlapMatrix(p, q *Partition) [][]float64 {
 			if v.Lo >= u.Hi {
 				break
 			}
-			out[i][j] = u.Overlap(v)
+			emit(i, j, u.Overlap(v))
 		}
 	}
+}
+
+// OverlapMatrix returns the dense |p|×|q| matrix of pairwise overlap
+// lengths; entry [i][j] is the length of p.Units[i] ∩ q.Units[j]. This
+// is the 1-D analogue of the polygon intersection areas in 2-D, and the
+// disaggregation matrix of the "length" reference attribute. Sparse
+// consumers should prefer Overlaps, which skips the dense allocation.
+func OverlapMatrix(p, q *Partition) [][]float64 {
+	out := make([][]float64, p.Len())
+	for i := range out {
+		out[i] = make([]float64, q.Len())
+	}
+	Overlaps(p, q, func(i, j int, v float64) { out[i][j] = v })
 	return out
 }

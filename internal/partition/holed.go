@@ -18,6 +18,7 @@ type HoledPolygonSystem struct {
 	Names []string
 	tree  *rtree.Tree
 	areas []float64
+	prep  []*geom.PreparedHoledPolygon // per-unit geometry cache
 }
 
 // NewHoledPolygonSystem indexes holed-polygon units. Names may be nil.
@@ -28,13 +29,19 @@ func NewHoledPolygonSystem(units []geom.HoledPolygon, names []string) (*HoledPol
 	if names != nil && len(names) != len(units) {
 		return nil, fmt.Errorf("partition: %d names for %d units", len(names), len(units))
 	}
-	s := &HoledPolygonSystem{Units: units, areas: make([]float64, len(units)), Names: names}
+	s := &HoledPolygonSystem{
+		Units: units,
+		areas: make([]float64, len(units)),
+		Names: names,
+		prep:  make([]*geom.PreparedHoledPolygon, len(units)),
+	}
 	entries := make([]rtree.Entry, len(units))
 	for i, u := range units {
 		if len(u.Outer) < 3 {
 			return nil, fmt.Errorf("partition: unit %d has a degenerate outer ring", i)
 		}
-		entries[i] = rtree.Entry{Box: u.BBox(), ID: i}
+		s.prep[i] = geom.NewPreparedHoledPolygon(u)
+		entries[i] = rtree.Entry{Box: s.prep[i].BBox(), ID: i}
 		s.areas[i] = u.Area()
 	}
 	s.tree = rtree.New(entries)
@@ -80,16 +87,23 @@ func (s *PolygonSystem) asHoled() (*HoledPolygonSystem, error) {
 	return NewHoledPolygonSystem(units, s.Names)
 }
 
-// holedMeasureDM computes pairwise hole-aware intersection areas, rows
-// in parallel.
+// holedMeasureDM computes pairwise hole-aware intersection areas —
+// candidate pairs from the parallel dual-tree join, every
+// inclusion–exclusion term from the prepared-geometry caches.
 func holedMeasureDM(src, tgt *HoledPolygonSystem) *sparse.CSR {
-	rows := parallelRows(src.Len(), func(i int, add func(j int, v float64)) {
-		su := src.Units[i]
-		for _, j := range tgt.tree.Search(su.BBox(), nil) {
-			if a := geom.HoledIntersectionArea(su, tgt.Units[j]); a > 0 {
-				add(j, a)
+	if bruteJoin.Load() {
+		rows := parallelRows(src.Len(), func(i int, add func(j int, v float64)) {
+			su := src.Units[i]
+			for _, j := range tgt.tree.Search(su.BBox(), nil) {
+				if a := geom.HoledIntersectionArea(su, tgt.Units[j]); a > 0 {
+					add(j, a)
+				}
 			}
-		}
+		})
+		return assembleRows(rows, src.Len(), tgt.Len())
+	}
+	rows := joinRows(src.tree, tgt.tree, src.Len(), func(sc *geom.ClipScratch, i, j int) float64 {
+		return sc.PreparedHoledIntersectionArea(src.prep[i], tgt.prep[j])
 	})
 	return assembleRows(rows, src.Len(), tgt.Len())
 }

@@ -15,10 +15,11 @@ type MultiPolygonSystem struct {
 	Units []geom.MultiPolygon
 	Names []string
 
-	parts    []geom.Polygon // all parts, flattened
-	partUnit []int          // parts[i] belongs to Units[partUnit[i]]
-	tree     *rtree.Tree    // over parts
-	areas    []float64      // per unit
+	parts    []geom.Polygon          // all parts, flattened
+	partUnit []int                   // parts[i] belongs to Units[partUnit[i]]
+	partPrep []*geom.PreparedPolygon // per-part geometry cache
+	tree     *rtree.Tree             // over parts
+	areas    []float64               // per unit
 }
 
 // NewMultiPolygonSystem indexes multipolygon units. Names may be nil.
@@ -39,8 +40,10 @@ func NewMultiPolygonSystem(units []geom.MultiPolygon, names []string) (*MultiPol
 			if len(pg) < 3 {
 				return nil, fmt.Errorf("partition: unit %d part %d is degenerate", u, p)
 			}
-			entries = append(entries, rtree.Entry{Box: pg.BBox(), ID: len(s.parts)})
+			prep := geom.NewPreparedPolygon(pg)
+			entries = append(entries, rtree.Entry{Box: prep.BBox(), ID: len(s.parts)})
 			s.parts = append(s.parts, pg)
+			s.partPrep = append(s.partPrep, prep)
 			s.partUnit = append(s.partUnit, u)
 		}
 		s.areas[u] = mp.Area()
@@ -85,16 +88,31 @@ func (s *PolygonSystem) asMulti() (*MultiPolygonSystem, error) {
 }
 
 // multiMeasureDM computes pairwise intersection areas at the part level
-// (in parallel across source parts) and accumulates them per unit pair.
+// — candidate part pairs from the parallel dual-tree join, areas from
+// the prepared-geometry kernels — and accumulates them per unit pair.
 func multiMeasureDM(src, tgt *MultiPolygonSystem) *sparse.CSR {
-	rows := parallelRows(len(src.parts), func(pi int, add func(j int, v float64)) {
-		part := src.parts[pi]
-		for _, qj := range tgt.tree.Search(part.BBox(), nil) {
-			if a := geom.IntersectionArea(part, tgt.parts[qj]); a > 0 {
-				add(tgt.partUnit[qj], a)
+	var rows []rowEntries
+	if bruteJoin.Load() {
+		rows = parallelRows(len(src.parts), func(pi int, add func(j int, v float64)) {
+			part := src.parts[pi]
+			for _, qj := range tgt.tree.Search(part.BBox(), nil) {
+				if a := geom.IntersectionArea(part, tgt.parts[qj]); a > 0 {
+					add(tgt.partUnit[qj], a)
+				}
+			}
+		})
+	} else {
+		rows = joinRows(src.tree, tgt.tree, len(src.parts), func(sc *geom.ClipScratch, pi, qj int) float64 {
+			return sc.PreparedIntersectionArea(src.partPrep[pi], tgt.partPrep[qj])
+		})
+		// joinRows records target part indices; fold them to unit indices
+		// in place before the per-unit accumulation below.
+		for pi := range rows {
+			for k, qj := range rows[pi].cols {
+				rows[pi].cols[k] = tgt.partUnit[qj]
 			}
 		}
-	})
+	}
 	coo := sparse.NewCOO(src.Len(), tgt.Len())
 	for pi, r := range rows {
 		for k, j := range r.cols {

@@ -25,6 +25,42 @@ import (
 	"geoalign/internal/sparse"
 )
 
+// preprocWorkersOverride caps the preprocessing worker count (MeasureDM
+// row fills, the dual-tree join, PointDM sharding). 0 means
+// runtime.GOMAXPROCS(0).
+var preprocWorkersOverride atomic.Int64
+
+// SetKernelWorkers overrides the number of workers the preprocessing
+// kernels (MeasureDM, PointDM) use. n <= 0 restores the default,
+// runtime.GOMAXPROCS(0). It is the partition-level sibling of
+// sparse.SetKernelWorkers, which tunes the align-time kernels.
+func SetKernelWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	preprocWorkersOverride.Store(int64(n))
+}
+
+// preprocWorkers returns the current preprocessing worker count.
+func preprocWorkers() int {
+	if w := int(preprocWorkersOverride.Load()); w > 0 {
+		return w
+	}
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// bruteJoin forces MeasureDM back onto the pre-dual-tree pairing (one
+// R-tree Search per source row, uncached geometry kernels). Test-only:
+// it exists so equivalence tests and benchmarks can compare the two
+// paths; it is not part of the supported API surface.
+var bruteJoin atomic.Bool
+
+// UseBruteJoin toggles the test-only brute pairing path. See bruteJoin.
+func UseBruteJoin(on bool) { bruteJoin.Store(on) }
+
 // System is a unit system: a finite set of disjoint units partitioning
 // a universe, with just enough behaviour for crosswalk preprocessing.
 type System interface {
@@ -107,12 +143,28 @@ func MeasureDM(src, tgt System) (*sparse.CSR, error) {
 	}
 }
 
+// pointChunk is the number of points one PointDM shard covers. Chunking
+// is by position, not by worker, so the merged entry sequence is
+// independent of the worker count and schedule.
+const pointChunk = 2048
+
+// pointShard is one contiguous chunk's located points.
+type pointShard struct {
+	r, c    []int
+	v       []float64
+	dropped float64
+}
+
 // PointDM aggregates weighted points into a source×target count
 // disaggregation matrix: each point is located in both systems and its
 // weight added to the corresponding cell. Points outside either system
 // are counted in the returned dropped total (the paper's real datasets
 // have records that geocode outside the universe too). The two systems
 // must share a dimensionality.
+//
+// Location runs in parallel over fixed-position point chunks; the
+// per-chunk shards are merged in chunk order, so the result (matrix and
+// dropped total) is deterministic and independent of the worker count.
 func PointDM(src, tgt System, pts [][]float64, weights []float64) (dm *sparse.CSR, dropped float64, err error) {
 	if src.Dim() != tgt.Dim() {
 		return nil, 0, fmt.Errorf("partition: source is %d-D, target is %d-D", src.Dim(), tgt.Dim())
@@ -120,21 +172,67 @@ func PointDM(src, tgt System, pts [][]float64, weights []float64) (dm *sparse.CS
 	if weights != nil && len(weights) != len(pts) {
 		return nil, 0, fmt.Errorf("partition: %d points but %d weights", len(pts), len(weights))
 	}
+	nChunks := (len(pts) + pointChunk - 1) / pointChunk
+	workers := preprocWorkers()
+	if workers > nChunks {
+		workers = nChunks
+	}
+	fillShard := func(sh *pointShard, lo, hi int) {
+		for n := lo; n < hi; n++ {
+			w := 1.0
+			if weights != nil {
+				w = weights[n]
+			}
+			i := src.Locate(pts[n])
+			j := tgt.Locate(pts[n])
+			if i < 0 || j < 0 {
+				sh.dropped += w
+				continue
+			}
+			sh.r = append(sh.r, i)
+			sh.c = append(sh.c, j)
+			sh.v = append(sh.v, w)
+		}
+	}
+	shards := make([]pointShard, nChunks)
+	if workers <= 1 {
+		for k := 0; k < nChunks; k++ {
+			fillShard(&shards[k], k*pointChunk, minInt((k+1)*pointChunk, len(pts)))
+		}
+	} else {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(atomic.AddInt64(&next, 1))
+					if k >= nChunks {
+						return
+					}
+					fillShard(&shards[k], k*pointChunk, minInt((k+1)*pointChunk, len(pts)))
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	coo := sparse.NewCOO(src.Len(), tgt.Len())
-	for n, pt := range pts {
-		w := 1.0
-		if weights != nil {
-			w = weights[n]
+	for k := range shards {
+		sh := &shards[k]
+		for t, i := range sh.r {
+			coo.Add(i, sh.c[t], sh.v[t])
 		}
-		i := src.Locate(pt)
-		j := tgt.Locate(pt)
-		if i < 0 || j < 0 {
-			dropped += w
-			continue
-		}
-		coo.Add(i, j, w)
+		dropped += sh.dropped
 	}
 	return coo.ToCSR(), dropped, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // --- 2-D polygon systems ---
@@ -148,7 +246,8 @@ type PolygonSystem struct {
 	Names   []string // optional; len 0 or Len()
 	tree    *rtree.Tree
 	areas   []float64
-	locator func(geom.Point) int // optional override (e.g. Voronoi nearest)
+	prep    []*geom.PreparedPolygon // per-unit geometry cache (bbox, convexity, lazy triangulation)
+	locator func(geom.Point) int    // optional override (e.g. Voronoi nearest)
 }
 
 // NewPolygonSystem indexes the given polygons as a unit system. Names
@@ -164,11 +263,13 @@ func NewPolygonSystem(units []geom.Polygon, names []string) (*PolygonSystem, err
 	}
 	entries := make([]rtree.Entry, len(units))
 	areas := make([]float64, len(units))
+	prep := make([]*geom.PreparedPolygon, len(units))
 	for i, u := range units {
 		if len(u) < 3 {
 			return nil, fmt.Errorf("partition: unit %d is degenerate (%d vertices)", i, len(u))
 		}
-		entries[i] = rtree.Entry{Box: u.BBox(), ID: i}
+		prep[i] = geom.NewPreparedPolygon(u)
+		entries[i] = rtree.Entry{Box: prep[i].BBox(), ID: i}
 		areas[i] = u.Area()
 	}
 	return &PolygonSystem{
@@ -176,6 +277,7 @@ func NewPolygonSystem(units []geom.Polygon, names []string) (*PolygonSystem, err
 		Names: names,
 		tree:  rtree.New(entries),
 		areas: areas,
+		prep:  prep,
 	}, nil
 }
 
@@ -223,18 +325,26 @@ func (s *PolygonSystem) Overlapping(b geom.BBox, dst []int) []int {
 	return s.tree.Search(b, dst)
 }
 
-// polygonMeasureDM computes pairwise intersection areas using the
-// R-tree to prune candidate pairs. Rows are computed in parallel (one
-// worker per CPU) and merged in row order, so the result is
-// deterministic.
+// polygonMeasureDM computes pairwise intersection areas. Candidate
+// pairs come from a parallel dual-tree join of the two R-trees; each
+// pair's area is computed by the prepared-geometry kernel with a
+// per-worker scratch arena, and rows are merged in row order, so the
+// result is deterministic. The test-only brute path issues one R-tree
+// query per source row with the uncached kernels instead.
 func polygonMeasureDM(src, tgt *PolygonSystem) *sparse.CSR {
-	rows := parallelRows(src.Len(), func(i int, add func(j int, v float64)) {
-		su := src.Units[i]
-		for _, j := range tgt.Overlapping(su.BBox(), nil) {
-			if a := geom.IntersectionArea(su, tgt.Units[j]); a > 0 {
-				add(j, a)
+	if bruteJoin.Load() {
+		rows := parallelRows(src.Len(), func(i int, add func(j int, v float64)) {
+			su := src.Units[i]
+			for _, j := range tgt.Overlapping(su.BBox(), nil) {
+				if a := geom.IntersectionArea(su, tgt.Units[j]); a > 0 {
+					add(j, a)
+				}
 			}
-		}
+		})
+		return assembleRows(rows, src.Len(), tgt.Len())
+	}
+	rows := joinRows(src.tree, tgt.tree, src.Len(), func(sc *geom.ClipScratch, i, j int) float64 {
+		return sc.PreparedIntersectionArea(src.prep[i], tgt.prep[j])
 	})
 	return assembleRows(rows, src.Len(), tgt.Len())
 }
@@ -245,12 +355,32 @@ type rowEntries struct {
 	vals []float64
 }
 
-// parallelRows fans the per-row computation out over GOMAXPROCS
+// joinRows enumerates every bbox-overlapping (source row, candidate)
+// pair with a parallel dual-tree join and evaluates the pair measure
+// with a per-worker geometry scratch arena. The join guarantees one
+// worker owns all pairs of a given source row, so the per-row appends
+// are race-free without locks, and assembleRows merges rows in order —
+// the result is deterministic regardless of worker count or schedule.
+// Pairs with non-positive measure are dropped, matching the brute path.
+func joinRows(a, b *rtree.Tree, nRows int, pair func(sc *geom.ClipScratch, i, j int) float64) []rowEntries {
+	rows := make([]rowEntries, nRows)
+	workers := preprocWorkers()
+	scratch := make([]geom.ClipScratch, workers)
+	rtree.JoinParallel(a, b, workers, func(w, i, j int) {
+		if v := pair(&scratch[w], i, j); v > 0 {
+			rows[i].cols = append(rows[i].cols, j)
+			rows[i].vals = append(rows[i].vals, v)
+		}
+	})
+	return rows
+}
+
+// parallelRows fans the per-row computation out over the preprocessing
 // workers. fill must only touch row i through the provided add
 // callback.
 func parallelRows(n int, fill func(i int, add func(j int, v float64))) []rowEntries {
 	rows := make([]rowEntries, n)
-	workers := runtime.GOMAXPROCS(0)
+	workers := preprocWorkers()
 	if workers > n {
 		workers = n
 	}
@@ -318,15 +448,9 @@ func (s *IntervalSystem) Locate(pt []float64) int {
 }
 
 func intervalMeasureDM(src, tgt *IntervalSystem) *sparse.CSR {
-	m := interval.OverlapMatrix(src.P, tgt.P)
+	// The sparse sweep fills the COO directly: no dense |p|×|q| matrix.
 	coo := sparse.NewCOO(src.Len(), tgt.Len())
-	for i, row := range m {
-		for j, v := range row {
-			if v > 0 {
-				coo.Add(i, j, v)
-			}
-		}
-	}
+	interval.Overlaps(src.P, tgt.P, coo.Add)
 	return coo.ToCSR()
 }
 

@@ -25,6 +25,37 @@ func BenchmarkBulkLoad(b *testing.B) {
 	}
 }
 
+// BenchmarkJoin compares the dual-tree spatial join against the
+// per-row Search loop it replaced, at the US crosswalk scale (30238
+// source boxes × 3142 target boxes).
+func BenchmarkJoin(b *testing.B) {
+	src := benchEntries(30238)
+	tgt := benchEntries(3142)
+	ta, tb := New(src), New(tgt)
+	b.Run("dual-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pairs := 0
+			Join(ta, tb, func(i, j int) { pairs++ })
+			if pairs == 0 {
+				b.Fatal("no pairs")
+			}
+		}
+	})
+	b.Run("per-row-search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pairs := 0
+			var dst []int
+			for _, e := range src {
+				dst = tb.Search(e.Box, dst[:0])
+				pairs += len(dst)
+			}
+			if pairs == 0 {
+				b.Fatal("no pairs")
+			}
+		}
+	})
+}
+
 func BenchmarkSearch(b *testing.B) {
 	entries := benchEntries(30238)
 	tr := New(entries)
