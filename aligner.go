@@ -21,6 +21,11 @@ type AlignerOptions struct {
 	// matrix on each Result (EstimatedCrosswalk returns nil). Saves one
 	// matrix copy per attribute in large batches.
 	DiscardCrosswalks bool
+	// DenseSolver forces weight learning through the original dense
+	// solvers instead of the cached normal-equations fast path. The two
+	// agree to ~1e-9 relative; this is a numerical cross-check and
+	// escape hatch, not a performance option.
+	DenseSolver bool
 }
 
 // Aligner is a reusable GeoAlign engine for crosswalking many
@@ -29,9 +34,13 @@ type AlignerOptions struct {
 // pair of unit systems. NewAligner precomputes and caches everything
 // attribute-independent (validated shapes, compressed crosswalk forms,
 // reference row sums, the normalised disaggregation structure of
-// Eq. 14 and its zero-row degenerate mask), so each Align call runs
-// only the per-attribute work: weight learning (Eq. 15) plus
-// redistribution (Eq. 14/17).
+// Eq. 14 and its zero-row degenerate mask, and the normal equations of
+// the Eq. 15 design matrix), so each Align call runs only the
+// per-attribute work: one O(ns·k) reduction c = Aᵀb, a weight-learning
+// solve entirely in k-dimensional space, and the redistribution
+// (Eq. 14/17). AlignAll additionally batches the reductions into one
+// blocked AᵀB product and warm-starts each solver from the previous
+// attribute's weights.
 //
 // An Aligner is immutable after construction and safe for concurrent
 // use from multiple goroutines. It snapshots the reference crosswalks
@@ -58,7 +67,7 @@ func NewAligner(refs []Reference, opts *AlignerOptions) (*Aligner, error) {
 		}
 		coreRefs[k] = core.Reference{Name: r.Name, Source: r.Source, DM: r.Crosswalk.matrix()}
 	}
-	coreOpts := core.Options{KeepDM: !opts.DiscardCrosswalks}
+	coreOpts := core.Options{KeepDM: !opts.DiscardCrosswalks, DenseSolver: opts.DenseSolver}
 	if opts.Fallback != nil {
 		coreOpts.FallbackDM = opts.Fallback.matrix()
 	}

@@ -209,16 +209,42 @@ func BenchmarkAlignUS(b *testing.B) {
 	}
 }
 
-// BenchmarkWeightLearning isolates step 1 (Eq. 15) at US scale.
+// BenchmarkWeightLearning isolates step 1 (Eq. 15) at US scale:
+//
+//   - gram: the steady-state fast path — a prebuilt Engine's cached
+//     normal equations, per call only c = Aᵀb plus a k-space solve;
+//   - cold: the one-shot path, Gram precomputation included per call;
+//   - dense: the original solvers (tall augmented system, QR-based
+//     NNLS inner solves), kept as the escape-hatch baseline.
 func BenchmarkWeightLearning(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	p := synth.ScalingProblem(rng, 30238, 3142, 7)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := core.LearnWeights(p, core.Options{}); err != nil {
+	b.Run("gram", func(b *testing.B) {
+		e, err := core.NewEngine(p.References, core.Options{})
+		if err != nil {
 			b.Fatal(err)
 		}
-	}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.LearnWeights(p.Objective); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.LearnWeights(p, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.LearnWeights(p, core.Options{DenseSolver: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDasymetric times the single-reference baseline at US scale.
@@ -302,6 +328,36 @@ func BenchmarkAlignerBatch(b *testing.B) {
 	})
 	b.Run("batch-warm-parallel", func(b *testing.B) {
 		al, err := NewAligner(refs, &AlignerOptions{DiscardCrosswalks: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := al.AlignAll(objectives); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gram-warm", func(b *testing.B) {
+		// The steady state of the normal-equations batch path: one
+		// blocked AᵀB product for all 32 attributes, warm-started
+		// k-space solves. Identical setup to batch-warm-parallel; the
+		// separate name tracks the fast path in the benchdiff snapshots.
+		al, err := NewAligner(refs, &AlignerOptions{DiscardCrosswalks: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := al.AlignAll(objectives); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense-warm", func(b *testing.B) {
+		// The same workload forced through the dense weight-learning
+		// solvers: the gap to gram-warm is the solver win alone.
+		al, err := NewAligner(refs, &AlignerOptions{DiscardCrosswalks: true, DenseSolver: true})
 		if err != nil {
 			b.Fatal(err)
 		}

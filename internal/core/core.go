@@ -75,6 +75,12 @@ type Options struct {
 	// areal weighting rather than losing the mass. It must be
 	// |U^s|×|U^t| shaped.
 	FallbackDM *sparse.CSR
+	// DenseSolver forces weight learning through the original dense
+	// solvers (tall augmented system, QR-based NNLS inner solves)
+	// instead of the cached normal-equations fast path. The two agree
+	// to ~1e-9 relative; the dense path is kept as a numerical
+	// cross-check and escape hatch.
+	DenseSolver bool
 }
 
 // Align runs GeoAlign (Algorithm 1): weight learning (Eq. 15),
@@ -123,10 +129,19 @@ func LearnWeights(p Problem, opts Options) ([]float64, error) {
 		return nil, err
 	}
 	b := maxNormalise(p.Objective)
-	if opts.SolverIterations > 0 {
-		return linalg.SimplexLeastSquaresPG(a, b, opts.SolverIterations, 0)
+	if opts.DenseSolver {
+		if opts.SolverIterations > 0 {
+			return linalg.SimplexLeastSquaresPG(a, b, opts.SolverIterations, 0)
+		}
+		return linalg.SimplexLeastSquares(a, b)
 	}
-	return linalg.SimplexLeastSquares(a, b)
+	// Route the one-shot solve through the same Gram-form code path the
+	// Engine uses, so the two produce bit-identical weights.
+	gs := linalg.NewGramSystem(a)
+	if opts.SolverIterations > 0 {
+		return gs.SimplexLSPG(b, opts.SolverIterations, 0)
+	}
+	return gs.SimplexLS(b, nil)
 }
 
 // referenceSource returns the reference's source aggregate vector,
@@ -141,20 +156,29 @@ func referenceSource(r Reference) []float64 {
 // maxNormalise returns v / max(v) (a fresh slice); an all-zero vector
 // normalises to itself.
 func maxNormalise(v []float64) []float64 {
+	out := make([]float64, len(v))
+	maxNormaliseInto(out, v)
+	return out
+}
+
+// maxNormaliseInto writes v / max(v) into dst, which must have length
+// len(v); an all-zero vector normalises to zeros.
+func maxNormaliseInto(dst, v []float64) {
 	var mx float64
 	for _, x := range v {
 		if x > mx {
 			mx = x
 		}
 	}
-	out := make([]float64, len(v))
 	if mx == 0 {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
 	}
 	for i, x := range v {
-		out[i] = x / mx
+		dst[i] = x / mx
 	}
-	return out
 }
 
 func validate(p Problem) (ns, nt int, err error) {

@@ -17,7 +17,10 @@ import (
 //
 //   - validated shapes (every reference |U^s|×|U^t|),
 //   - the Eq. 15 design matrix of max-normalised reference source
-//     aggregates,
+//     aggregates, together with its normal-equations form (the k×k
+//     Gram matrix AᵀA, ‖A‖∞ and — lazily — the projected-gradient
+//     Lipschitz constant), so each per-attribute solve only computes
+//     c = Aᵀb in O(ns·k) and then works in k-dimensional space,
 //   - each reference crosswalk's row sums and their maximum (the
 //     per-reference normaliser of the Eq. 14 numerator),
 //   - the union sparsity pattern of the reference crosswalks plus a
@@ -36,8 +39,9 @@ type Engine struct {
 	refs   []Reference
 	opts   Options
 
-	weightMat *linalg.Matrix // Eq. 15 design matrix (ns × k)
-	normSrc   [][]float64    // its columns: maxNormalise(source_k)
+	weightMat *linalg.Matrix     // Eq. 15 design matrix (ns × k)
+	gram      *linalg.GramSystem // its cached normal equations
+	normSrc   [][]float64        // its columns: maxNormalise(source_k)
 	maxRow    []float64      // max |row sum| per reference crosswalk
 	pat       *sparse.CSR    // union sparsity pattern (Val is nil)
 	slots     [][]int        // slots[k][t]: union position of ref k's t-th entry
@@ -97,6 +101,12 @@ func NewEngine(refs []Reference, opts Options) (*Engine, error) {
 	e.weightMat, err = linalg.MatrixFromColumns(e.normSrc)
 	if err != nil {
 		return nil, err
+	}
+	e.gram = linalg.NewGramSystem(e.weightMat)
+	if opts.SolverIterations > 0 {
+		// The projected-gradient solver is selected: every solve needs
+		// the Lipschitz constant, so pay the power iteration now.
+		e.gram.Lipschitz()
 	}
 
 	e.buildPattern()
@@ -192,7 +202,9 @@ func (e *Engine) LearnWeights(objective []float64) ([]float64, error) {
 	if err := e.checkObjective(objective); err != nil {
 		return nil, err
 	}
-	return e.learnWeights(objective, nil)
+	s := e.scratch.Get().(*engineScratch)
+	defer e.scratch.Put(s)
+	return e.learnWeights(objective, nil, s, nil)
 }
 
 // Align crosswalks one objective attribute. Safe for concurrent use.
@@ -211,14 +223,18 @@ func (e *Engine) AlignWithSources(objective []float64, sources [][]float64) (*Re
 	if err := e.checkObjective(objective); err != nil {
 		return nil, err
 	}
-	beta, err := e.learnWeights(objective, sources)
+	s := e.scratch.Get().(*engineScratch)
+	defer e.scratch.Put(s)
+	beta, err := e.learnWeights(objective, sources, s, nil)
 	if err != nil {
 		return nil, err
 	}
+	return e.redistribute(objective, beta, s)
+}
 
-	s := e.scratch.Get().(*engineScratch)
-	defer e.scratch.Put(s)
-
+// redistribute runs the disaggregation (Eq. 14) and re-aggregation
+// (Eq. 17) steps for an already-learned β, using the caller's scratch.
+func (e *Engine) redistribute(objective, beta []float64, s *engineScratch) (*Result, error) {
 	// Per-reference weight on the Eq. 14 numerator: β_k normalised by
 	// the reference's largest source aggregate (see Align's step 2).
 	for k, beta_k := range beta {
@@ -293,10 +309,15 @@ func (e *Engine) AlignWithSources(objective []float64, sources [][]float64) (*Re
 }
 
 // AlignAll crosswalks a batch of objectives, fanning the per-attribute
-// solves across a pool of workers (0 ⇒ runtime.NumCPU()). Results are
-// written to disjoint slots, so the output order matches the input
-// order and is independent of scheduling. On error the first failure
-// in input order is returned alongside the results computed so far.
+// solves across a pool of workers (0 ⇒ runtime.NumCPU()). The batch
+// shares the engine's normal-equations precomputation: all c = Aᵀb
+// columns are computed up front as one blocked, parallel AᵀB product
+// (bit-identical per column to the single-call path), and each worker
+// warm-starts its active-set solves from the previous objective's β.
+// Results are written to disjoint slots, so the output order matches
+// the input order and is independent of scheduling. On error the first
+// failure in input order is returned alongside the results computed so
+// far.
 func (e *Engine) AlignAll(objectives [][]float64, workers int) ([]*Result, error) {
 	n := len(objectives)
 	results := make([]*Result, n)
@@ -309,39 +330,123 @@ func (e *Engine) AlignAll(objectives [][]float64, workers int) ([]*Result, error
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		for i, obj := range objectives {
-			res, err := e.Align(obj)
-			if err != nil {
-				return results, fmt.Errorf("core: objective %d: %w", i, err)
-			}
-			results[i] = res
-		}
-		return results, nil
-	}
 	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				results[i], errs[i] = e.Align(objectives[i])
-			}
-		}()
+	valid := make([]int, 0, n)
+	for i, obj := range objectives {
+		if err := e.checkObjective(obj); err != nil {
+			errs[i] = err
+			continue
+		}
+		valid = append(valid, i)
 	}
-	wg.Wait()
+
+	// The shared AᵀB prep only pays off on the cached Gram path with a
+	// genuine mixture to learn; k == 1 and the dense escape hatch run
+	// the plain per-objective solve.
+	k := len(e.refs)
+	useGram := !e.opts.DenseSolver && k > 1
+	var cs []float64
+	var bnorms []float64
+	if useGram {
+		cs = make([]float64, n*k)
+		bnorms = make([]float64, n)
+		e.batchGramPrep(objectives, valid, cs, bnorms)
+	}
+
+	process := func(i int, warm []float64) []float64 {
+		if !useGram {
+			results[i], errs[i] = e.Align(objectives[i])
+			return nil
+		}
+		res, err := e.alignPrepared(objectives[i], cs[i*k:(i+1)*k], bnorms[i], warm)
+		results[i], errs[i] = res, err
+		if err != nil {
+			return warm
+		}
+		return res.Weights
+	}
+
+	if workers == 1 || len(valid) <= 1 {
+		var warm []float64
+		for _, i := range valid {
+			warm = process(i, warm)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var warm []float64
+				for {
+					vi := int(next.Add(1)) - 1
+					if vi >= len(valid) {
+						return
+					}
+					warm = process(valid[vi], warm)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	for i, err := range errs {
 		if err != nil {
 			return results, fmt.Errorf("core: objective %d: %w", i, err)
 		}
 	}
 	return results, nil
+}
+
+// batchChunk bounds the normalised-objective buffers of batchGramPrep:
+// objectives run through the AᵀB product this many columns at a time.
+const batchChunk = 32
+
+// batchGramPrep fills cs (row i holding c_i = Aᵀ·maxNormalise(obj_i))
+// and bnorms (‖maxNormalise(obj_i)‖₂) for every valid objective,
+// reusing one chunk of column buffers throughout.
+func (e *Engine) batchGramPrep(objectives [][]float64, valid []int, cs, bnorms []float64) {
+	k := len(e.refs)
+	cols := make([][]float64, 0, batchChunk)
+	for start := 0; start < len(valid); start += batchChunk {
+		end := start + batchChunk
+		if end > len(valid) {
+			end = len(valid)
+		}
+		chunk := valid[start:end]
+		for len(cols) < len(chunk) {
+			cols = append(cols, make([]float64, e.ns))
+		}
+		for t, i := range chunk {
+			maxNormaliseInto(cols[t], objectives[i])
+			bnorms[i] = linalg.Norm2(cols[t])
+		}
+		prod := linalg.MulATB(e.weightMat, cols[:len(chunk)])
+		for t, i := range chunk {
+			for j := 0; j < k; j++ {
+				cs[i*k+j] = prod.At(j, t)
+			}
+		}
+	}
+}
+
+// alignPrepared is the batch-path Align: the weight-learning right-hand
+// side arrives pre-reduced as c = Aᵀb and ‖b‖₂, and warm optionally
+// seeds the active-set solver with the previous objective's β.
+func (e *Engine) alignPrepared(objective, c []float64, bnorm float64, warm []float64) (*Result, error) {
+	var beta []float64
+	var err error
+	if e.opts.SolverIterations > 0 {
+		beta, err = linalg.SimplexLeastSquaresPGGram(e.gram.G, c, e.gram.Lipschitz(), e.opts.SolverIterations, 0)
+	} else {
+		beta, err = linalg.SimplexLeastSquaresGramWarm(e.gram.G, c, e.gram.AInf, bnorm, warm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := e.scratch.Get().(*engineScratch)
+	defer e.scratch.Put(s)
+	return e.redistribute(objective, beta, s)
 }
 
 func (e *Engine) checkObjective(objective []float64) error {
@@ -354,10 +459,13 @@ func (e *Engine) checkObjective(objective []float64) error {
 	return nil
 }
 
-// learnWeights runs Eq. 15 using the precomputed design matrix, or a
-// per-call matrix when source overrides are given.
-func (e *Engine) learnWeights(objective []float64, sources [][]float64) ([]float64, error) {
+// learnWeights runs Eq. 15 using the cached normal equations of the
+// precomputed design matrix, or a per-call system when source overrides
+// are given. The objective is max-normalised into the scratch buffer,
+// and warm (optional) seeds the active-set solver from a previous β.
+func (e *Engine) learnWeights(objective []float64, sources [][]float64, s *engineScratch, warm []float64) ([]float64, error) {
 	mat := e.weightMat
+	gs := e.gram
 	if sources != nil {
 		if len(sources) != len(e.refs) {
 			return nil, fmt.Errorf("core: %d source overrides for %d references", len(sources), len(e.refs))
@@ -378,12 +486,26 @@ func (e *Engine) learnWeights(objective []float64, sources [][]float64) ([]float
 		if err != nil {
 			return nil, err
 		}
+		gs = nil
 	}
-	b := maxNormalise(objective)
+	maxNormaliseInto(s.b, objective)
+	if e.opts.DenseSolver {
+		if e.opts.SolverIterations > 0 {
+			return linalg.SimplexLeastSquaresPG(mat, s.b, e.opts.SolverIterations, 0)
+		}
+		return linalg.SimplexLeastSquares(mat, s.b)
+	}
+	if gs == nil {
+		// Source overrides change the design matrix, so the cached Gram
+		// system does not apply; a single-use one keeps the solve in
+		// k-space and bit-identical to an engine with those sources
+		// baked in.
+		gs = linalg.NewGramSystem(mat)
+	}
 	if e.opts.SolverIterations > 0 {
-		return linalg.SimplexLeastSquaresPG(mat, b, e.opts.SolverIterations, 0)
+		return gs.SimplexLSPG(s.b, e.opts.SolverIterations, 0)
 	}
-	return linalg.SimplexLeastSquares(mat, b)
+	return gs.SimplexLS(s.b, warm)
 }
 
 // valued wraps the union pattern around a value buffer. The returned

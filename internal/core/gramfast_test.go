@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// tallProblem builds a problem tall enough (ns ≫ 8k) that the dense
+// NNLS passive-set solver stays on its normal-equations branch — the
+// regime where the Gram fast path and the dense escape hatch must agree
+// to 1e-9.
+func tallProblem(rng *rand.Rand, ns, k int) Problem {
+	return engineProblem(rng, ns, 6, k)
+}
+
+// TestEngineGramMatchesDenseSolver drives the default (Gram) path and
+// the Options.DenseSolver escape hatch over randomized tall problems;
+// the learned weights must agree to 1e-9 absolute (β lives on the
+// simplex, so absolute and relative coincide in scale).
+func TestEngineGramMatchesDenseSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.Intn(4)
+		ns := 8*(k+1) + 10 + rng.Intn(200)
+		p := tallProblem(rng, ns, k)
+
+		fast, err := NewEngine(p.References, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: NewEngine: %v", trial, err)
+		}
+		dense, err := NewEngine(p.References, Options{DenseSolver: true})
+		if err != nil {
+			t.Fatalf("trial %d: NewEngine dense: %v", trial, err)
+		}
+		bf, err := fast.LearnWeights(p.Objective)
+		if err != nil {
+			t.Fatalf("trial %d: gram LearnWeights: %v", trial, err)
+		}
+		bd, err := dense.LearnWeights(p.Objective)
+		if err != nil {
+			t.Fatalf("trial %d: dense LearnWeights: %v", trial, err)
+		}
+		for j := range bd {
+			if math.Abs(bf[j]-bd[j]) > 1e-9 {
+				t.Fatalf("trial %d (ns=%d k=%d): β differs: gram %v dense %v", trial, ns, k, bf, bd)
+			}
+		}
+
+		// The free function must agree with the engine bit for bit:
+		// both route through the same Gram code path.
+		free, err := LearnWeights(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: free LearnWeights: %v", trial, err)
+		}
+		for j := range free {
+			if free[j] != bf[j] {
+				t.Fatalf("trial %d: free fn diverges from engine: %v vs %v", trial, free, bf)
+			}
+		}
+
+		// Full Align through both paths: targets within 1e-9 relative.
+		rf, err := fast.Align(p.Objective)
+		if err != nil {
+			t.Fatalf("trial %d: gram Align: %v", trial, err)
+		}
+		rd, err := dense.Align(p.Objective)
+		if err != nil {
+			t.Fatalf("trial %d: dense Align: %v", trial, err)
+		}
+		for j := range rd.Target {
+			if math.Abs(rf.Target[j]-rd.Target[j]) > 1e-9*(1+math.Abs(rd.Target[j])) {
+				t.Fatalf("trial %d: target %d: gram %v dense %v", trial, j, rf.Target[j], rd.Target[j])
+			}
+		}
+	}
+}
+
+// TestEngineDenseSolverAlignAll checks that the dense escape hatch is
+// honoured on the batch path too.
+func TestEngineDenseSolverAlignAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	p := tallProblem(rng, 120, 3)
+	dense, err := NewEngine(p.References, Options{DenseSolver: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectives := make([][]float64, 9)
+	for a := range objectives {
+		obj := make([]float64, 120)
+		for i := range obj {
+			obj[i] = rng.Float64() * 50
+		}
+		objectives[a] = obj
+	}
+	batch, err := dense.AlignAll(objectives, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, obj := range objectives {
+		want, err := dense.Align(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsClose(t, fmt.Sprintf("dense objective %d", a), batch[a], want, 0)
+	}
+}
+
+// TestEngineBatchWarmStartStress hammers the warm-started batch path
+// with many objectives over several worker counts; every result must be
+// bit-identical to the sequential cold-started solve. Run under -race
+// in CI, this also exercises the shared GramSystem for data races.
+func TestEngineBatchWarmStartStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for _, cfg := range []struct{ ns, k, n int }{
+		{60, 2, 40},
+		{200, 5, 64},
+		{35, 4, 25},
+	} {
+		p := engineProblem(rng, cfg.ns, 9, cfg.k)
+		e, err := NewEngine(p.References, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		objectives := make([][]float64, cfg.n)
+		for a := range objectives {
+			obj := make([]float64, cfg.ns)
+			for i := range obj {
+				obj[i] = rng.Float64() * 300
+				if rng.Intn(12) == 0 {
+					obj[i] = 0
+				}
+			}
+			objectives[a] = obj
+		}
+		want := make([]*Result, cfg.n)
+		for a, obj := range objectives {
+			want[a], err = e.Align(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, workers := range []int{1, 2, 7, 16} {
+			batch, err := e.AlignAll(objectives, workers)
+			if err != nil {
+				t.Fatalf("ns=%d k=%d workers=%d: %v", cfg.ns, cfg.k, workers, err)
+			}
+			for a := range objectives {
+				resultsClose(t, fmt.Sprintf("ns=%d k=%d workers=%d objective %d", cfg.ns, cfg.k, workers, a), batch[a], want[a], 0)
+			}
+		}
+	}
+}
+
+// TestEnginePGGramMatchesDensePG compares the cached-Lipschitz FISTA
+// path against the dense projected-gradient solver.
+func TestEnginePGGramMatchesDensePG(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	for trial := 0; trial < 10; trial++ {
+		k := 2 + rng.Intn(3)
+		p := tallProblem(rng, 100+rng.Intn(100), k)
+		opts := Options{SolverIterations: 3000}
+		fast, err := NewEngine(p.References, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.DenseSolver = true
+		dense, err := NewEngine(p.References, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := fast.LearnWeights(p.Objective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd, err := dense.LearnWeights(p.Objective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Identical FISTA recursions on differently-rounded gradients:
+		// the iterates track each other far inside the 1e-6 band FISTA
+		// itself converges to.
+		for j := range bd {
+			if math.Abs(bf[j]-bd[j]) > 1e-6 {
+				t.Fatalf("trial %d: PG β differs: gram %v dense %v", trial, bf, bd)
+			}
+		}
+	}
+}

@@ -38,6 +38,25 @@ func BenchmarkSimplexLSSolverAblation(b *testing.B) {
 			}
 		}
 	})
+	b.Run("gram-active-set", func(b *testing.B) {
+		gs := NewGramSystem(a)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gs.SimplexLS(rhs, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("gram-projected-gradient", func(b *testing.B) {
+		gs := NewGramSystem(a)
+		gs.Lipschitz()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := gs.SimplexLSPG(rhs, 500, 1e-10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkNNLS(b *testing.B) {
@@ -62,8 +81,14 @@ func BenchmarkQRFactorSolve(b *testing.B) {
 
 func BenchmarkGram(b *testing.B) {
 	a, _ := benchProblem(30238, 7)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = a.Gram()
-	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = a.Gram()
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = ParallelGram(a)
+		}
+	})
 }

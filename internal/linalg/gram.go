@@ -1,0 +1,642 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// This file implements the normal-equations ("Gram-form") fast path for
+// GeoAlign's weight learning. The Eq. 15 design matrix A (|U^s| rows ×
+// |A_r| columns, ns ≫ k) is fixed per engine while the right-hand side
+// b changes per attribute, so everything quadratic in ns is hoisted
+// into a one-time precomputation:
+//
+//   - G = AᵀA, a k×k Gram matrix, built blocked and in parallel over
+//     the ns rows;
+//   - ‖A‖∞, which scales the solvers' tolerances;
+//   - the largest eigenvalue of G (the projected-gradient Lipschitz
+//     constant), computed lazily and cached.
+//
+// A per-attribute solve then needs only c = Aᵀb — O(ns·k), blocked and
+// parallel with pooled scratch — after which the active-set and FISTA
+// solvers run entirely in k-dimensional space: each Lawson–Hanson
+// iteration costs one |P|³ Cholesky factorisation instead of the
+// O(ns·|P|²) tall factorisation of the dense path.
+
+// gramBlockRows is the row-block size of the blocked kernels. The
+// reduction over blocks is always performed in block order, so results
+// are bit-identical regardless of how many workers execute the blocks.
+const gramBlockRows = 2048
+
+// gramParallelMin is the minimum row count before the blocked kernels
+// fan out to goroutines; below it the blocks run on the calling
+// goroutine (with identical arithmetic).
+const gramParallelMin = 8192
+
+// GramSystem caches the normal-equations form of a fixed design matrix.
+// It is immutable after construction and safe for concurrent use.
+type GramSystem struct {
+	a    *Matrix
+	G    *Matrix // k×k Gram matrix AᵀA
+	AInf float64 // matInfNorm(a): scales solver tolerances and μ
+
+	lipOnce sync.Once
+	lip     float64
+}
+
+// NewGramSystem precomputes the Gram matrix and norm of a. The matrix
+// is captured by reference and must not be mutated afterwards.
+func NewGramSystem(a *Matrix) *GramSystem {
+	return &GramSystem{a: a, G: ParallelGram(a), AInf: matInfNorm(a)}
+}
+
+// Rows returns the design matrix row count (|U^s|).
+func (gs *GramSystem) Rows() int { return gs.a.Rows }
+
+// Cols returns the design matrix column count (|A_r|).
+func (gs *GramSystem) Cols() int { return gs.a.Cols }
+
+// Lipschitz returns the largest eigenvalue of G — the gradient
+// Lipschitz constant of ½‖Aβ−b‖² — computing it on first use and
+// caching it for every later call.
+func (gs *GramSystem) Lipschitz() float64 {
+	gs.lipOnce.Do(func() { gs.lip = powerIterSym(gs.G, 200) })
+	return gs.lip
+}
+
+// ApplyTInto computes dst = Aᵀb in O(ns·k), blocked over row chunks and
+// fanned across goroutines for large ns. dst must have length k, b
+// length ns. The block reduction is ordered, so the result does not
+// depend on the worker count.
+func (gs *GramSystem) ApplyTInto(dst, b []float64) {
+	a := gs.a
+	if len(b) != a.Rows {
+		panic(fmt.Sprintf("linalg: ApplyTInto vector length %d != rows %d", len(b), a.Rows))
+	}
+	if len(dst) != a.Cols {
+		panic(fmt.Sprintf("linalg: ApplyTInto destination length %d != cols %d", len(dst), a.Cols))
+	}
+	k := a.Cols
+	nb := numBlocks(a.Rows)
+	if nb <= 1 {
+		a.MulVecTInto(dst, b)
+		return
+	}
+	partPtr := gramScratchPool.Get().(*[]float64)
+	part := *partPtr
+	if cap(part) < nb*k {
+		part = make([]float64, nb*k)
+	}
+	part = part[:nb*k]
+	forEachBlock(a.Rows, func(bi, lo, hi int) {
+		local := part[bi*k : (bi+1)*k]
+		for j := range local {
+			local[j] = 0
+		}
+		for i := lo; i < hi; i++ {
+			xi := b[i]
+			if xi == 0 {
+				continue
+			}
+			row := a.Row(i)
+			for j, v := range row {
+				local[j] += v * xi
+			}
+		}
+	})
+	for j := range dst {
+		dst[j] = 0
+	}
+	for bi := 0; bi < nb; bi++ {
+		local := part[bi*k : (bi+1)*k]
+		for j, v := range local {
+			dst[j] += v
+		}
+	}
+	*partPtr = part[:cap(part)]
+	gramScratchPool.Put(partPtr)
+}
+
+// SimplexLS solves the Eq. 15 simplex-constrained least-squares problem
+// for right-hand side b against the cached system, optionally seeding
+// the active-set solver from a previous solution (warm may be nil).
+func (gs *GramSystem) SimplexLS(b, warm []float64) ([]float64, error) {
+	k := gs.a.Cols
+	if k == 0 {
+		return nil, ErrNoColumns
+	}
+	if len(b) != gs.a.Rows {
+		return nil, fmt.Errorf("linalg: simplex LS vector length %d != rows %d", len(b), gs.a.Rows)
+	}
+	if k == 1 {
+		return []float64{1}, nil
+	}
+	c := make([]float64, k)
+	gs.ApplyTInto(c, b)
+	return SimplexLeastSquaresGramWarm(gs.G, c, gs.AInf, Norm2(b), warm)
+}
+
+// SimplexLSPG solves the same problem with the Gram-form FISTA solver,
+// reusing the cached Lipschitz constant.
+func (gs *GramSystem) SimplexLSPG(b []float64, maxIter int, tol float64) ([]float64, error) {
+	k := gs.a.Cols
+	if k == 0 {
+		return nil, ErrNoColumns
+	}
+	if len(b) != gs.a.Rows {
+		return nil, fmt.Errorf("linalg: simplex LS vector length %d != rows %d", len(b), gs.a.Rows)
+	}
+	if k == 1 {
+		return []float64{1}, nil
+	}
+	c := make([]float64, k)
+	gs.ApplyTInto(c, b)
+	return SimplexLeastSquaresPGGram(gs.G, c, gs.Lipschitz(), maxIter, tol)
+}
+
+var gramScratchPool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 256)
+	return &s
+}}
+
+// numBlocks returns how many gramBlockRows-sized chunks cover rows.
+func numBlocks(rows int) int {
+	return (rows + gramBlockRows - 1) / gramBlockRows
+}
+
+// forEachBlock runs body(blockIndex, lo, hi) over every row block,
+// in parallel when the row count warrants it. Bodies write to disjoint
+// block-indexed storage, so scheduling never affects the result.
+func forEachBlock(rows int, body func(bi, lo, hi int)) {
+	nb := numBlocks(rows)
+	workers := runtime.GOMAXPROCS(0)
+	if nb <= 1 || rows < gramParallelMin || workers <= 1 {
+		for bi := 0; bi < nb; bi++ {
+			lo := bi * gramBlockRows
+			hi := lo + gramBlockRows
+			if hi > rows {
+				hi = rows
+			}
+			body(bi, lo, hi)
+		}
+		return
+	}
+	if workers > nb {
+		workers = nb
+	}
+	var next int64
+	var mu sync.Mutex
+	claim := func() int {
+		mu.Lock()
+		bi := int(next)
+		next++
+		mu.Unlock()
+		return bi
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				bi := claim()
+				if bi >= nb {
+					return
+				}
+				lo := bi * gramBlockRows
+				hi := lo + gramBlockRows
+				if hi > rows {
+					hi = rows
+				}
+				body(bi, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ParallelGram computes AᵀA blocked over row chunks and in parallel,
+// exploiting symmetry. It matches Matrix.Gram to rounding (the block
+// reduction regroups the row sums) and is deterministic for any
+// GOMAXPROCS.
+func ParallelGram(a *Matrix) *Matrix {
+	k := a.Cols
+	g := NewMatrix(k, k)
+	nb := numBlocks(a.Rows)
+	if nb == 0 {
+		return g
+	}
+	part := make([]float64, nb*k*k)
+	forEachBlock(a.Rows, func(bi, lo, hi int) {
+		local := part[bi*k*k : (bi+1)*k*k]
+		for i := lo; i < hi; i++ {
+			row := a.Row(i)
+			for p, vp := range row {
+				if vp == 0 {
+					continue
+				}
+				grow := local[p*k : (p+1)*k]
+				for q := p; q < k; q++ {
+					grow[q] += vp * row[q]
+				}
+			}
+		}
+	})
+	for bi := 0; bi < nb; bi++ {
+		local := part[bi*k*k : (bi+1)*k*k]
+		for t, v := range local {
+			g.Data[t] += v
+		}
+	}
+	for p := 0; p < k; p++ {
+		for q := p + 1; q < k; q++ {
+			g.Set(q, p, g.At(p, q))
+		}
+	}
+	return g
+}
+
+// MulATB computes AᵀB for a batch of right-hand sides: cols[o] is the
+// o-th column of B (each of length a.Rows) and the result is k×len(cols)
+// with column o equal to Aᵀ·cols[o]. The product is blocked over A's
+// rows and runs in parallel; per-column results are bit-identical to
+// ApplyTInto on the same column.
+func MulATB(a *Matrix, cols [][]float64) *Matrix {
+	n := len(cols)
+	k := a.Cols
+	out := NewMatrix(k, n)
+	if n == 0 {
+		return out
+	}
+	for o, col := range cols {
+		if len(col) != a.Rows {
+			panic(fmt.Sprintf("linalg: MulATB column %d has length %d, want %d", o, len(col), a.Rows))
+		}
+	}
+	nb := numBlocks(a.Rows)
+	if nb == 0 {
+		return out
+	}
+	part := make([]float64, nb*k*n)
+	forEachBlock(a.Rows, func(bi, lo, hi int) {
+		local := part[bi*k*n : (bi+1)*k*n]
+		for o, col := range cols {
+			dst := local[o*k : (o+1)*k]
+			for i := lo; i < hi; i++ {
+				xi := col[i]
+				if xi == 0 {
+					continue
+				}
+				row := a.Row(i)
+				for j, v := range row {
+					dst[j] += v * xi
+				}
+			}
+		}
+	})
+	for bi := 0; bi < nb; bi++ {
+		local := part[bi*k*n : (bi+1)*k*n]
+		for o := 0; o < n; o++ {
+			src := local[o*k : (o+1)*k]
+			for j, v := range src {
+				out.Data[j*n+o] += v
+			}
+		}
+	}
+	return out
+}
+
+// GramTolerance reproduces the dense NNLS dual tolerance
+// 10·ε·n·‖A‖∞·(‖b‖₂+1) for callers driving NNLSGram directly.
+func GramTolerance(ainf, bnorm float64, n int) float64 {
+	return 10 * machEps * float64(n) * ainf * (bnorm + 1)
+}
+
+// NNLSGram solves min ‖A·x − b‖₂ s.t. x ≥ 0 given only the normal
+// equations: g = AᵀA and c = Aᵀb. It runs the same Lawson–Hanson
+// active-set iteration as NNLS, but the dual vector is c − G·x (O(k²))
+// and each passive-set solve is a |P|×|P| Cholesky factorisation —
+// no O(ns·…) work at all. tol is the dual tolerance (see
+// GramTolerance); tol <= 0 substitutes a scale-appropriate default.
+//
+// When a passive-set Gram block is not numerically positive definite
+// the offending column is dropped, matching the dense solver's
+// behaviour on rank-deficient passive sets.
+func NNLSGram(g *Matrix, c []float64, tol float64) ([]float64, error) {
+	return NNLSGramWarm(g, c, tol, nil)
+}
+
+// NNLSGramWarm is NNLSGram seeded with a previous solution: the passive
+// set starts at warm's support and x at warm clipped to it, which makes
+// repeated solves against slowly varying right-hand sides converge in
+// one or two active-set iterations. warm may be nil (cold start) and is
+// never mutated. The result is a KKT point of the same problem; for a
+// unique optimum it is identical to the cold-start solution.
+func NNLSGramWarm(g *Matrix, c []float64, tol float64, warm []float64) ([]float64, error) {
+	n := g.Rows
+	if g.Cols != n {
+		return nil, fmt.Errorf("linalg: NNLSGram needs a square Gram matrix, got %dx%d", g.Rows, g.Cols)
+	}
+	if len(c) != n {
+		return nil, fmt.Errorf("linalg: NNLSGram vector length %d != order %d", len(c), n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if tol <= 0 {
+		tol = GramTolerance(matInfNorm(g), Norm2(c), n)
+	}
+
+	x := make([]float64, n)
+	passive := make([]bool, n)
+	w := make([]float64, n)
+	z := make([]float64, n)
+
+	if len(warm) == n {
+		seeded := false
+		for j, v := range warm {
+			if v > tol {
+				passive[j] = true
+				x[j] = v
+				seeded = true
+			}
+		}
+		if seeded && !gramInnerSolve(g, c, tol, passive, x, z) {
+			// The warm passive set is rank deficient; restart cold.
+			for j := range x {
+				x[j] = 0
+				passive[j] = false
+			}
+		}
+	}
+
+	maxOuter := 3 * n
+	if maxOuter < 30 {
+		maxOuter = 30
+	}
+	for outer := 0; outer < maxOuter; outer++ {
+		// Dual vector w = c − G·x.
+		for i := 0; i < n; i++ {
+			s := c[i]
+			row := g.Row(i)
+			for j, v := range row {
+				s -= v * x[j]
+			}
+			w[i] = s
+		}
+		t, wmax := -1, tol
+		for j := 0; j < n; j++ {
+			if !passive[j] && w[j] > wmax {
+				wmax, t = w[j], j
+			}
+		}
+		if t < 0 {
+			break // KKT satisfied
+		}
+		passive[t] = true
+		if !gramInnerSolve(g, c, tol, passive, x, z) {
+			// The newly added column is linearly dependent; drop it.
+			passive[t] = false
+		}
+	}
+	return x, nil
+}
+
+// gramInnerSolve runs the Lawson–Hanson inner loop in Gram space: solve
+// the unconstrained problem on the passive set and backtrack while any
+// passive variable would go negative, shrinking the passive set. On
+// success x is the feasible passive-set least-squares solution. It
+// returns false when a passive-set solve meets a singular Gram block
+// before any progress is made.
+func gramInnerSolve(g *Matrix, c []float64, tol float64, passive []bool, x, z []float64) bool {
+	n := len(c)
+	for inner := 0; inner <= n+1; inner++ {
+		if !solvePassiveGram(g, c, passive, z) {
+			return false
+		}
+		neg := false
+		alpha := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if passive[j] && z[j] <= 0 {
+				neg = true
+				denom := x[j] - z[j]
+				if denom != 0 {
+					if a := x[j] / denom; a < alpha {
+						alpha = a
+					}
+				}
+			}
+		}
+		if !neg {
+			for j := 0; j < n; j++ {
+				if passive[j] {
+					x[j] = z[j]
+				} else {
+					x[j] = 0
+				}
+			}
+			return true
+		}
+		if math.IsInf(alpha, 1) {
+			alpha = 0
+		}
+		for j := 0; j < n; j++ {
+			if passive[j] {
+				x[j] += alpha * (z[j] - x[j])
+				if x[j] <= tol {
+					x[j] = 0
+					passive[j] = false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// solvePassiveGram solves G_PP·z_P = c_P for the passive index set via
+// Cholesky, scattering the solution into the full-length z (zeros on
+// the active set). Returns false when G_PP is not numerically positive
+// definite.
+func solvePassiveGram(g *Matrix, c []float64, passive []bool, z []float64) bool {
+	n := len(c)
+	idx := make([]int, 0, n)
+	for j := 0; j < n; j++ {
+		if passive[j] {
+			idx = append(idx, j)
+		}
+	}
+	for j := range z {
+		z[j] = 0
+	}
+	if len(idx) == 0 {
+		return true
+	}
+	p := len(idx)
+	sub := NewMatrix(p, p)
+	rhs := make([]float64, p)
+	for r, jr := range idx {
+		grow := g.Row(jr)
+		srow := sub.Row(r)
+		for q, jq := range idx {
+			srow[q] = grow[jq]
+		}
+		rhs[r] = c[jr]
+	}
+	l, err := Cholesky(sub)
+	if err != nil {
+		return false
+	}
+	sol, err := SolveCholesky(l, rhs)
+	if err != nil {
+		return false
+	}
+	for r, jr := range idx {
+		z[jr] = sol[r]
+	}
+	return true
+}
+
+// SimplexLeastSquaresGram solves GeoAlign's Eq. 15 weight-learning
+// problem given only the normal equations of the design matrix:
+// g = AᵀA, c = Aᵀb, ainf = ‖A‖∞ and bnorm = ‖b‖₂. It reproduces
+// SimplexLeastSquares exactly — the same μ-weighted equality
+// augmentation, here as a rank-one update G + μ²·11ᵀ and c + μ²·1, the
+// same NNLS iteration, the same renormalisation and degenerate-case
+// fallbacks — with per-solve cost independent of the row count.
+func SimplexLeastSquaresGram(g *Matrix, c []float64, ainf, bnorm float64) ([]float64, error) {
+	return SimplexLeastSquaresGramWarm(g, c, ainf, bnorm, nil)
+}
+
+// SimplexLeastSquaresGramWarm is SimplexLeastSquaresGram with an
+// optional warm start (a previous β) seeding the active-set solver.
+func SimplexLeastSquaresGramWarm(g *Matrix, c []float64, ainf, bnorm float64, warm []float64) ([]float64, error) {
+	k := g.Rows
+	if k == 0 {
+		return nil, ErrNoColumns
+	}
+	if g.Cols != k {
+		return nil, fmt.Errorf("linalg: simplex LS Gram matrix is %dx%d, want square", g.Rows, g.Cols)
+	}
+	if len(c) != k {
+		return nil, fmt.Errorf("linalg: simplex LS Gram vector length %d != order %d", len(c), k)
+	}
+	if k == 1 {
+		return []float64{1}, nil
+	}
+	if ainf == 0 {
+		ainf = 1 // matInfNorm's convention for an all-zero matrix
+	}
+
+	mu := 1e4 * (ainf + bnorm + 1)
+	mu2 := mu * mu
+	gaug := NewMatrix(k, k)
+	for i := 0; i < k; i++ {
+		grow := g.Row(i)
+		arow := gaug.Row(i)
+		for j, v := range grow {
+			arow[j] = v + mu2
+		}
+	}
+	caug := make([]float64, k)
+	for j, v := range c {
+		caug[j] = v + mu2
+	}
+	// The dense path's dual tolerance, expressed through the augmented
+	// system's norms: ‖aug‖∞ = max(‖A‖∞, k·μ) and ‖baug‖₂ = √(‖b‖²+μ²).
+	augInf := float64(k) * mu
+	if ainf > augInf {
+		augInf = ainf
+	}
+	tol := GramTolerance(augInf, math.Hypot(bnorm, mu), k)
+
+	beta, err := NNLSGramWarm(gaug, caug, tol, warm)
+	if err != nil {
+		return nil, err
+	}
+	s := Sum(beta)
+	if s <= 0 || math.IsNaN(s) {
+		// b is orthogonal to every feasible direction; fall back to the
+		// uninformative uniform combination.
+		for j := range beta {
+			beta[j] = 1 / float64(k)
+		}
+		return beta, nil
+	}
+	Scale(1/s, beta)
+	return beta, nil
+}
+
+// SimplexLeastSquaresPGGram is the Gram-form FISTA solver: identical
+// iteration to SimplexLeastSquaresPG with the gradient computed as
+// G·y − c and the Lipschitz constant supplied by the caller (pass
+// lip <= 0 to estimate it by power iteration on g).
+func SimplexLeastSquaresPGGram(g *Matrix, c []float64, lip float64, maxIter int, tol float64) ([]float64, error) {
+	k := g.Rows
+	if k == 0 {
+		return nil, ErrNoColumns
+	}
+	if g.Cols != k {
+		return nil, fmt.Errorf("linalg: simplex LS Gram matrix is %dx%d, want square", g.Rows, g.Cols)
+	}
+	if len(c) != k {
+		return nil, fmt.Errorf("linalg: simplex LS Gram vector length %d != order %d", len(c), k)
+	}
+	if k == 1 {
+		return []float64{1}, nil
+	}
+	if maxIter <= 0 {
+		maxIter = 2000
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if lip <= 0 {
+		lip = powerIterSym(g, 200)
+	}
+	if lip <= 0 {
+		beta := make([]float64, k)
+		for j := range beta {
+			beta[j] = 1 / float64(k)
+		}
+		return beta, nil
+	}
+	step := 1 / lip
+
+	x := make([]float64, k)
+	for j := range x {
+		x[j] = 1 / float64(k)
+	}
+	y := make([]float64, k)
+	copy(y, x)
+	t := 1.0
+	prev := make([]float64, k)
+	grad := make([]float64, k)
+	proj := make([]float64, k)
+	for iter := 0; iter < maxIter; iter++ {
+		copy(prev, x)
+		// grad = G·y − c.
+		g.MulVecInto(grad, y)
+		for j := range grad {
+			grad[j] -= c[j]
+		}
+		for j := range x {
+			x[j] = y[j] - step*grad[j]
+		}
+		projectSimplexInto(x, proj)
+		tNext := (1 + math.Sqrt(1+4*t*t)) / 2
+		for j := range y {
+			y[j] = x[j] + (t-1)/tNext*(x[j]-prev[j])
+		}
+		t = tNext
+		var diff float64
+		for j := range x {
+			diff += math.Abs(x[j] - prev[j])
+		}
+		if diff < tol {
+			break
+		}
+	}
+	return x, nil
+}

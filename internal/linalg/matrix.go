@@ -126,27 +126,49 @@ func (m *Matrix) T() *Matrix {
 
 // MulVec computes y = m·x. x must have length m.Cols.
 func (m *Matrix) MulVec(x []float64) []float64 {
+	y := make([]float64, m.Rows)
+	m.MulVecInto(y, x)
+	return y
+}
+
+// MulVecInto computes dst = m·x without allocating. dst must have
+// length m.Rows and x length m.Cols; dst is overwritten.
+func (m *Matrix) MulVecInto(dst, x []float64) {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("linalg: MulVec dimension mismatch: %dx%d matrix, vector of length %d", m.Rows, m.Cols, len(x)))
 	}
-	y := make([]float64, m.Rows)
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVecInto destination length %d != rows %d", len(dst), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y
 }
 
 // MulVecT computes y = mᵀ·x. x must have length m.Rows.
 func (m *Matrix) MulVecT(x []float64) []float64 {
+	y := make([]float64, m.Cols)
+	m.MulVecTInto(y, x)
+	return y
+}
+
+// MulVecTInto computes dst = mᵀ·x without allocating. dst must have
+// length m.Cols and x length m.Rows; dst is overwritten.
+func (m *Matrix) MulVecTInto(dst, x []float64) {
 	if len(x) != m.Rows {
 		panic(fmt.Sprintf("linalg: MulVecT dimension mismatch: %dx%d matrix, vector of length %d", m.Rows, m.Cols, len(x)))
 	}
-	y := make([]float64, m.Cols)
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVecTInto destination length %d != cols %d", len(dst), m.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		xi := x[i]
 		if xi == 0 {
@@ -154,10 +176,9 @@ func (m *Matrix) MulVecT(x []float64) []float64 {
 		}
 		row := m.Row(i)
 		for j, v := range row {
-			y[j] += v * xi
+			dst[j] += v * xi
 		}
 	}
-	return y
 }
 
 // Mul computes m·b as a new matrix.

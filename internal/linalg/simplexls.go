@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrNoColumns is returned by SimplexLeastSquares when A has no columns:
@@ -107,18 +108,21 @@ func SimplexLeastSquaresPG(a *Matrix, b []float64, maxIter int, tol float64) ([]
 	copy(y, x)
 	t := 1.0
 	prev := make([]float64, k)
+	ay := make([]float64, m)
+	grad := make([]float64, k)
+	proj := make([]float64, k)
 	for iter := 0; iter < maxIter; iter++ {
 		copy(prev, x)
 		// grad = Aᵀ(A·y − b)
-		ay := a.MulVec(y)
+		a.MulVecInto(ay, y)
 		for i := range ay {
 			ay[i] -= b[i]
 		}
-		grad := a.MulVecT(ay)
+		a.MulVecTInto(grad, ay)
 		for j := range x {
 			x[j] = y[j] - step*grad[j]
 		}
-		ProjectSimplex(x)
+		projectSimplexInto(x, proj)
 		tNext := (1 + math.Sqrt(1+4*t*t)) / 2
 		for j := range y {
 			y[j] = x[j] + (t-1)/tNext*(x[j]-prev[j])
@@ -135,15 +139,37 @@ func SimplexLeastSquaresPG(a *Matrix, b []float64, maxIter int, tol float64) ([]
 	return x, nil
 }
 
+// projPool recycles the sort workspace so ProjectSimplex stays
+// allocation-free inside solver iteration loops.
+var projPool = sync.Pool{New: func() any {
+	s := make([]float64, 0, 32)
+	return &s
+}}
+
 // ProjectSimplex projects v in place onto the probability simplex
 // {x : Σx = 1, x ≥ 0} using the sort-based algorithm of Held, Wolfe &
-// Crowder (1974).
+// Crowder (1974). The sort workspace comes from an internal pool;
+// callers with a loop of projections can pass their own scratch via
+// projectSimplexInto to skip the pool round-trip.
 func ProjectSimplex(v []float64) {
+	up := projPool.Get().(*[]float64)
+	u := *up
+	if cap(u) < len(v) {
+		u = make([]float64, len(v))
+	}
+	projectSimplexInto(v, u[:len(v)])
+	*up = u[:cap(u)]
+	projPool.Put(up)
+}
+
+// projectSimplexInto is ProjectSimplex with a caller-provided scratch
+// slice holding the sorted copy; scratch must have length len(v).
+func projectSimplexInto(v, scratch []float64) {
 	n := len(v)
 	if n == 0 {
 		return
 	}
-	u := make([]float64, n)
+	u := scratch[:n]
 	copy(u, v)
 	// Sort descending (insertion sort is fine for the small k here, but
 	// use an explicit sort for generality).
@@ -223,9 +249,11 @@ func powerIterSym(g *Matrix, iters int) float64 {
 	for i := range v {
 		v[i] = 1 / math.Sqrt(float64(n))
 	}
+	w := make([]float64, n)
+	gw := make([]float64, n)
 	var lambda float64
 	for it := 0; it < iters; it++ {
-		w := g.MulVec(v)
+		g.MulVecInto(w, v)
 		nw := Norm2(w)
 		if nw == 0 {
 			return 0
@@ -233,12 +261,13 @@ func powerIterSym(g *Matrix, iters int) float64 {
 		for i := range w {
 			w[i] /= nw
 		}
-		lambdaNew := Dot(w, g.MulVec(w))
+		g.MulVecInto(gw, w)
+		lambdaNew := Dot(w, gw)
 		if it > 4 && math.Abs(lambdaNew-lambda) <= 1e-12*math.Abs(lambdaNew) {
 			return lambdaNew
 		}
 		lambda = lambdaNew
-		v = w
+		v, w = w, v
 	}
 	return lambda
 }
