@@ -1,6 +1,7 @@
 package geoalign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -88,11 +89,23 @@ func (a *Aligner) SourceUnits() int { return a.engine.SourceUnits() }
 // TargetUnits returns the number of target units.
 func (a *Aligner) TargetUnits() int { return a.engine.TargetUnits() }
 
+// References returns the number of references the Aligner was built
+// with.
+func (a *Aligner) References() int { return a.engine.References() }
+
 // Align crosswalks one objective attribute, exactly like the package
 // Align function with this Aligner's references, but reusing the
 // cached precomputation. Safe to call from many goroutines at once.
 func (a *Aligner) Align(objective []float64) (*Result, error) {
-	res, err := a.engine.Align(objective)
+	return a.AlignContext(context.Background(), objective)
+}
+
+// AlignContext is Align with cancellation: the context is checked on
+// entry and between the weight-learning and redistribution stages. On
+// cancellation it returns ctx.Err() and no result. The result is
+// bit-identical to Align's whenever the call completes.
+func (a *Aligner) AlignContext(ctx context.Context, objective []float64) (*Result, error) {
+	res, err := a.engine.AlignContext(ctx, objective)
 	if err != nil {
 		return nil, mapErr(err)
 	}
@@ -115,7 +128,15 @@ func (a *Aligner) Weights(objective []float64) ([]float64, error) {
 // failure in input order is reported and the remaining results may be
 // partially populated.
 func (a *Aligner) AlignAll(objectives [][]float64) ([]*Result, error) {
-	coreResults, err := a.engine.AlignAll(objectives, a.workers)
+	return a.AlignAllContext(context.Background(), objectives)
+}
+
+// AlignAllContext is AlignAll with cancellation. The context is checked
+// between worker chunks; once it is cancelled no further chunk starts
+// and the call returns ctx.Err() with no results, since a partially
+// aligned batch is not meaningful.
+func (a *Aligner) AlignAllContext(ctx context.Context, objectives [][]float64) ([]*Result, error) {
+	coreResults, err := a.engine.AlignAllContext(ctx, objectives, a.workers)
 	results := make([]*Result, len(coreResults))
 	for i, r := range coreResults {
 		if r != nil {

@@ -105,10 +105,8 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		deltas, onlyOld, onlyNew := Compare(prev.Results, cur.Results)
-		printReport(out, filepath.Base(prevPath), deltas, onlyOld, onlyNew, *tol)
-		if regressed := Regressions(deltas, *tol); len(regressed) > 0 {
-			return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regressed), *tol*100)
+		if err := Gate(out, filepath.Base(prevPath), prev.Results, cur.Results, *tol); err != nil {
+			return err
 		}
 	}
 
@@ -254,23 +252,49 @@ func writeSnapshot(path string, s *Snapshot) error {
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
+// Gate prints the comparison report and returns an error only when a
+// benchmark present in BOTH runs regressed beyond the tolerance.
+// One-sided names — benchmarks renamed, added, or removed between the
+// snapshots — are reported but can never fail the gate, including the
+// degenerate case where the two runs share no benchmark at all (say,
+// after narrowing -bench): that run passes with an explicit notice
+// rather than failing on a vacuous comparison.
+func Gate(out io.Writer, prevName string, old, cur map[string]float64, tol float64) error {
+	deltas, onlyOld, onlyNew := Compare(old, cur)
+	printReport(out, prevName, deltas, onlyOld, onlyNew, tol)
+	if regressed := Regressions(deltas, tol); len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regressed), tol*100)
+	}
+	return nil
+}
+
 func printReport(out io.Writer, prevName string, deltas []Delta, onlyOld, onlyNew []string, tol float64) {
 	fmt.Fprintf(out, "comparing against %s (gate: +%.0f%%)\n", prevName, tol*100)
-	fmt.Fprintf(out, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	if len(deltas) == 0 {
+		fmt.Fprintf(out, "no overlapping benchmarks between the runs (%d removed, %d new); nothing to gate on\n",
+			len(onlyOld), len(onlyNew))
+	} else {
+		fmt.Fprintf(out, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	}
+	regressed, improved := 0, 0
 	for _, d := range deltas {
 		mark := ""
 		switch {
 		case d.Ratio > 1+tol:
 			mark = "  REGRESSION"
+			regressed++
 		case d.Ratio < 1-tol:
 			mark = "  improved"
+			improved++
 		}
 		fmt.Fprintf(out, "%-60s %14.0f %14.0f %7.2fx%s\n", d.Name, d.Old, d.New, d.Ratio, mark)
 	}
 	for _, n := range onlyOld {
-		fmt.Fprintf(out, "%-60s removed\n", n)
+		fmt.Fprintf(out, "%-60s removed (not gated)\n", n)
 	}
 	for _, n := range onlyNew {
-		fmt.Fprintf(out, "%-60s new\n", n)
+		fmt.Fprintf(out, "%-60s new (not gated)\n", n)
 	}
+	fmt.Fprintf(out, "%d compared: %d regressed, %d improved; %d only in old run, %d only in new run\n",
+		len(deltas), regressed, improved, len(onlyOld), len(onlyNew))
 }

@@ -75,6 +75,60 @@ func TestCompareAndRegressions(t *testing.T) {
 	}
 }
 
+// TestGateOneSidedNamesNeverFail pins the reporting contract for
+// benchmarks present in only one of the two BENCH files: they are
+// listed but can never fail the gate, even when the runs share no
+// benchmark at all.
+func TestGateOneSidedNamesNeverFail(t *testing.T) {
+	var out strings.Builder
+	old := map[string]float64{"BenchmarkGone": 10, "BenchmarkRenamed": 20}
+	cur := map[string]float64{"BenchmarkNew": 100000, "BenchmarkRenamedV2": 200000}
+	if err := Gate(&out, "BENCH_old.json", old, cur, 0.20); err != nil {
+		t.Fatalf("zero-overlap comparison failed the gate: %v", err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"no overlapping benchmarks",
+		"2 removed, 2 new",
+		"BenchmarkGone",
+		"BenchmarkNew",
+		"not gated",
+		"0 compared: 0 regressed, 0 improved; 2 only in old run, 2 only in new run",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Mixed case: the overlapping benchmark regressed, the one-sided
+	// ones still do not contribute to the failure count.
+	out.Reset()
+	old["BenchmarkShared"] = 100
+	cur["BenchmarkShared"] = 200
+	err := Gate(&out, "BENCH_old.json", old, cur, 0.20)
+	if err == nil {
+		t.Fatal("real regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "1 benchmark(s) regressed") {
+		t.Errorf("err = %v, want exactly one regression counted", err)
+	}
+	if !strings.Contains(out.String(), "1 compared: 1 regressed, 0 improved") {
+		t.Errorf("summary wrong:\n%s", out.String())
+	}
+}
+
+func TestGateSummaryCounts(t *testing.T) {
+	var out strings.Builder
+	old := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkGone": 5}
+	cur := map[string]float64{"BenchmarkA": 110, "BenchmarkB": 40}
+	if err := Gate(&out, "BENCH_old.json", old, cur, 0.20); err != nil {
+		t.Fatal(err)
+	}
+	if want := "2 compared: 0 regressed, 1 improved; 1 only in old run, 0 only in new run"; !strings.Contains(out.String(), want) {
+		t.Errorf("report missing %q:\n%s", want, out.String())
+	}
+}
+
 func TestLatestSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	for _, name := range []string{"BENCH_2026-07-01.json", "BENCH_2026-08-05.json", "BENCH_2026-07-20.json", "other.json"} {

@@ -1,0 +1,240 @@
+// Command geoalignd serves GeoAlign alignments over HTTP: a registry of
+// named engines (each one fixed pair of unit systems with its reference
+// crosswalks precomputed), request coalescing that merges concurrent
+// single-attribute requests into one warm-started batch solve, and
+// bounded-concurrency load shedding.
+//
+// Engines are loaded from reference crosswalk CSVs at startup:
+//
+//	geoalignd -addr :8417 \
+//	    -engine zip2county=population_xwalk.csv,accidents_xwalk.csv
+//
+// Each -engine spec is name=xwalk1.csv[,xwalk2.csv...], where every
+// file is a three-column CSV (source,target,value) as accepted by the
+// geoalign CLI. The first crosswalk's source-unit order is extended by
+// the remaining files (first-seen union) and becomes the order in which
+// /v1/align expects objective values; target units are unioned the same
+// way. -demo registers a synthetic "demo" engine for smoke testing
+// without data files.
+//
+// Endpoints: POST /v1/align, POST /v1/align/batch, GET /v1/engines,
+// GET /healthz, GET /metrics. See internal/serve for the wire formats.
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"geoalign"
+	"geoalign/internal/serve"
+	"geoalign/internal/sparse"
+	"geoalign/internal/synth"
+	"geoalign/internal/table"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+// publishOnce guards the process-wide expvar name (Publish panics on
+// duplicates; tests invoke run more than once).
+var publishOnce sync.Once
+
+// onListen, when set by tests, receives the bound address before the
+// server starts accepting.
+var onListen func(net.Addr)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "geoalignd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("geoalignd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8417", "listen address")
+		engineSpecs repeated
+		demo        = fs.Bool("demo", false, "register a synthetic \"demo\" engine (500 sources, 40 targets, 3 references)")
+		maxBatch    = fs.Int("max-batch", 32, "max requests per coalesced batch; <=1 disables coalescing")
+		maxWait     = fs.Duration("max-wait", 2*time.Millisecond, "coalescing window: how long the first request waits for followers")
+		maxInflight = fs.Int("max-inflight", 256, "max admitted requests before shedding")
+		queueWait   = fs.Duration("queue-wait", 100*time.Millisecond, "how long an arrival may wait for admission before a 429")
+		reqTimeout  = fs.Duration("request-timeout", 0, "per-request deadline plumbed into the engine (0 = none)")
+		workers     = fs.Int("workers", 0, "engine worker-pool size for batch solves (0 = NumCPU)")
+	)
+	fs.Var(&engineSpecs, "engine", "name=xwalk1.csv[,xwalk2.csv...]; repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(engineSpecs) == 0 && !*demo {
+		return fmt.Errorf("no engines: give at least one -engine spec or -demo")
+	}
+
+	reg := serve.NewRegistry()
+	for _, spec := range engineSpecs {
+		name, paths, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || paths == "" {
+			return fmt.Errorf("bad -engine spec %q, want name=xwalk1.csv[,xwalk2.csv...]", spec)
+		}
+		al, err := loadEngine(strings.Split(paths, ","), *workers)
+		if err != nil {
+			return fmt.Errorf("engine %q: %w", name, err)
+		}
+		if err := reg.Register(name, al); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "geoalignd: engine %q: %d sources -> %d targets, %d references\n",
+			name, al.SourceUnits(), al.TargetUnits(), al.References())
+	}
+	if *demo {
+		al, err := demoEngine(*workers)
+		if err != nil {
+			return fmt.Errorf("demo engine: %w", err)
+		}
+		if err := reg.Register("demo", al); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "geoalignd: engine \"demo\": %d sources -> %d targets, %d references\n",
+			al.SourceUnits(), al.TargetUnits(), al.References())
+	}
+
+	srv := serve.NewServer(reg, serve.Config{
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+		MaxInFlight:    *maxInflight,
+		QueueWait:      *queueWait,
+		RequestTimeout: *reqTimeout,
+	})
+	publishOnce.Do(func() { expvar.Publish("geoalignd", srv.Metrics().Var()) })
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	fmt.Fprintf(stderr, "geoalignd: listening on %s with %d engines\n", ln.Addr(), reg.Len())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		srv.Shutdown()
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, let in-flight handlers (and the
+	// coalesced batches they wait on) finish, then drain the serving
+	// layer.
+	fmt.Fprintln(stderr, "geoalignd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	err = hs.Shutdown(shutCtx)
+	srv.Shutdown()
+	if serveErr := <-errc; serveErr != nil && serveErr != http.ErrServerClosed {
+		return serveErr
+	}
+	return err
+}
+
+// loadEngine builds a serving engine from reference crosswalk CSVs. The
+// union of source keys (first-seen order across files) fixes the
+// objective layout; target keys are unioned the same way.
+func loadEngine(paths []string, workers int) (*geoalign.Aligner, error) {
+	xwalks := make([]*table.Crosswalk, 0, len(paths))
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		cw, err := table.ReadCrosswalkCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		xwalks = append(xwalks, cw)
+	}
+	srcKeys := unionKeys(xwalks, func(cw *table.Crosswalk) []string { return cw.SourceKeys })
+	tgtKeys := unionKeys(xwalks, func(cw *table.Crosswalk) []string { return cw.TargetKeys })
+	refs := make([]geoalign.Reference, len(xwalks))
+	for k, cw := range xwalks {
+		dm, err := cw.ReorderTo(srcKeys, tgtKeys)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", paths[k], err)
+		}
+		xw, err := publicCrosswalk(dm)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", paths[k], err)
+		}
+		refs[k] = geoalign.Reference{Name: cw.Attribute, Crosswalk: xw}
+	}
+	return newServingAligner(refs, workers)
+}
+
+// demoEngine registers a synthetic scaling problem so the server can be
+// exercised without data files.
+func demoEngine(workers int) (*geoalign.Aligner, error) {
+	p := synth.ScalingProblem(rand.New(rand.NewSource(42)), 500, 40, 3)
+	refs := make([]geoalign.Reference, len(p.References))
+	for k, r := range p.References {
+		xw, err := publicCrosswalk(r.DM)
+		if err != nil {
+			return nil, err
+		}
+		refs[k] = geoalign.Reference{Name: fmt.Sprintf("%s-%d", r.Name, k), Crosswalk: xw}
+	}
+	return newServingAligner(refs, workers)
+}
+
+func newServingAligner(refs []geoalign.Reference, workers int) (*geoalign.Aligner, error) {
+	// DiscardCrosswalks keeps serving engines on the fused batch path
+	// (the server never reads per-result estimated crosswalks).
+	return geoalign.NewAligner(refs, &geoalign.AlignerOptions{Workers: workers, DiscardCrosswalks: true})
+}
+
+func publicCrosswalk(dm *sparse.CSR) (*geoalign.Crosswalk, error) {
+	xw := geoalign.NewCrosswalk(dm.Rows, dm.Cols)
+	for i := 0; i < dm.Rows; i++ {
+		cols, vals := dm.Row(i)
+		for t, j := range cols {
+			if err := xw.Add(i, j, vals[t]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return xw, nil
+}
+
+func unionKeys(xwalks []*table.Crosswalk, keysOf func(*table.Crosswalk) []string) []string {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, cw := range xwalks {
+		for _, k := range keysOf(cw) {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	return keys
+}

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadEngineFromCSV(t *testing.T) {
+	dir := t.TempDir()
+	// Two references over source units a,b,c; the second is missing
+	// source c and adds target unit Z (exercising the key union).
+	p1 := writeFile(t, dir, "pop.csv", strings.Join([]string{
+		"source,target,population",
+		"a,X,10", "a,Y,5", "b,Y,20", "c,X,7", "",
+	}, "\n"))
+	p2 := writeFile(t, dir, "jobs.csv", strings.Join([]string{
+		"source,target,jobs",
+		"a,X,3", "b,Z,9", "",
+	}, "\n"))
+
+	al, err := loadEngine([]string{p1, p2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.SourceUnits() != 3 || al.TargetUnits() != 3 || al.References() != 2 {
+		t.Fatalf("engine shape %d/%d/%d, want 3 sources, 3 targets, 2 references",
+			al.SourceUnits(), al.TargetUnits(), al.References())
+	}
+	res, err := al.Align([]float64{6, 12, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range res.Target {
+		total += v
+	}
+	if diff := total - (6 + 12 + 3); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("aligned total %v, want volume preserved at 21", total)
+	}
+
+	if _, err := loadEngine([]string{filepath.Join(dir, "missing.csv")}, 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), nil, &out, &out); err == nil {
+		t.Fatal("run with no engines succeeded")
+	}
+	if err := run(context.Background(), []string{"-engine", "noequals"}, &out, &out); err == nil {
+		t.Fatal("bad engine spec accepted")
+	}
+	if err := run(context.Background(), []string{"-engine", "e=nope.csv"}, &out, &out); err == nil {
+		t.Fatal("unreadable crosswalk accepted")
+	}
+}
+
+// TestRunServesAndShutsDown boots the daemon on an ephemeral port with
+// the demo engine, aligns one attribute over HTTP, then cancels the
+// context and expects a clean exit.
+func TestRunServesAndShutsDown(t *testing.T) {
+	addrc := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrc <- a }
+	defer func() { onListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		var out bytes.Buffer
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-demo", "-max-wait", "1ms"}, &out, &out)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started listening")
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get(base + "/v1/engines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engines struct {
+		Engines []struct {
+			Name        string `json:"name"`
+			SourceUnits int    `json:"source_units"`
+		} `json:"engines"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&engines); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(engines.Engines) != 1 || engines.Engines[0].Name != "demo" {
+		t.Fatalf("engines = %+v", engines.Engines)
+	}
+
+	objective := make([]float64, engines.Engines[0].SourceUnits)
+	for i := range objective {
+		objective[i] = float64(i%13) + 1
+	}
+	body, _ := json.Marshal(map[string]any{"engine": "demo", "objective": objective})
+	resp, err = http.Post(base+"/v1/align", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("align status %d: %s", resp.StatusCode, raw)
+	}
+	var aligned struct {
+		Target  []float64 `json:"target"`
+		Weights []float64 `json:"weights"`
+		Batched int       `json:"batched"`
+	}
+	if err := json.Unmarshal(raw, &aligned); err != nil {
+		t.Fatal(err)
+	}
+	if len(aligned.Target) == 0 || len(aligned.Weights) != 3 || aligned.Batched < 1 {
+		t.Fatalf("response shape: %d targets, %d weights, batched %d",
+			len(aligned.Target), len(aligned.Weights), aligned.Batched)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting after shutdown")
+	}
+}
+
+func TestDemoEngine(t *testing.T) {
+	al, err := demoEngine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.SourceUnits() != 500 || al.TargetUnits() != 40 || al.References() != 3 {
+		t.Fatalf("demo shape %d/%d/%d", al.SourceUnits(), al.TargetUnits(), al.References())
+	}
+	if _, err := al.Align(make([]float64, 500)); err != nil {
+		// An all-zero objective is still a valid (if degenerate) input.
+		t.Fatalf("demo align: %v", err)
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestEngineBatchBitIdentical pins the serving contract: without a
+// retained DM or fallback the fused batch redistribution must be
+// bitwise identical to per-call Align — including partial tail chunks,
+// multiple workers, and chunk counts around the redistChunk boundary.
+func TestEngineBatchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, n := range []int{1, redistChunk - 1, redistChunk, redistChunk + 1, 3*redistChunk + 5} {
+		for _, workers := range []int{1, 3} {
+			p := engineProblem(rng, 60, 13, 5)
+			e, err := NewEngine(p.References, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			objectives := make([][]float64, n)
+			for a := range objectives {
+				obj := make([]float64, 60)
+				for i := range obj {
+					obj[i] = rng.Float64() * 50
+				}
+				objectives[a] = obj
+			}
+			batch, err := e.AlignAll(objectives, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for a, obj := range objectives {
+				want, err := e.Align(obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resultsClose(t, fmt.Sprintf("n=%d workers=%d objective %d", n, workers, a), batch[a], want, 0)
+			}
+		}
+	}
+}
+
+// TestEngineAlignContextCancelled checks the single-call cancellation
+// points: a cancelled context yields ctx.Err() and no result.
+func TestEngineAlignContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := engineProblem(rng, 20, 6, 3)
+	e, err := NewEngine(p.References, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := e.AlignContext(ctx, p.Objective)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled AlignContext returned a result")
+	}
+	// And the uncancelled call matches plain Align bit for bit.
+	got, err := e.AlignContext(context.Background(), p.Objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Align(p.Objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "uncancelled context", got, want, 0)
+}
+
+// TestEngineAlignAllContextCancelled checks the batch cancellation
+// contract: a cancelled context returns ctx.Err() partial-free, both
+// when cancelled up front and when cancelled mid-flight.
+func TestEngineAlignAllContextCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := engineProblem(rng, 200, 20, 4)
+	e, err := NewEngine(p.References, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectives := make([][]float64, 6*redistChunk)
+	for a := range objectives {
+		obj := make([]float64, 200)
+		for i := range obj {
+			obj[i] = rng.Float64() * 10
+		}
+		objectives[a] = obj
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := e.AlignAllContext(ctx, objectives, 2)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if results != nil {
+		t.Fatal("cancelled AlignAllContext returned results")
+	}
+
+	// Mid-flight: cancel concurrently. The call must either complete
+	// fully or report the cancellation with no results at all.
+	for trial := 0; trial < 20; trial++ {
+		delay := time.Duration(rng.Intn(300)) * time.Microsecond
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		results, err := e.AlignAllContext(ctx, objectives, 2)
+		switch err {
+		case nil:
+			for a, r := range results {
+				if r == nil {
+					t.Fatalf("trial %d: completed batch missing result %d", trial, a)
+				}
+			}
+		case context.Canceled:
+			if results != nil {
+				t.Fatalf("trial %d: cancelled batch returned results", trial)
+			}
+		default:
+			t.Fatalf("trial %d: err = %v", trial, err)
+		}
+		cancel()
+	}
+}
+
+// TestEngineAlignAllFastPathErrors mirrors TestEngineAlignAllError on
+// the fused path with a tail chunk: invalid objectives are reported in
+// input order while valid ones still align.
+func TestEngineAlignAllFastPathErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	p := engineProblem(rng, 30, 8, 3)
+	e, err := NewEngine(p.References, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objectives := make([][]float64, redistChunk+3)
+	for a := range objectives {
+		objectives[a] = p.Objective
+	}
+	objectives[2] = make([]float64, 5) // wrong length
+	objectives[redistChunk+1] = nil    // empty
+
+	results, err := e.AlignAll(objectives, 2)
+	if err == nil {
+		t.Fatal("invalid objectives accepted")
+	}
+	if want := "objective 2"; !contains(err.Error(), want) {
+		t.Errorf("err = %v, want mention of %q", err, want)
+	}
+	want, err2 := e.Align(p.Objective)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	for a, r := range results {
+		if a == 2 || a == redistChunk+1 {
+			if r != nil {
+				t.Errorf("invalid objective %d produced a result", a)
+			}
+			continue
+		}
+		if r == nil {
+			t.Fatalf("valid objective %d not aligned", a)
+		}
+		resultsClose(t, fmt.Sprintf("objective %d", a), r, want, 0)
+	}
+}

@@ -1,10 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"geoalign/internal/linalg"
 	"geoalign/internal/sparse"
@@ -42,12 +41,14 @@ type Engine struct {
 	weightMat *linalg.Matrix     // Eq. 15 design matrix (ns × k)
 	gram      *linalg.GramSystem // its cached normal equations
 	normSrc   [][]float64        // its columns: maxNormalise(source_k)
-	maxRow    []float64      // max |row sum| per reference crosswalk
-	pat       *sparse.CSR    // union sparsity pattern (Val is nil)
-	slots     [][]int        // slots[k][t]: union position of ref k's t-th entry
-	zeroRow   []bool         // no reference has support in this source unit
+	rowSums   [][]float64        // row sums per reference crosswalk (the Eq. 14 denominator basis)
+	maxRow    []float64          // max |row sum| per reference crosswalk
+	pat       *sparse.CSR        // union sparsity pattern (Val is nil)
+	slots     [][]int            // slots[k][t]: union position of ref k's t-th entry
+	zeroRow   []bool             // no reference has support in this source unit
 
 	scratch sync.Pool
+	batch   sync.Pool // *batchScratch for the fused AlignAll chunks
 }
 
 // engineScratch is the per-call mutable state of one Align solve.
@@ -57,6 +58,7 @@ type engineScratch struct {
 	scale []float64 // per-row disaggregation factor
 	w     []float64 // β scaled by the per-reference normaliser
 	b     []float64 // max-normalised objective
+	y     []float64 // one reference's re-aggregated column (DMᵀ·scale)
 }
 
 // NewEngine validates the references and precomputes the shared
@@ -92,10 +94,12 @@ func NewEngine(refs []Reference, opts Options) (*Engine, error) {
 	// Eq. 15 design matrix and Eq. 14 normalisers.
 	k := len(refs)
 	e.normSrc = make([][]float64, k)
+	e.rowSums = make([][]float64, k)
 	e.maxRow = make([]float64, k)
 	for i, r := range refs {
 		e.normSrc[i] = maxNormalise(referenceSource(r))
-		e.maxRow[i] = linalg.MaxAbs(r.DM.RowSums())
+		e.rowSums[i] = r.DM.RowSums()
+		e.maxRow[i] = linalg.MaxAbs(e.rowSums[i])
 	}
 	var err error
 	e.weightMat, err = linalg.MatrixFromColumns(e.normSrc)
@@ -120,8 +124,10 @@ func NewEngine(refs []Reference, opts Options) (*Engine, error) {
 			scale: make([]float64, e.ns),
 			w:     make([]float64, len(e.refs)),
 			b:     make([]float64, e.ns),
+			y:     make([]float64, e.nt),
 		}
 	}
+	e.batch.New = func() any { return newBatchScratch(e) }
 	return e, nil
 }
 
@@ -212,6 +218,13 @@ func (e *Engine) Align(objective []float64) (*Result, error) {
 	return e.AlignWithSources(objective, nil)
 }
 
+// AlignContext is Align with cancellation: the context is checked on
+// entry and again between the weight-learning and redistribution
+// stages. On cancellation it returns ctx.Err() and no result.
+func (e *Engine) AlignContext(ctx context.Context, objective []float64) (*Result, error) {
+	return e.alignWithSourcesContext(ctx, objective, nil)
+}
+
 // AlignWithSources is Align with per-call reference source vectors
 // overriding the precomputed ones in the weight-learning step (Eq. 15
 // only; redistribution always follows the crosswalks, so estimates
@@ -220,6 +233,13 @@ func (e *Engine) Align(objective []float64) (*Result, error) {
 // serves the §4.4.1 robustness protocol, which perturbs published
 // source aggregates while the crosswalk files stay exact.
 func (e *Engine) AlignWithSources(objective []float64, sources [][]float64) (*Result, error) {
+	return e.alignWithSourcesContext(context.Background(), objective, sources)
+}
+
+func (e *Engine) alignWithSourcesContext(ctx context.Context, objective []float64, sources [][]float64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := e.checkObjective(objective); err != nil {
 		return nil, err
 	}
@@ -229,20 +249,108 @@ func (e *Engine) AlignWithSources(objective []float64, sources [][]float64) (*Re
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return e.redistribute(objective, beta, s)
 }
 
 // redistribute runs the disaggregation (Eq. 14) and re-aggregation
 // (Eq. 17) steps for an already-learned β, using the caller's scratch.
+// When the caller needs the estimated crosswalk (KeepDM) or a fallback
+// patch for degenerate rows, the full matrix is built in the union
+// pattern; otherwise the target is computed directly in transpose form
+// (see redistributeTargets), which never materialises the per-entry
+// values.
 func (e *Engine) redistribute(objective, beta []float64, s *engineScratch) (*Result, error) {
-	// Per-reference weight on the Eq. 14 numerator: β_k normalised by
-	// the reference's largest source aggregate (see Align's step 2).
-	for k, beta_k := range beta {
-		s.w[k] = beta_k
+	if !e.opts.KeepDM && e.opts.FallbackDM == nil {
+		res := &Result{Weights: beta, Target: make([]float64, e.nt)}
+		e.scaledWeights(s.w, beta)
+		e.rowScales(s.scale, s.den, objective, s.w)
+		e.redistributeTargets(s.w, s.scale, s.y, res.Target)
+		return res, nil
+	}
+	return e.redistributeDM(objective, beta, s)
+}
+
+// scaledWeights fills w with the Eq. 14 numerator weights: β_k
+// normalised by the reference's largest source aggregate.
+func (e *Engine) scaledWeights(w, beta []float64) {
+	for k, bk := range beta {
+		w[k] = bk
 		if mx := e.maxRow[k]; mx > 0 {
-			s.w[k] = beta_k / mx
+			w[k] = bk / mx
 		}
 	}
+}
+
+// rowScales fills scale with the per-row disaggregation factor
+// objective_i / den_i, where den_i = Σ_k w_k·rowsum_k(i) uses the
+// cached reference row sums — the same value the union-matrix row sum
+// would give, without touching the matrices. Rows with zero support
+// (den_i == 0; the crosswalks are non-negative, so association cannot
+// manufacture or cancel a denominator) get scale 0: the degenerate
+// Eq. 14 case, which drops the row's mass exactly as the full-matrix
+// path does when no fallback is configured.
+func (e *Engine) rowScales(scale, den, objective, w []float64) {
+	for i := range den {
+		den[i] = 0
+	}
+	for k, wk := range w {
+		if wk == 0 {
+			continue
+		}
+		rs := e.rowSums[k]
+		for i, r := range rs {
+			den[i] += wk * r
+		}
+	}
+	for i, d := range den {
+		if d != 0 {
+			scale[i] = objective[i] / d
+		} else {
+			scale[i] = 0
+		}
+	}
+}
+
+// redistributeTargets accumulates the re-aggregated estimate directly:
+//
+//	target = Σ_k w_k · (DM_kᵀ · scale)
+//
+// which is Eq. 17 applied to the Eq. 14 estimate without forming the
+// disaggregation matrix. Each reference's transpose product y is
+// computed with rows ascending and combined in reference order; the
+// batch path (batch.go) uses the same accumulation orders, so single
+// and batched alignment stay bitwise identical. target must be
+// zero-initialised; y is scratch of length nt.
+func (e *Engine) redistributeTargets(w, scale, y, target []float64) {
+	for k, r := range e.refs {
+		wk := w[k]
+		if wk == 0 {
+			continue
+		}
+		for c := range y {
+			y[c] = 0
+		}
+		for i := 0; i < e.ns; i++ {
+			si := scale[i]
+			cols, vals := r.DM.Row(i)
+			for t, v := range vals {
+				y[cols[t]] += v * si
+			}
+		}
+		for c, v := range y {
+			target[c] += wk * v
+		}
+	}
+}
+
+// redistributeDM is the full-matrix redistribution path: the Eq. 14
+// estimate is materialised in the union sparsity pattern, serving the
+// KeepDM and fallback-patch configurations.
+func (e *Engine) redistributeDM(objective, beta []float64, s *engineScratch) (*Result, error) {
+	e.scaledWeights(s.w, beta)
 
 	// Numerator Σ_k w_k·DM_rk scattered into the union pattern. Row
 	// blocks touch disjoint slot ranges, so the parallel path is exact.
@@ -312,141 +420,16 @@ func (e *Engine) redistribute(objective, beta []float64, s *engineScratch) (*Res
 // solves across a pool of workers (0 ⇒ runtime.NumCPU()). The batch
 // shares the engine's normal-equations precomputation: all c = Aᵀb
 // columns are computed up front as one blocked, parallel AᵀB product
-// (bit-identical per column to the single-call path), and each worker
-// warm-starts its active-set solves from the previous objective's β.
-// Results are written to disjoint slots, so the output order matches
-// the input order and is independent of scheduling. On error the first
-// failure in input order is returned alongside the results computed so
-// far.
+// (bit-identical per column to the single-call path), each worker
+// warm-starts its active-set solves from the previous objective's β,
+// and attributes redistribute in fused chunks that read every
+// reference crosswalk row once per chunk instead of once per
+// attribute (see batch.go). Results are written to disjoint slots, so
+// the output order matches the input order and is independent of
+// scheduling. On error the first failure in input order is returned
+// alongside the results computed so far.
 func (e *Engine) AlignAll(objectives [][]float64, workers int) ([]*Result, error) {
-	n := len(objectives)
-	results := make([]*Result, n)
-	if n == 0 {
-		return results, nil
-	}
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > n {
-		workers = n
-	}
-	errs := make([]error, n)
-	valid := make([]int, 0, n)
-	for i, obj := range objectives {
-		if err := e.checkObjective(obj); err != nil {
-			errs[i] = err
-			continue
-		}
-		valid = append(valid, i)
-	}
-
-	// The shared AᵀB prep only pays off on the cached Gram path with a
-	// genuine mixture to learn; k == 1 and the dense escape hatch run
-	// the plain per-objective solve.
-	k := len(e.refs)
-	useGram := !e.opts.DenseSolver && k > 1
-	var cs []float64
-	var bnorms []float64
-	if useGram {
-		cs = make([]float64, n*k)
-		bnorms = make([]float64, n)
-		e.batchGramPrep(objectives, valid, cs, bnorms)
-	}
-
-	process := func(i int, warm []float64) []float64 {
-		if !useGram {
-			results[i], errs[i] = e.Align(objectives[i])
-			return nil
-		}
-		res, err := e.alignPrepared(objectives[i], cs[i*k:(i+1)*k], bnorms[i], warm)
-		results[i], errs[i] = res, err
-		if err != nil {
-			return warm
-		}
-		return res.Weights
-	}
-
-	if workers == 1 || len(valid) <= 1 {
-		var warm []float64
-		for _, i := range valid {
-			warm = process(i, warm)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var warm []float64
-				for {
-					vi := int(next.Add(1)) - 1
-					if vi >= len(valid) {
-						return
-					}
-					warm = process(valid[vi], warm)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	for i, err := range errs {
-		if err != nil {
-			return results, fmt.Errorf("core: objective %d: %w", i, err)
-		}
-	}
-	return results, nil
-}
-
-// batchChunk bounds the normalised-objective buffers of batchGramPrep:
-// objectives run through the AᵀB product this many columns at a time.
-const batchChunk = 32
-
-// batchGramPrep fills cs (row i holding c_i = Aᵀ·maxNormalise(obj_i))
-// and bnorms (‖maxNormalise(obj_i)‖₂) for every valid objective,
-// reusing one chunk of column buffers throughout.
-func (e *Engine) batchGramPrep(objectives [][]float64, valid []int, cs, bnorms []float64) {
-	k := len(e.refs)
-	cols := make([][]float64, 0, batchChunk)
-	for start := 0; start < len(valid); start += batchChunk {
-		end := start + batchChunk
-		if end > len(valid) {
-			end = len(valid)
-		}
-		chunk := valid[start:end]
-		for len(cols) < len(chunk) {
-			cols = append(cols, make([]float64, e.ns))
-		}
-		for t, i := range chunk {
-			maxNormaliseInto(cols[t], objectives[i])
-			bnorms[i] = linalg.Norm2(cols[t])
-		}
-		prod := linalg.MulATB(e.weightMat, cols[:len(chunk)])
-		for t, i := range chunk {
-			for j := 0; j < k; j++ {
-				cs[i*k+j] = prod.At(j, t)
-			}
-		}
-	}
-}
-
-// alignPrepared is the batch-path Align: the weight-learning right-hand
-// side arrives pre-reduced as c = Aᵀb and ‖b‖₂, and warm optionally
-// seeds the active-set solver with the previous objective's β.
-func (e *Engine) alignPrepared(objective, c []float64, bnorm float64, warm []float64) (*Result, error) {
-	var beta []float64
-	var err error
-	if e.opts.SolverIterations > 0 {
-		beta, err = linalg.SimplexLeastSquaresPGGram(e.gram.G, c, e.gram.Lipschitz(), e.opts.SolverIterations, 0)
-	} else {
-		beta, err = linalg.SimplexLeastSquaresGramWarm(e.gram.G, c, e.gram.AInf, bnorm, warm)
-	}
-	if err != nil {
-		return nil, err
-	}
-	s := e.scratch.Get().(*engineScratch)
-	defer e.scratch.Put(s)
-	return e.redistribute(objective, beta, s)
+	return e.AlignAllContext(context.Background(), objectives, workers)
 }
 
 func (e *Engine) checkObjective(objective []float64) error {

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"geoalign"
+	"geoalign/internal/synth"
+)
+
+// The serving benchmark fixture is the paper's US-scale problem (30238
+// ZCTA-like sources, 3142 county-like targets, 7 references) — built
+// once and shared, since engine construction is not what is measured.
+var (
+	benchOnce    sync.Once
+	benchAligner *geoalign.Aligner
+)
+
+func benchEngine(b *testing.B) *geoalign.Aligner {
+	b.Helper()
+	benchOnce.Do(func() {
+		rng := rand.New(rand.NewSource(9))
+		p := synth.ScalingProblem(rng, 30238, 3142, 7)
+		refs := make([]geoalign.Reference, len(p.References))
+		for k, r := range p.References {
+			xw := geoalign.NewCrosswalk(r.DM.Rows, r.DM.Cols)
+			for i := 0; i < r.DM.Rows; i++ {
+				cols, vals := r.DM.Row(i)
+				for t, j := range cols {
+					if err := xw.Add(i, j, vals[t]); err != nil {
+						panic(err)
+					}
+				}
+			}
+			refs[k] = geoalign.Reference{Name: r.Name, Crosswalk: xw}
+		}
+		al, err := geoalign.NewAligner(refs, &geoalign.AlignerOptions{DiscardCrosswalks: true})
+		if err != nil {
+			panic(err)
+		}
+		benchAligner = al
+	})
+	return benchAligner
+}
+
+// BenchmarkServeAlign measures end-to-end throughput for 32 concurrent
+// clients posting binary single-attribute requests against the
+// US-scale engine. One op is one wave: every client fires a request at
+// once and the op ends when all 32 responses are in — so ns/op is the
+// wall time to serve 32 concurrent requests, valid at any -benchtime
+// (divide by 32 for per-request cost). The coalesced variant merges a
+// wave into one warm-started batch solve; uncoalesced (MaxBatch=1)
+// solves each request alone — the gap is the serving layer's reason to
+// exist.
+func BenchmarkServeAlign(b *testing.B) {
+	const clients = 32
+	al := benchEngine(b)
+	rng := rand.New(rand.NewSource(99))
+	payloads := make([][]byte, clients)
+	for i := range payloads {
+		obj := make([]float64, al.SourceUnits())
+		for j := range obj {
+			obj[j] = rng.Float64() * 1e4
+		}
+		payloads[i] = appendFloats(nil, obj)
+	}
+
+	run := func(b *testing.B, cfg Config) {
+		reg := NewRegistry()
+		if err := reg.Register("us", al); err != nil {
+			b.Fatal(err)
+		}
+		s := NewServer(reg, cfg)
+		hts := httptest.NewServer(s.Handler())
+		defer func() {
+			hts.Close()
+			s.Shutdown()
+		}()
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: clients * 2}}
+		post := func(payload []byte) {
+			resp, err := client.Post(hts.URL+"/v1/align?engine=us", contentTypeBinary, bytes.NewReader(payload))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+			}
+		}
+		// Unmeasured warm-up wave: opens the keep-alive connections and
+		// faults in the engine's scratch pools.
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) { defer wg.Done(); post(payloads[c]) }(c)
+		}
+		wg.Wait()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) { defer wg.Done(); post(payloads[c]) }(c)
+			}
+			wg.Wait()
+		}
+	}
+
+	b.Run("uncoalesced", func(b *testing.B) {
+		run(b, Config{MaxBatch: 1, MaxInFlight: 64})
+	})
+	// The window is a fallback here: a wave's requests land within a few
+	// milliseconds and the batch fires the moment the 32nd arrives. 8ms
+	// covers the serial arrival cost (~0.14ms parse per 240KB request on
+	// one core); the daemon default (2ms) favours latency instead.
+	b.Run("coalesced", func(b *testing.B) {
+		run(b, Config{MaxBatch: clients, MaxWait: 8 * time.Millisecond, MaxInFlight: 64})
+	})
+}

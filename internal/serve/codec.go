@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// bufPool recycles the transient byte buffers of the binary codec —
+// request bodies and response frames run to hundreds of kilobytes at
+// census scale, and per-request allocation of that size is measurable
+// GC pressure under concurrent load.
+var bufPool sync.Pool
+
+func getBuf(n int) []byte {
+	if b, ok := bufPool.Get().([]byte); ok && cap(b) >= n {
+		return b[:n]
+	}
+	return make([]byte, n)
+}
+
+func putBuf(b []byte) { bufPool.Put(b[:0]) } //nolint:staticcheck // slice header boxing is fine here
+
+// Wire formats. JSON is the default; clients that care about encode
+// overhead can POST application/octet-stream instead:
+//
+//	request body:  ns little-endian float64s (the objective)
+//	response body: uint32 nt, uint32 k, then nt target float64s and
+//	               k weight float64s, all little-endian
+//
+// The binary response mirrors alignResponse minus the names.
+const (
+	contentTypeJSON   = "application/json"
+	contentTypeBinary = "application/octet-stream"
+)
+
+// alignRequest is the JSON body of POST /v1/align. Engine may instead
+// be given as the ?engine= query parameter (required for binary
+// bodies).
+type alignRequest struct {
+	Engine    string    `json:"engine"`
+	Objective []float64 `json:"objective"`
+}
+
+// alignResponse is the JSON body of a successful POST /v1/align.
+type alignResponse struct {
+	Engine  string    `json:"engine"`
+	Target  []float64 `json:"target"`
+	Weights []float64 `json:"weights"`
+	Batched int       `json:"batched"` // size of the coalesced batch that carried it
+}
+
+// batchRequest is the JSON body of POST /v1/align/batch.
+type batchRequest struct {
+	Engine     string      `json:"engine"`
+	Objectives [][]float64 `json:"objectives"`
+}
+
+// batchResponse is the JSON body of a successful POST /v1/align/batch.
+type batchResponse struct {
+	Engine  string      `json:"engine"`
+	Targets [][]float64 `json:"targets"`
+	Weights [][]float64 `json:"weights"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeFloats reinterprets a little-endian byte payload as float64s.
+func decodeFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("serve: binary payload of %d bytes is not a whole number of float64s", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+// appendFloats appends v to dst in little-endian byte order.
+func appendFloats(dst []byte, v []float64) []byte {
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
+	}
+	return dst
+}
+
+// encodeBinaryResult writes the binary response framing for one aligned
+// attribute.
+func encodeBinaryResult(w io.Writer, target, weights []float64) error {
+	buf := getBuf(8 + 8*(len(target)+len(weights)))[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(target)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(weights)))
+	buf = appendFloats(buf, target)
+	buf = appendFloats(buf, weights)
+	_, err := w.Write(buf)
+	putBuf(buf)
+	return err
+}
+
+// decodeBinaryResult parses the framing written by encodeBinaryResult;
+// the client half lives here so tests and callers share one definition.
+func decodeBinaryResult(b []byte) (target, weights []float64, err error) {
+	if len(b) < 8 {
+		return nil, nil, fmt.Errorf("serve: binary response truncated at %d bytes", len(b))
+	}
+	nt := int(binary.LittleEndian.Uint32(b))
+	k := int(binary.LittleEndian.Uint32(b[4:]))
+	rest := b[8:]
+	if len(rest) != 8*(nt+k) {
+		return nil, nil, fmt.Errorf("serve: binary response body is %d bytes, want %d", len(rest), 8*(nt+k))
+	}
+	vals, err := decodeFloats(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return vals[:nt:nt], vals[nt:], nil
+}

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrShed is returned by the admission gate when the server is at
+// capacity and the queue-wait budget elapses. The HTTP layer maps it to
+// 429 Too Many Requests.
+var ErrShed = errors.New("serve: overloaded")
+
+// gate is the bounded admission semaphore. A request holds one slot
+// from the end of parsing until its solve finishes; when every slot is
+// taken, new arrivals wait up to queueWait and are then shed.
+type gate struct {
+	slots     chan struct{}
+	queueWait time.Duration
+}
+
+func newGate(maxInFlight int, queueWait time.Duration) *gate {
+	return &gate{slots: make(chan struct{}, maxInFlight), queueWait: queueWait}
+}
+
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.queueWait <= 0 {
+		return ErrShed
+	}
+	t := time.NewTimer(g.queueWait)
+	defer t.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		return ErrShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) release() { <-g.slots }
+
+// depth reports the number of slots currently held.
+func (g *gate) depth() int { return len(g.slots) }

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"expvar"
+	"sync/atomic"
+	"time"
+)
+
+// batchBuckets are the inclusive upper bounds of the coalesced batch
+// size histogram; sizes above the last bound land in the overflow
+// bucket.
+var batchBuckets = []int{1, 2, 4, 8, 16, 32, 64}
+
+// stageLatency accumulates the latency of one request stage (parse,
+// queue wait, solve, encode) as a running count/sum/max in nanoseconds.
+type stageLatency struct {
+	count atomic.Int64
+	sumNs atomic.Int64
+	maxNs atomic.Int64
+}
+
+func (s *stageLatency) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	s.count.Add(1)
+	s.sumNs.Add(ns)
+	for {
+		old := s.maxNs.Load()
+		if ns <= old || s.maxNs.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+func (s *stageLatency) snapshot() map[string]any {
+	n := s.count.Load()
+	sum := s.sumNs.Load()
+	out := map[string]any{
+		"count":    n,
+		"total_ms": float64(sum) / 1e6,
+		"max_ms":   float64(s.maxNs.Load()) / 1e6,
+	}
+	if n > 0 {
+		out["avg_ms"] = float64(sum) / float64(n) / 1e6
+	}
+	return out
+}
+
+// Metrics is the server's expvar-backed observability block. All
+// fields are safe for concurrent update; Snapshot renders the whole
+// block as one JSON-encodable map (served on GET /metrics and
+// exportable through expvar.Publish via Var).
+type Metrics struct {
+	requests     atomic.Int64 // align requests received (both endpoints)
+	ok           atomic.Int64 // 2xx responses
+	clientErrors atomic.Int64 // 4xx responses other than shed
+	shed         atomic.Int64 // 429 responses from the admission gate
+	serverErrors atomic.Int64 // 5xx responses
+	cancelled    atomic.Int64 // requests dropped on client cancellation
+
+	batches   atomic.Int64 // coalesced AlignAll calls issued
+	batched   atomic.Int64 // requests served through those calls
+	batchHist []atomic.Int64
+
+	parse  stageLatency
+	queue  stageLatency
+	solve  stageLatency
+	encode stageLatency
+
+	queueDepth func() int // set by the server; admission slots in use
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{batchHist: make([]atomic.Int64, len(batchBuckets)+1)}
+}
+
+// observeBatch records one coalesced engine call of the given size.
+func (m *Metrics) observeBatch(size int) {
+	m.batches.Add(1)
+	m.batched.Add(int64(size))
+	for i, b := range batchBuckets {
+		if size <= b {
+			m.batchHist[i].Add(1)
+			return
+		}
+	}
+	m.batchHist[len(batchBuckets)].Add(1)
+}
+
+// Requests reports the number of align requests received.
+func (m *Metrics) Requests() int64 { return m.requests.Load() }
+
+// Shed reports the number of 429 responses issued by the admission
+// gate.
+func (m *Metrics) Shed() int64 { return m.shed.Load() }
+
+// Batches reports the number of coalesced engine calls issued.
+func (m *Metrics) Batches() int64 { return m.batches.Load() }
+
+// BatchedRequests reports the number of requests served through
+// coalesced engine calls.
+func (m *Metrics) BatchedRequests() int64 { return m.batched.Load() }
+
+// Snapshot renders the metrics block as a JSON-encodable map.
+func (m *Metrics) Snapshot() map[string]any {
+	hist := make(map[string]int64, len(m.batchHist))
+	for i := range m.batchHist {
+		key := "inf"
+		if i < len(batchBuckets) {
+			key = itoa(batchBuckets[i])
+		}
+		hist["le_"+key] = m.batchHist[i].Load()
+	}
+	out := map[string]any{
+		"requests": map[string]any{
+			"total":         m.requests.Load(),
+			"ok":            m.ok.Load(),
+			"client_errors": m.clientErrors.Load(),
+			"shed":          m.shed.Load(),
+			"server_errors": m.serverErrors.Load(),
+			"cancelled":     m.cancelled.Load(),
+		},
+		"coalescer": map[string]any{
+			"batches":          m.batches.Load(),
+			"batched_requests": m.batched.Load(),
+			"size_histogram":   hist,
+		},
+		"latency": map[string]any{
+			"parse":  m.parse.snapshot(),
+			"queue":  m.queue.snapshot(),
+			"solve":  m.solve.snapshot(),
+			"encode": m.encode.snapshot(),
+		},
+	}
+	if m.queueDepth != nil {
+		out["queue_depth"] = m.queueDepth()
+	}
+	return out
+}
+
+// Var adapts the metrics block to an expvar.Var, for publication under
+// a process-wide name (expvar.Publish panics on duplicates, so the
+// server does not publish automatically; the geoalignd binary does).
+func (m *Metrics) Var() expvar.Var {
+	return expvar.Func(func() any { return m.Snapshot() })
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

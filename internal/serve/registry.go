@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"geoalign"
+)
+
+// ErrUnknownEngine is returned by Acquire for a name with no registered
+// engine. The HTTP layer maps it to 404.
+var ErrUnknownEngine = errors.New("serve: unknown engine")
+
+// EngineInfo describes one registered engine, as reported by
+// GET /v1/engines.
+type EngineInfo struct {
+	Name        string `json:"name"`
+	SourceUnits int    `json:"source_units"`
+	TargetUnits int    `json:"target_units"`
+	References  int    `json:"references"`
+	Generation  int    `json:"generation"`
+	Active      int64  `json:"active_requests"`
+}
+
+// Instance is one generation of a named engine. The coalescer keys its
+// micro-batches by *Instance, so a hot swap naturally splits traffic:
+// requests that leased the old generation finish on it while new
+// arrivals batch on the new one.
+type Instance struct {
+	name    string
+	gen     int
+	aligner *geoalign.Aligner
+
+	active  atomic.Int64
+	retired atomic.Bool
+	drained chan struct{}
+	once    sync.Once
+}
+
+// Aligner returns the engine backing this instance.
+func (in *Instance) Aligner() *geoalign.Aligner { return in.aligner }
+
+// Name returns the registry name the instance was registered under.
+func (in *Instance) Name() string { return in.name }
+
+// Drained returns a channel closed once the instance has been retired
+// (swapped out or removed) and its last in-flight request has finished.
+func (in *Instance) Drained() <-chan struct{} { return in.drained }
+
+func (in *Instance) acquire() { in.active.Add(1) }
+
+func (in *Instance) release() {
+	if in.active.Add(-1) == 0 && in.retired.Load() {
+		in.closeDrained()
+	}
+}
+
+// retire is called under the registry lock when the instance is swapped
+// out or removed.
+func (in *Instance) retire() {
+	in.retired.Store(true)
+	if in.active.Load() == 0 {
+		in.closeDrained()
+	}
+}
+
+func (in *Instance) closeDrained() {
+	in.once.Do(func() { close(in.drained) })
+}
+
+// Lease is a ref-counted claim on an instance. It keeps the instance's
+// Drained channel open until released, so a swap never tears down an
+// engine under an in-flight request.
+type Lease struct {
+	in       *Instance
+	released atomic.Bool
+}
+
+// Instance returns the leased instance.
+func (l *Lease) Instance() *Instance { return l.in }
+
+// Aligner returns the leased instance's engine.
+func (l *Lease) Aligner() *geoalign.Aligner { return l.in.aligner }
+
+// Release drops the claim. Safe to call more than once.
+func (l *Lease) Release() {
+	if l.released.CompareAndSwap(false, true) {
+		l.in.release()
+	}
+}
+
+// Registry holds the named engines a server can route to. Engines are
+// registered at startup (or swapped in at runtime); lookups take a
+// ref-counted lease so replacement is race-free: Swap retires the old
+// instance and its Drained channel closes once the last lease and the
+// last straggling coalesced batch let go.
+type Registry struct {
+	mu      sync.Mutex
+	engines map[string]*Instance
+	gens    map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{engines: make(map[string]*Instance), gens: make(map[string]int)}
+}
+
+func (r *Registry) newInstance(name string, al *geoalign.Aligner) *Instance {
+	r.gens[name]++
+	return &Instance{name: name, gen: r.gens[name], aligner: al, drained: make(chan struct{})}
+}
+
+// Register adds a new named engine. It fails if the name is taken; use
+// Swap to replace a live engine.
+func (r *Registry) Register(name string, al *geoalign.Aligner) error {
+	if al == nil {
+		return fmt.Errorf("serve: register %q: nil aligner", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.engines[name]; ok {
+		return fmt.Errorf("serve: engine %q already registered", name)
+	}
+	r.engines[name] = r.newInstance(name, al)
+	return nil
+}
+
+// Swap replaces (or creates) the named engine and returns the retired
+// previous instance, nil if the name was new. In-flight requests finish
+// on the old instance; wait on its Drained channel to observe that.
+func (r *Registry) Swap(name string, al *geoalign.Aligner) *Instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.engines[name]
+	r.engines[name] = r.newInstance(name, al)
+	if old != nil {
+		old.retire()
+	}
+	return old
+}
+
+// Remove retires and unregisters the named engine, returning the
+// retired instance or nil if the name was unknown.
+func (r *Registry) Remove(name string) *Instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.engines[name]
+	if old != nil {
+		delete(r.engines, name)
+		old.retire()
+	}
+	return old
+}
+
+// Acquire leases the current instance of the named engine. The caller
+// must Release the lease when the request is done.
+func (r *Registry) Acquire(name string) (*Lease, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	in, ok := r.engines[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownEngine, name)
+	}
+	in.acquire()
+	return &Lease{in: in}, nil
+}
+
+// Len reports the number of registered engines.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.engines)
+}
+
+// List describes every registered engine, sorted by name.
+func (r *Registry) List() []EngineInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]EngineInfo, 0, len(r.engines))
+	for _, in := range r.engines {
+		out = append(out, EngineInfo{
+			Name:        in.name,
+			SourceUnits: in.aligner.SourceUnits(),
+			TargetUnits: in.aligner.TargetUnits(),
+			References:  in.aligner.References(),
+			Generation:  in.gen,
+			Active:      in.active.Load(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

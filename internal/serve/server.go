@@ -1,0 +1,392 @@
+// Package serve is the geoalignd serving layer: an HTTP JSON/binary API
+// over a registry of named Aligner engines, with request coalescing and
+// bounded-concurrency load shedding.
+//
+// The interesting piece is the coalescer. The paper's repeated-query
+// workload (many attributes crossing the same pair of unit systems)
+// arrives at a server as concurrent single-attribute requests; solving
+// them one by one forfeits exactly the batching wins the engine was
+// built for (PR 3's shared AᵀB preparation and warm-started solvers,
+// and the fused chunk redistribution). The coalescer buys those wins
+// back at the cost of a small batching window: requests for the same
+// engine instance that arrive within MaxWait of each other are merged
+// into one AlignAllContext call, whose fused path is bit-identical to
+// per-request Align — so coalescing is invisible in the response bytes,
+// visible only in latency and throughput.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"geoalign"
+)
+
+// Config tunes a Server. The zero value gives the defaults noted on
+// each field.
+type Config struct {
+	// MaxBatch caps how many requests one coalesced engine call may
+	// carry. Values <= 1 disable coalescing: each request solves alone
+	// under its own context. Default 32.
+	MaxBatch int
+	// MaxWait is the coalescing window: how long the first request on an
+	// idle engine waits for followers before its batch fires. <= 0 fires
+	// immediately (batching only what arrived concurrently). Default
+	// 2ms.
+	MaxWait time.Duration
+	// MaxInFlight bounds admitted requests; arrivals beyond it wait up
+	// to QueueWait and are then shed with 429. Default 256.
+	MaxInFlight int
+	// QueueWait is how long an arrival may wait for an admission slot
+	// before shedding. Default 100ms.
+	QueueWait time.Duration
+	// RequestTimeout, if positive, caps each request's total time via a
+	// context deadline plumbed into the engine.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.QueueWait == 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	return c
+}
+
+// Server routes alignment requests to registered engines. Create with
+// NewServer, mount Handler on an http.Server, and call Shutdown after
+// the http.Server has stopped accepting requests.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	metrics  *Metrics
+	coal     *Coalescer
+	gate     *gate
+	mux      *http.ServeMux
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+}
+
+// NewServer builds a server over the given registry. cfg zero values
+// take defaults; see Config.
+func NewServer(reg *Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	m := newMetrics()
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		registry: reg,
+		metrics:  m,
+		coal:     newCoalescer(cfg.MaxBatch, cfg.MaxWait, baseCtx, m),
+		gate:     newGate(cfg.MaxInFlight, cfg.QueueWait),
+		mux:      http.NewServeMux(),
+		baseCtx:  baseCtx,
+		cancel:   cancel,
+	}
+	m.queueDepth = s.gate.depth
+	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
+	s.mux.HandleFunc("POST /v1/align/batch", s.handleAlignBatch)
+	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics block.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Registry returns the engine registry the server routes over.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Shutdown drains the serving layer. Call it after http.Server.Shutdown
+// has returned (so no new requests are arriving): it runs every batch
+// still waiting on its coalescing timer so current waiters get answers,
+// then cancels the base context that in-flight solves run under.
+func (s *Server) Shutdown() {
+	s.coal.Shutdown()
+	s.cancel()
+}
+
+// requestCtx applies the configured per-request deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", contentTypeJSON)
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	switch {
+	case status == http.StatusTooManyRequests:
+		s.metrics.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+	case status >= 500:
+		s.metrics.serverErrors.Add(1)
+	case status >= 400:
+		s.metrics.clientErrors.Add(1)
+	}
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// solveError maps an engine/coalescer error to an HTTP status.
+func solveError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away; the status is never seen but keeps logs
+		// honest.
+		return http.StatusRequestTimeout
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, geoalign.ErrNoSourceUnits):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// readBody drains a request body, sizing the buffer up front when the
+// Content-Length is known — binary objectives run to hundreds of
+// kilobytes, and io.ReadAll's incremental growth would copy them
+// several times over.
+func readBody(r io.Reader, contentLength int64) ([]byte, error) {
+	if contentLength <= 0 || contentLength > 1<<28 {
+		return io.ReadAll(r)
+	}
+	buf := getBuf(int(contentLength))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	// Confirm EOF so a lying Content-Length is an error, not silent
+	// truncation.
+	if n, err := r.Read(make([]byte, 1)); n != 0 || (err != nil && err != io.EOF) {
+		if n != 0 {
+			return nil, errors.New("serve: body longer than Content-Length")
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// parseAlign decodes a single-align request body by content type.
+func (s *Server) parseAlign(w http.ResponseWriter, r *http.Request) (engine string, objective []float64, binary, ok bool) {
+	engine = r.URL.Query().Get("engine")
+	body := http.MaxBytesReader(w, r.Body, 1<<28)
+	if r.Header.Get("Content-Type") == contentTypeBinary {
+		raw, err := readBody(body, r.ContentLength)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return "", nil, true, false
+		}
+		objective, err = decodeFloats(raw)
+		putBuf(raw)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return "", nil, true, false
+		}
+		if engine == "" {
+			s.writeError(w, http.StatusBadRequest, "binary requests name the engine via ?engine=")
+			return "", nil, true, false
+		}
+		return engine, objective, true, true
+	}
+	var req alignRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return "", nil, false, false
+	}
+	if req.Engine != "" {
+		engine = req.Engine
+	}
+	if engine == "" {
+		s.writeError(w, http.StatusBadRequest, "missing engine name")
+		return "", nil, false, false
+	}
+	return engine, req.Objective, false, true
+}
+
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	t0 := time.Now()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	name, objective, binary, ok := s.parseAlign(w, r)
+	if !ok {
+		return
+	}
+	lease, err := s.registry.Acquire(name)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	defer lease.Release()
+	al := lease.Aligner()
+	if len(objective) != al.SourceUnits() {
+		// Validating here keeps malformed requests out of shared
+		// batches: co-batched requests never fail on a stranger's input.
+		s.writeError(w, http.StatusBadRequest,
+			"objective has "+strconv.Itoa(len(objective))+" values, engine expects "+strconv.Itoa(al.SourceUnits()))
+		return
+	}
+	tParsed := time.Now()
+	s.metrics.parse.observe(tParsed.Sub(t0))
+
+	if err := s.gate.acquire(ctx); err != nil {
+		if errors.Is(err, ErrShed) {
+			s.writeError(w, http.StatusTooManyRequests, "server at capacity")
+		} else {
+			s.metrics.cancelled.Add(1)
+			s.writeError(w, solveError(err), err.Error())
+		}
+		return
+	}
+	tAdmitted := time.Now()
+	s.metrics.queue.observe(tAdmitted.Sub(tParsed))
+
+	var res *geoalign.Result
+	batched := 1
+	if s.cfg.MaxBatch > 1 {
+		res, batched, err = s.coal.Submit(ctx, lease.Instance(), objective)
+	} else {
+		res, err = al.AlignContext(ctx, objective)
+	}
+	s.gate.release()
+	s.metrics.solve.observe(time.Since(tAdmitted))
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			s.metrics.cancelled.Add(1)
+		}
+		s.writeError(w, solveError(err), err.Error())
+		return
+	}
+
+	tSolved := time.Now()
+	w.Header().Set("X-Geoalign-Batch", strconv.Itoa(batched))
+	if binary {
+		w.Header().Set("Content-Type", contentTypeBinary)
+		if err := encodeBinaryResult(w, res.Target, res.Weights); err != nil {
+			return // client gone mid-write; nothing to salvage
+		}
+	} else {
+		writeJSON(w, http.StatusOK, alignResponse{
+			Engine:  name,
+			Target:  res.Target,
+			Weights: res.Weights,
+			Batched: batched,
+		})
+	}
+	s.metrics.encode.observe(time.Since(tSolved))
+	s.metrics.ok.Add(1)
+}
+
+func (s *Server) handleAlignBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	t0 := time.Now()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	var req batchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<28)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	if req.Engine == "" {
+		req.Engine = r.URL.Query().Get("engine")
+	}
+	if req.Engine == "" {
+		s.writeError(w, http.StatusBadRequest, "missing engine name")
+		return
+	}
+	lease, err := s.registry.Acquire(req.Engine)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	defer lease.Release()
+	al := lease.Aligner()
+	for i, obj := range req.Objectives {
+		if len(obj) != al.SourceUnits() {
+			s.writeError(w, http.StatusBadRequest,
+				"objective "+strconv.Itoa(i)+" has "+strconv.Itoa(len(obj))+" values, engine expects "+strconv.Itoa(al.SourceUnits()))
+			return
+		}
+	}
+	tParsed := time.Now()
+	s.metrics.parse.observe(tParsed.Sub(t0))
+
+	// A client-assembled batch is already the engine's natural shape; it
+	// takes one admission slot and skips the coalescer.
+	if err := s.gate.acquire(ctx); err != nil {
+		if errors.Is(err, ErrShed) {
+			s.writeError(w, http.StatusTooManyRequests, "server at capacity")
+		} else {
+			s.metrics.cancelled.Add(1)
+			s.writeError(w, solveError(err), err.Error())
+		}
+		return
+	}
+	tAdmitted := time.Now()
+	s.metrics.queue.observe(tAdmitted.Sub(tParsed))
+
+	results, err := al.AlignAllContext(ctx, req.Objectives)
+	s.gate.release()
+	s.metrics.solve.observe(time.Since(tAdmitted))
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			s.metrics.cancelled.Add(1)
+		}
+		s.writeError(w, solveError(err), err.Error())
+		return
+	}
+
+	tSolved := time.Now()
+	resp := batchResponse{
+		Engine:  req.Engine,
+		Targets: make([][]float64, len(results)),
+		Weights: make([][]float64, len(results)),
+	}
+	for i, res := range results {
+		resp.Targets[i] = res.Target
+		resp.Weights[i] = res.Weights
+	}
+	writeJSON(w, http.StatusOK, resp)
+	s.metrics.encode.observe(time.Since(tSolved))
+	s.metrics.ok.Add(1)
+}
+
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"engines": s.registry.List()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "engines": s.registry.Len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
