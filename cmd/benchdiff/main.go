@@ -1,12 +1,12 @@
 // Command benchdiff runs the repository benchmarks and gates on
 // regressions against the previous recorded run.
 //
-// It invokes `go test -json -bench=<pattern> -run=^$`, parses the
-// benchmark result lines out of the test2json stream, writes them to
-// BENCH_<date>.json in the snapshot directory, and compares against the
-// most recent earlier BENCH_*.json file: any benchmark slower than the
-// previous run by more than the tolerance (default ±20%) fails the run
-// with exit status 1.
+// It invokes `go test -json -bench=<pattern> -benchmem -run=^$`, parses
+// the benchmark result lines out of the test2json stream, writes them
+// to BENCH_<date>.json in the snapshot directory, and compares against
+// the most recent earlier BENCH_*.json file: any benchmark slower than
+// the previous run by more than the tolerance (default ±20%) — in
+// ns/op, B/op, or allocs/op — fails the run with exit status 1.
 //
 //	benchdiff                               # bench everything, compare, record
 //	benchdiff -bench AlignerBatch           # one benchmark family
@@ -15,7 +15,10 @@
 //
 // Speedups beyond the tolerance are reported but never fail the gate;
 // benchmarks present in only one of the two runs are listed and
-// otherwise ignored.
+// otherwise ignored. Allocation dimensions gate only when both
+// snapshots recorded them, so files written before -benchmem existed
+// compare on ns/op alone; a dimension at zero in the old run never
+// gates (the ratio is undefined).
 package main
 
 import (
@@ -36,17 +39,59 @@ import (
 	"time"
 )
 
-// Snapshot is the on-disk BENCH_<date>.json format.
-type Snapshot struct {
-	Date    string             `json:"date"`
-	Go      string             `json:"go"`
-	Results map[string]float64 `json:"results"` // benchmark name -> ns/op
+// Metric is one benchmark's recorded measurements. The allocation
+// fields are pointers so snapshots written before -benchmem was
+// recorded stay distinguishable from a genuine zero.
+type Metric struct {
+	NsOp     float64  `json:"ns_op"`
+	BytesOp  *float64 `json:"bytes_op,omitempty"`
+	AllocsOp *float64 `json:"allocs_op,omitempty"`
 }
 
-// Delta is one benchmark's old-vs-new comparison.
+// Snapshot is the on-disk BENCH_<date>.json format.
+type Snapshot struct {
+	Date    string            `json:"date"`
+	Go      string            `json:"go"`
+	Results map[string]Metric `json:"results"`
+}
+
+// UnmarshalJSON accepts both the current format (results values are
+// Metric objects) and the original one (plain ns/op numbers), so old
+// baselines keep gating after the format change.
+func (s *Snapshot) UnmarshalJSON(raw []byte) error {
+	var shadow struct {
+		Date    string          `json:"date"`
+		Go      string          `json:"go"`
+		Results json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &shadow); err != nil {
+		return err
+	}
+	s.Date, s.Go, s.Results = shadow.Date, shadow.Go, nil
+	if len(shadow.Results) == 0 {
+		return nil
+	}
+	var rich map[string]Metric
+	if err := json.Unmarshal(shadow.Results, &rich); err == nil {
+		s.Results = rich
+		return nil
+	}
+	var flat map[string]float64
+	if err := json.Unmarshal(shadow.Results, &flat); err != nil {
+		return fmt.Errorf("results are neither the metric nor the legacy ns/op format: %w", err)
+	}
+	s.Results = make(map[string]Metric, len(flat))
+	for name, ns := range flat {
+		s.Results[name] = Metric{NsOp: ns}
+	}
+	return nil
+}
+
+// Delta is one benchmark dimension's old-vs-new comparison.
 type Delta struct {
 	Name     string
-	Old, New float64 // ns/op
+	Dim      string // "ns/op", "B/op", or "allocs/op"
+	Old, New float64
 	Ratio    float64 // New/Old
 }
 
@@ -76,7 +121,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-pkg must name at least one package")
 	}
 	cmd := exec.Command("go", append([]string{"test", "-json", "-bench=" + *bench,
-		"-benchtime=" + *benchtime, "-run=^$"}, pkgs...)...)
+		"-benchtime=" + *benchtime, "-benchmem", "-run=^$"}, pkgs...)...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	raw, err := cmd.Output()
@@ -121,8 +166,9 @@ func run(args []string, out io.Writer) error {
 }
 
 // benchLine matches a benchmark result line inside test2json Output
-// fields, e.g. "BenchmarkAlignUS-4   \t  10\t 123456 ns/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+// fields, e.g. "BenchmarkAlignUS-4 \t 10\t 123456 ns/op\t 2048 B/op\t
+// 12 allocs/op". The allocation columns appear only under -benchmem.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+(\d+) allocs/op)?`)
 
 // ParseBenchJSON extracts benchmark results from a `go test -json`
 // stream. A single result line usually arrives split across several
@@ -130,7 +176,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
 // the numbers after it), so the stream is reassembled per package
 // before matching lines. The trailing -<procs> suffix on benchmark
 // names is kept: runs at different GOMAXPROCS are different benchmarks.
-func ParseBenchJSON(r io.Reader) (map[string]float64, error) {
+func ParseBenchJSON(r io.Reader) (map[string]Metric, error) {
 	text := make(map[string]*strings.Builder)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -156,7 +202,7 @@ func ParseBenchJSON(r io.Reader) (map[string]float64, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	results := make(map[string]float64)
+	results := make(map[string]Metric)
 	for _, sb := range text {
 		for _, line := range strings.Split(sb.String(), "\n") {
 			m := benchLine.FindStringSubmatch(line)
@@ -167,26 +213,49 @@ func ParseBenchJSON(r io.Reader) (map[string]float64, error) {
 			if err != nil {
 				return nil, fmt.Errorf("parsing %q: %w", line, err)
 			}
-			results[m[1]] = ns
+			metric := Metric{NsOp: ns}
+			if m[4] != "" {
+				b, err := strconv.ParseFloat(m[4], 64)
+				if err != nil {
+					return nil, fmt.Errorf("parsing %q: %w", line, err)
+				}
+				a, err := strconv.ParseFloat(m[5], 64)
+				if err != nil {
+					return nil, fmt.Errorf("parsing %q: %w", line, err)
+				}
+				metric.BytesOp, metric.AllocsOp = &b, &a
+			}
+			results[m[1]] = metric
 		}
 	}
 	return results, nil
 }
 
-// Compare pairs up two result sets. Deltas are sorted by descending
-// ratio (worst regression first); unpaired names are returned sorted.
-func Compare(old, cur map[string]float64) (deltas []Delta, onlyOld, onlyNew []string) {
+// Compare pairs up two result sets, one delta per gated dimension:
+// ns/op always, B/op and allocs/op when both runs recorded them. Deltas
+// are sorted by descending ratio (worst regression first); unpaired
+// names are returned sorted.
+func Compare(old, cur map[string]Metric) (deltas []Delta, onlyOld, onlyNew []string) {
+	dim := func(name, dim string, o, n float64) {
+		d := Delta{Name: name, Dim: dim, Old: o, New: n}
+		if o > 0 {
+			d.Ratio = n / o
+		}
+		deltas = append(deltas, d)
+	}
 	for name, o := range old {
 		n, ok := cur[name]
 		if !ok {
 			onlyOld = append(onlyOld, name)
 			continue
 		}
-		d := Delta{Name: name, Old: o, New: n}
-		if o > 0 {
-			d.Ratio = n / o
+		dim(name, "ns/op", o.NsOp, n.NsOp)
+		if o.BytesOp != nil && n.BytesOp != nil {
+			dim(name, "B/op", *o.BytesOp, *n.BytesOp)
 		}
-		deltas = append(deltas, d)
+		if o.AllocsOp != nil && n.AllocsOp != nil {
+			dim(name, "allocs/op", *o.AllocsOp, *n.AllocsOp)
+		}
 	}
 	for name := range cur {
 		if _, ok := old[name]; !ok {
@@ -197,7 +266,10 @@ func Compare(old, cur map[string]float64) (deltas []Delta, onlyOld, onlyNew []st
 		if deltas[i].Ratio != deltas[j].Ratio {
 			return deltas[i].Ratio > deltas[j].Ratio
 		}
-		return deltas[i].Name < deltas[j].Name
+		if deltas[i].Name != deltas[j].Name {
+			return deltas[i].Name < deltas[j].Name
+		}
+		return deltas[i].Dim < deltas[j].Dim
 	})
 	sort.Strings(onlyOld)
 	sort.Strings(onlyNew)
@@ -253,17 +325,17 @@ func writeSnapshot(path string, s *Snapshot) error {
 }
 
 // Gate prints the comparison report and returns an error only when a
-// benchmark present in BOTH runs regressed beyond the tolerance.
-// One-sided names — benchmarks renamed, added, or removed between the
-// snapshots — are reported but can never fail the gate, including the
-// degenerate case where the two runs share no benchmark at all (say,
-// after narrowing -bench): that run passes with an explicit notice
-// rather than failing on a vacuous comparison.
-func Gate(out io.Writer, prevName string, old, cur map[string]float64, tol float64) error {
+// benchmark dimension present in BOTH runs regressed beyond the
+// tolerance. One-sided names — benchmarks renamed, added, or removed
+// between the snapshots — are reported but can never fail the gate,
+// including the degenerate case where the two runs share no benchmark
+// at all (say, after narrowing -bench): that run passes with an
+// explicit notice rather than failing on a vacuous comparison.
+func Gate(out io.Writer, prevName string, old, cur map[string]Metric, tol float64) error {
 	deltas, onlyOld, onlyNew := Compare(old, cur)
 	printReport(out, prevName, deltas, onlyOld, onlyNew, tol)
 	if regressed := Regressions(deltas, tol); len(regressed) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regressed), tol*100)
+		return fmt.Errorf("%d benchmark dimension(s) regressed beyond %.0f%%", len(regressed), tol*100)
 	}
 	return nil
 }
@@ -274,7 +346,7 @@ func printReport(out io.Writer, prevName string, deltas []Delta, onlyOld, onlyNe
 		fmt.Fprintf(out, "no overlapping benchmarks between the runs (%d removed, %d new); nothing to gate on\n",
 			len(onlyOld), len(onlyNew))
 	} else {
-		fmt.Fprintf(out, "%-60s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+		fmt.Fprintf(out, "%-60s %-10s %14s %14s %8s\n", "benchmark", "dim", "old", "new", "ratio")
 	}
 	regressed, improved := 0, 0
 	for _, d := range deltas {
@@ -287,7 +359,7 @@ func printReport(out io.Writer, prevName string, deltas []Delta, onlyOld, onlyNe
 			mark = "  improved"
 			improved++
 		}
-		fmt.Fprintf(out, "%-60s %14.0f %14.0f %7.2fx%s\n", d.Name, d.Old, d.New, d.Ratio, mark)
+		fmt.Fprintf(out, "%-60s %-10s %14.0f %14.0f %7.2fx%s\n", d.Name, d.Dim, d.Old, d.New, d.Ratio, mark)
 	}
 	for _, n := range onlyOld {
 		fmt.Fprintf(out, "%-60s removed (not gated)\n", n)
@@ -295,6 +367,6 @@ func printReport(out io.Writer, prevName string, deltas []Delta, onlyOld, onlyNe
 	for _, n := range onlyNew {
 		fmt.Fprintf(out, "%-60s new (not gated)\n", n)
 	}
-	fmt.Fprintf(out, "%d compared: %d regressed, %d improved; %d only in old run, %d only in new run\n",
+	fmt.Fprintf(out, "%d dimensions compared: %d regressed, %d improved; %d only in old run, %d only in new run\n",
 		len(deltas), regressed, improved, len(onlyOld), len(onlyNew))
 }

@@ -7,6 +7,12 @@ import (
 	"testing"
 )
 
+func ns(v float64) Metric { return Metric{NsOp: v} }
+
+func full(nsOp, bytesOp, allocsOp float64) Metric {
+	return Metric{NsOp: nsOp, BytesOp: &bytesOp, AllocsOp: &allocsOp}
+}
+
 func TestParseBenchJSON(t *testing.T) {
 	stream := strings.Join([]string{
 		`{"Action":"start","Package":"geoalign"}`,
@@ -14,7 +20,7 @@ func TestParseBenchJSON(t *testing.T) {
 		// One result line split across events, as go test actually emits
 		// it: the name flushes before the timed run, the numbers after.
 		`{"Action":"output","Package":"geoalign","Output":"BenchmarkAlignUS-4   \t"}`,
-		`{"Action":"output","Package":"geoalign","Output":"      10\t 123456.5 ns/op\n"}`,
+		`{"Action":"output","Package":"geoalign","Output":"      10\t 123456.5 ns/op\t    2048 B/op\t      12 allocs/op\n"}`,
 		`{"Action":"output","Package":"geoalign","Output":"BenchmarkAlignerBatch/serial-loop \t       1\t1203260341 ns/op\n"}`,
 		`{"Action":"output","Package":"geoalign","Output":"--- BENCH: BenchmarkX\n"}`,
 		`not json at all`,
@@ -25,32 +31,32 @@ func TestParseBenchJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]float64{
-		"BenchmarkAlignUS-4":                123456.5,
-		"BenchmarkAlignerBatch/serial-loop": 1203260341,
+	if len(got) != 2 {
+		t.Fatalf("parsed %d results, want 2: %v", len(got), got)
 	}
-	if len(got) != len(want) {
-		t.Fatalf("parsed %d results, want %d: %v", len(got), len(want), got)
+	us := got["BenchmarkAlignUS-4"]
+	if us.NsOp != 123456.5 || us.BytesOp == nil || *us.BytesOp != 2048 || us.AllocsOp == nil || *us.AllocsOp != 12 {
+		t.Errorf("BenchmarkAlignUS-4 = %+v", us)
 	}
-	for name, ns := range want {
-		if got[name] != ns {
-			t.Errorf("%s = %v, want %v", name, got[name], ns)
-		}
+	// A line without -benchmem columns leaves the alloc fields unset.
+	serial := got["BenchmarkAlignerBatch/serial-loop"]
+	if serial.NsOp != 1203260341 || serial.BytesOp != nil || serial.AllocsOp != nil {
+		t.Errorf("serial-loop = %+v", serial)
 	}
 }
 
 func TestCompareAndRegressions(t *testing.T) {
-	old := map[string]float64{
-		"BenchmarkA":    100,
-		"BenchmarkB":    100,
-		"BenchmarkC":    100,
-		"BenchmarkGone": 50,
+	old := map[string]Metric{
+		"BenchmarkA":    ns(100),
+		"BenchmarkB":    ns(100),
+		"BenchmarkC":    ns(100),
+		"BenchmarkGone": ns(50),
 	}
-	cur := map[string]float64{
-		"BenchmarkA":   125, // +25%: regression at 20% tolerance
-		"BenchmarkB":   119, // +19%: within tolerance
-		"BenchmarkC":   70,  // improvement
-		"BenchmarkNew": 10,
+	cur := map[string]Metric{
+		"BenchmarkA":   ns(125), // +25%: regression at 20% tolerance
+		"BenchmarkB":   ns(119), // +19%: within tolerance
+		"BenchmarkC":   ns(70),  // improvement
+		"BenchmarkNew": ns(10),
 	}
 	deltas, onlyOld, onlyNew := Compare(old, cur)
 	if len(deltas) != 3 {
@@ -75,14 +81,46 @@ func TestCompareAndRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareAllocDimensions pins the -benchmem gating rules: B/op and
+// allocs/op pair up only when both runs recorded them, each dimension
+// regresses independently, and an old-run zero never gates.
+func TestCompareAllocDimensions(t *testing.T) {
+	old := map[string]Metric{
+		"BenchmarkFast":   full(100, 1000, 10),
+		"BenchmarkLegacy": ns(100), // recorded before -benchmem
+		"BenchmarkZero":   full(100, 0, 0),
+	}
+	cur := map[string]Metric{
+		"BenchmarkFast":   full(100, 1000, 20), // allocs doubled, ns and bytes flat
+		"BenchmarkLegacy": full(100, 5000, 50),
+		"BenchmarkZero":   full(100, 64, 1), // from zero: ratio undefined, not gated
+	}
+	deltas, _, _ := Compare(old, cur)
+	// Fast: 3 dims; Legacy: ns only; Zero: 3 dims.
+	if len(deltas) != 7 {
+		t.Fatalf("deltas = %d, want 7: %v", len(deltas), deltas)
+	}
+	reg := Regressions(deltas, 0.20)
+	if len(reg) != 1 || reg[0].Name != "BenchmarkFast" || reg[0].Dim != "allocs/op" {
+		t.Fatalf("regressions = %v, want only BenchmarkFast allocs/op", reg)
+	}
+	var out strings.Builder
+	if err := Gate(&out, "BENCH_old.json", old, cur, 0.20); err == nil {
+		t.Fatal("alloc regression passed the gate")
+	}
+	if !strings.Contains(out.String(), "allocs/op") || !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("report:\n%s", out.String())
+	}
+}
+
 // TestGateOneSidedNamesNeverFail pins the reporting contract for
 // benchmarks present in only one of the two BENCH files: they are
 // listed but can never fail the gate, even when the runs share no
 // benchmark at all.
 func TestGateOneSidedNamesNeverFail(t *testing.T) {
 	var out strings.Builder
-	old := map[string]float64{"BenchmarkGone": 10, "BenchmarkRenamed": 20}
-	cur := map[string]float64{"BenchmarkNew": 100000, "BenchmarkRenamedV2": 200000}
+	old := map[string]Metric{"BenchmarkGone": ns(10), "BenchmarkRenamed": ns(20)}
+	cur := map[string]Metric{"BenchmarkNew": ns(100000), "BenchmarkRenamedV2": ns(200000)}
 	if err := Gate(&out, "BENCH_old.json", old, cur, 0.20); err != nil {
 		t.Fatalf("zero-overlap comparison failed the gate: %v", err)
 	}
@@ -93,7 +131,7 @@ func TestGateOneSidedNamesNeverFail(t *testing.T) {
 		"BenchmarkGone",
 		"BenchmarkNew",
 		"not gated",
-		"0 compared: 0 regressed, 0 improved; 2 only in old run, 2 only in new run",
+		"0 dimensions compared: 0 regressed, 0 improved; 2 only in old run, 2 only in new run",
 	} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)
@@ -103,28 +141,28 @@ func TestGateOneSidedNamesNeverFail(t *testing.T) {
 	// Mixed case: the overlapping benchmark regressed, the one-sided
 	// ones still do not contribute to the failure count.
 	out.Reset()
-	old["BenchmarkShared"] = 100
-	cur["BenchmarkShared"] = 200
+	old["BenchmarkShared"] = ns(100)
+	cur["BenchmarkShared"] = ns(200)
 	err := Gate(&out, "BENCH_old.json", old, cur, 0.20)
 	if err == nil {
 		t.Fatal("real regression passed the gate")
 	}
-	if !strings.Contains(err.Error(), "1 benchmark(s) regressed") {
+	if !strings.Contains(err.Error(), "1 benchmark dimension(s) regressed") {
 		t.Errorf("err = %v, want exactly one regression counted", err)
 	}
-	if !strings.Contains(out.String(), "1 compared: 1 regressed, 0 improved") {
+	if !strings.Contains(out.String(), "1 dimensions compared: 1 regressed, 0 improved") {
 		t.Errorf("summary wrong:\n%s", out.String())
 	}
 }
 
 func TestGateSummaryCounts(t *testing.T) {
 	var out strings.Builder
-	old := map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkGone": 5}
-	cur := map[string]float64{"BenchmarkA": 110, "BenchmarkB": 40}
+	old := map[string]Metric{"BenchmarkA": ns(100), "BenchmarkB": ns(100), "BenchmarkGone": ns(5)}
+	cur := map[string]Metric{"BenchmarkA": ns(110), "BenchmarkB": ns(40)}
 	if err := Gate(&out, "BENCH_old.json", old, cur, 0.20); err != nil {
 		t.Fatal(err)
 	}
-	if want := "2 compared: 0 regressed, 1 improved; 1 only in old run, 0 only in new run"; !strings.Contains(out.String(), want) {
+	if want := "2 dimensions compared: 0 regressed, 1 improved; 1 only in old run, 0 only in new run"; !strings.Contains(out.String(), want) {
 		t.Errorf("report missing %q:\n%s", want, out.String())
 	}
 }
@@ -164,7 +202,10 @@ func TestLatestSnapshot(t *testing.T) {
 func TestSnapshotRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "BENCH_2026-08-05.json")
-	in := &Snapshot{Date: "2026-08-05", Go: "go1.24.0", Results: map[string]float64{"BenchmarkA": 42.5}}
+	in := &Snapshot{Date: "2026-08-05", Go: "go1.24.0", Results: map[string]Metric{
+		"BenchmarkA": full(42.5, 128, 3),
+		"BenchmarkB": ns(7),
+	}}
 	if err := writeSnapshot(path, in); err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +213,46 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Date != in.Date || out.Go != in.Go || out.Results["BenchmarkA"] != 42.5 {
+	a := out.Results["BenchmarkA"]
+	if out.Date != in.Date || out.Go != in.Go || a.NsOp != 42.5 || *a.BytesOp != 128 || *a.AllocsOp != 3 {
 		t.Errorf("round trip: %+v", out)
+	}
+	if b := out.Results["BenchmarkB"]; b.NsOp != 7 || b.BytesOp != nil || b.AllocsOp != nil {
+		t.Errorf("metric without allocs: %+v", b)
+	}
+}
+
+// TestReadLegacySnapshot pins back-compat with BENCH files written
+// before -benchmem: plain ns/op numbers load as alloc-free metrics and
+// still gate on time.
+func TestReadLegacySnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_2026-01-01.json")
+	legacy := `{"date":"2026-01-01","go":"go1.24.0","results":{"BenchmarkA":100,"BenchmarkB":2500.5}}`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 2 {
+		t.Fatalf("results: %+v", s.Results)
+	}
+	a := s.Results["BenchmarkA"]
+	if a.NsOp != 100 || a.BytesOp != nil || a.AllocsOp != nil {
+		t.Errorf("BenchmarkA = %+v", a)
+	}
+	if s.Results["BenchmarkB"].NsOp != 2500.5 {
+		t.Errorf("BenchmarkB = %+v", s.Results["BenchmarkB"])
+	}
+	// Legacy old vs -benchmem new compares on ns/op only.
+	var out strings.Builder
+	cur := map[string]Metric{"BenchmarkA": full(130, 1<<20, 999), "BenchmarkB": full(2500, 1, 1)}
+	err = Gate(&out, filepath.Base(path), s.Results, cur, 0.20)
+	if err == nil {
+		t.Fatal("ns regression against a legacy baseline passed")
+	}
+	if strings.Contains(out.String(), "B/op") || strings.Contains(out.String(), "allocs/op") {
+		t.Errorf("alloc dimensions gated against a legacy baseline:\n%s", out.String())
 	}
 }

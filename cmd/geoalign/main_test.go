@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"geoalign"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -119,6 +121,73 @@ func TestRunWritesOutputFile(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "Westchester") {
 		t.Errorf("file contents: %q", data)
+	}
+}
+
+// TestSnapshotBuildAndInfo drives the snapshot subcommands end to end:
+// build persists a loadable engine with key metadata, info validates
+// and describes it, and both reject bad invocations.
+func TestSnapshotBuildAndInfo(t *testing.T) {
+	_, pop, acc := fixture(t)
+	snapPath := filepath.Join(t.TempDir(), "engine.snap")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"snapshot", "build", "-out", snapPath, "-ref", pop, "-ref", acc}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "3 sources -> 2 targets, 2 references") {
+		t.Fatalf("build output: %q", stderr.String())
+	}
+
+	// The artifact round-trips through the public loader with its keys.
+	al, meta, err := geoalign.OpenSnapshot(snapPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer al.Close()
+	if strings.Join(meta.SourceKeys, " ") != "10001 10002 10003" {
+		t.Fatalf("source keys %v", meta.SourceKeys)
+	}
+	if strings.Join(meta.TargetKeys, " ") != "New York Westchester" {
+		t.Fatalf("target keys %v", meta.TargetKeys)
+	}
+	res, err := al.Align([]float64{5946, 8100, 3519})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range res.Target {
+		total += v
+	}
+	if total < 17560 || total > 17570 {
+		t.Fatalf("aligned total %v, want 17565", total)
+	}
+
+	stdout.Reset()
+	if err := run([]string{"snapshot", "info", snapPath}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	for _, want := range []string{"source units:     3", "target units:     2", "references:       2", "source keys:      3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q:\n%s", want, out)
+		}
+	}
+
+	for _, bad := range [][]string{
+		{"snapshot"},
+		{"snapshot", "frob"},
+		{"snapshot", "build", "-ref", pop},      // missing -out
+		{"snapshot", "build", "-out", snapPath}, // missing -ref
+		{"snapshot", "info"},                    // missing path
+		{"snapshot", "info", filepath.Join(t.TempDir(), "no.snap")}, // missing file
+	} {
+		if err := run(bad, &stdout, &stderr); err == nil {
+			t.Errorf("args %v accepted", bad)
+		}
+	}
+	if err := run([]string{"snapshot", "info", pop}, &stdout, &stderr); err == nil {
+		t.Error("info accepted a CSV as a snapshot")
 	}
 }
 

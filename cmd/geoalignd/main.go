@@ -17,12 +17,19 @@
 // way. -demo registers a synthetic "demo" engine for smoke testing
 // without data files.
 //
+// With -snapshot-dir set, each engine first looks for <dir>/<name>.snap
+// and maps it instead of rebuilding from the CSVs (near-zero cold
+// start); when absent, the engine is built once and the snapshot is
+// persisted atomically for the next boot. A present-but-unloadable
+// snapshot is reported and rebuilt from the crosswalks.
+//
 // Endpoints: POST /v1/align, POST /v1/align/batch, GET /v1/engines,
 // GET /healthz, GET /metrics. See internal/serve for the wire formats.
 package main
 
 import (
 	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -32,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -79,6 +87,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		queueWait   = fs.Duration("queue-wait", 100*time.Millisecond, "how long an arrival may wait for admission before a 429")
 		reqTimeout  = fs.Duration("request-timeout", 0, "per-request deadline plumbed into the engine (0 = none)")
 		workers     = fs.Int("workers", 0, "engine worker-pool size for batch solves (0 = NumCPU)")
+		snapDir     = fs.String("snapshot-dir", "", "engine snapshot directory: map <name>.snap when present, else build and persist it")
 	)
 	fs.Var(&engineSpecs, "engine", "name=xwalk1.csv[,xwalk2.csv...]; repeatable")
 	if err := fs.Parse(args); err != nil {
@@ -94,26 +103,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if !ok || name == "" || paths == "" {
 			return fmt.Errorf("bad -engine spec %q, want name=xwalk1.csv[,xwalk2.csv...]", spec)
 		}
-		al, err := loadEngine(strings.Split(paths, ","), *workers)
-		if err != nil {
+		build := func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error) {
+			return loadEngine(strings.Split(paths, ","), *workers)
+		}
+		if err := registerEngine(reg, name, *snapDir, *workers, stderr, build); err != nil {
 			return fmt.Errorf("engine %q: %w", name, err)
 		}
-		if err := reg.Register(name, al); err != nil {
-			return err
-		}
-		fmt.Fprintf(stderr, "geoalignd: engine %q: %d sources -> %d targets, %d references\n",
-			name, al.SourceUnits(), al.TargetUnits(), al.References())
 	}
 	if *demo {
-		al, err := demoEngine(*workers)
-		if err != nil {
+		build := func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error) {
+			al, err := demoEngine(*workers)
+			return al, nil, err
+		}
+		if err := registerEngine(reg, "demo", *snapDir, *workers, stderr, build); err != nil {
 			return fmt.Errorf("demo engine: %w", err)
 		}
-		if err := reg.Register("demo", al); err != nil {
-			return err
-		}
-		fmt.Fprintf(stderr, "geoalignd: engine \"demo\": %d sources -> %d targets, %d references\n",
-			al.SourceUnits(), al.TargetUnits(), al.References())
 	}
 
 	srv := serve.NewServer(reg, serve.Config{
@@ -157,20 +161,72 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	return err
 }
 
+// registerEngine places the named engine into the registry, preferring
+// a mapped snapshot over a crosswalk rebuild when snapDir is set. The
+// fallback build path persists its result so the next boot takes the
+// fast path. Engines are always registered owned with their startup
+// cost: Close on a built engine is a no-op, and the load time feeds the
+// /metrics cold-start gauge either way.
+func registerEngine(reg *serve.Registry, name, snapDir string, workers int, stderr io.Writer,
+	build func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error)) error {
+	start := time.Now()
+	if snapDir != "" {
+		path := filepath.Join(snapDir, name+".snap")
+		al, _, err := geoalign.OpenSnapshot(path, &geoalign.AlignerOptions{Workers: workers, DiscardCrosswalks: true})
+		switch {
+		case err == nil:
+			took := time.Since(start)
+			if rerr := reg.RegisterOwned(name, al, took); rerr != nil {
+				al.Close()
+				return rerr
+			}
+			fmt.Fprintf(stderr, "geoalignd: engine %q: mapped %s in %s (%d sources -> %d targets, %d references)\n",
+				name, path, took.Round(time.Microsecond), al.SourceUnits(), al.TargetUnits(), al.References())
+			return nil
+		case !errors.Is(err, os.ErrNotExist):
+			// A present-but-unloadable snapshot deserves a loud line, but
+			// the crosswalks remain the source of truth: rebuild and let
+			// the persist below overwrite the bad file.
+			fmt.Fprintf(stderr, "geoalignd: engine %q: %v; rebuilding from crosswalks\n", name, err)
+		}
+	}
+	al, meta, err := build()
+	if err != nil {
+		return err
+	}
+	took := time.Since(start)
+	if snapDir != "" {
+		path := filepath.Join(snapDir, name+".snap")
+		al.PrecomputeSolverCaches()
+		if werr := al.WriteSnapshot(path, meta); werr != nil {
+			fmt.Fprintf(stderr, "geoalignd: engine %q: persisting snapshot: %v\n", name, werr)
+		} else {
+			fmt.Fprintf(stderr, "geoalignd: engine %q: wrote %s\n", name, path)
+		}
+	}
+	if rerr := reg.RegisterOwned(name, al, took); rerr != nil {
+		return rerr
+	}
+	fmt.Fprintf(stderr, "geoalignd: engine %q: %d sources -> %d targets, %d references (built in %s)\n",
+		name, al.SourceUnits(), al.TargetUnits(), al.References(), took.Round(time.Microsecond))
+	return nil
+}
+
 // loadEngine builds a serving engine from reference crosswalk CSVs. The
 // union of source keys (first-seen order across files) fixes the
-// objective layout; target keys are unioned the same way.
-func loadEngine(paths []string, workers int) (*geoalign.Aligner, error) {
+// objective layout; target keys are unioned the same way, and both key
+// sets are returned as snapshot metadata.
+func loadEngine(paths []string, workers int) (*geoalign.Aligner, *geoalign.SnapshotMeta, error) {
 	xwalks := make([]*table.Crosswalk, 0, len(paths))
 	for _, p := range paths {
 		f, err := os.Open(p)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		cw, err := table.ReadCrosswalkCSV(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p, err)
+			return nil, nil, fmt.Errorf("%s: %w", p, err)
 		}
 		xwalks = append(xwalks, cw)
 	}
@@ -180,15 +236,19 @@ func loadEngine(paths []string, workers int) (*geoalign.Aligner, error) {
 	for k, cw := range xwalks {
 		dm, err := cw.ReorderTo(srcKeys, tgtKeys)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", paths[k], err)
+			return nil, nil, fmt.Errorf("%s: %w", paths[k], err)
 		}
 		xw, err := publicCrosswalk(dm)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", paths[k], err)
+			return nil, nil, fmt.Errorf("%s: %w", paths[k], err)
 		}
 		refs[k] = geoalign.Reference{Name: cw.Attribute, Crosswalk: xw}
 	}
-	return newServingAligner(refs, workers)
+	al, err := newServingAligner(refs, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return al, &geoalign.SnapshotMeta{SourceKeys: srcKeys, TargetKeys: tgtKeys}, nil
 }
 
 // demoEngine registers a synthetic scaling problem so the server can be

@@ -12,6 +12,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"geoalign"
+	"geoalign/internal/serve"
 )
 
 func writeFile(t *testing.T, dir, name, content string) string {
@@ -36,13 +39,16 @@ func TestLoadEngineFromCSV(t *testing.T) {
 		"a,X,3", "b,Z,9", "",
 	}, "\n"))
 
-	al, err := loadEngine([]string{p1, p2}, 1)
+	al, meta, err := loadEngine([]string{p1, p2}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if al.SourceUnits() != 3 || al.TargetUnits() != 3 || al.References() != 2 {
 		t.Fatalf("engine shape %d/%d/%d, want 3 sources, 3 targets, 2 references",
 			al.SourceUnits(), al.TargetUnits(), al.References())
+	}
+	if strings.Join(meta.SourceKeys, " ") != "a b c" || strings.Join(meta.TargetKeys, " ") != "X Y Z" {
+		t.Fatalf("meta keys %v / %v", meta.SourceKeys, meta.TargetKeys)
 	}
 	res, err := al.Align([]float64{6, 12, 3})
 	if err != nil {
@@ -56,8 +62,97 @@ func TestLoadEngineFromCSV(t *testing.T) {
 		t.Fatalf("aligned total %v, want volume preserved at 21", total)
 	}
 
-	if _, err := loadEngine([]string{filepath.Join(dir, "missing.csv")}, 1); err == nil {
+	if _, _, err := loadEngine([]string{filepath.Join(dir, "missing.csv")}, 1); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestRegisterEngineSnapshotDir pins the cold-start contract of
+// -snapshot-dir: the first registration builds from crosswalks and
+// persists <name>.snap, the second maps that file, and a corrupt file
+// falls back to a rebuild that repairs it.
+func TestRegisterEngineSnapshotDir(t *testing.T) {
+	dir := t.TempDir()
+	xw := writeFile(t, dir, "pop.csv", strings.Join([]string{
+		"source,target,population",
+		"a,X,10", "a,Y,5", "b,Y,20", "c,X,7", "",
+	}, "\n"))
+	snapDir := t.TempDir()
+	build := func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error) {
+		return loadEngine([]string{xw}, 1)
+	}
+
+	var log bytes.Buffer
+	reg := serve.NewRegistry()
+	if err := registerEngine(reg, "pop", snapDir, 1, &log, build); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(snapDir, "pop.snap")
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("first registration did not persist the snapshot: %v", err)
+	}
+	if info := reg.List()[0]; info.FromSnapshot {
+		t.Fatalf("first registration should be a build: %+v", info)
+	}
+
+	log.Reset()
+	reg2 := serve.NewRegistry()
+	if err := registerEngine(reg2, "pop", snapDir, 1, &log, build); err != nil {
+		t.Fatal(err)
+	}
+	info := reg2.List()[0]
+	if !info.FromSnapshot || info.MappedBytes == 0 {
+		t.Fatalf("second registration should map the snapshot: %+v", info)
+	}
+	if !strings.Contains(log.String(), "mapped") {
+		t.Fatalf("log: %q", log.String())
+	}
+
+	// The mapped engine answers identically to a fresh build.
+	built, _, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease, err := reg2.Acquire("pop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+	want, err := built.Align([]float64{6, 12, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lease.Aligner().Align([]float64{6, 12, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Target {
+		if got.Target[i] != want.Target[i] {
+			t.Fatalf("target[%d] %v != %v", i, got.Target[i], want.Target[i])
+		}
+	}
+
+	// Corrupt the file: registration warns, rebuilds, and rewrites it.
+	if err := os.WriteFile(snapPath, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log.Reset()
+	reg3 := serve.NewRegistry()
+	if err := registerEngine(reg3, "pop", snapDir, 1, &log, build); err != nil {
+		t.Fatal(err)
+	}
+	if reg3.List()[0].FromSnapshot {
+		t.Fatal("corrupt snapshot was somehow mapped")
+	}
+	if !strings.Contains(log.String(), "rebuilding from crosswalks") {
+		t.Fatalf("log: %q", log.String())
+	}
+	reg4 := serve.NewRegistry()
+	if err := registerEngine(reg4, "pop", snapDir, 1, &log, build); err != nil {
+		t.Fatal(err)
+	}
+	if !reg4.List()[0].FromSnapshot {
+		t.Fatal("rebuild did not repair the snapshot file")
 	}
 }
 

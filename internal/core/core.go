@@ -214,13 +214,17 @@ func validate(p Problem) (ns, nt int, err error) {
 
 // patchRows rebuilds dm with the listed rows replaced by the fallback
 // crosswalk's rows, rescaled to the objective (dasymetric
-// redistribution per degenerate unit).
-func patchRows(dm, fallback *sparse.CSR, rows []int, objective []float64) (*sparse.CSR, error) {
+// redistribution per degenerate unit). fbSums must be the fallback's
+// row sums — engines cache them across calls (see fallbackSums); nil
+// computes them fresh.
+func patchRows(dm, fallback *sparse.CSR, fbSums []float64, rows []int, objective []float64) (*sparse.CSR, error) {
 	replace := make(map[int]bool, len(rows))
 	for _, i := range rows {
 		replace[i] = true
 	}
-	fbSums := fallback.RowSums()
+	if fbSums == nil {
+		fbSums = fallback.RowSums()
+	}
 	coo := sparse.NewCOO(dm.Rows, dm.Cols)
 	for i := 0; i < dm.Rows; i++ {
 		if !replace[i] {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"geoalign/internal/linalg"
+	"geoalign/internal/snapshot"
 	"geoalign/internal/sparse"
 )
 
@@ -40,12 +41,21 @@ type Engine struct {
 
 	weightMat *linalg.Matrix     // Eq. 15 design matrix (ns × k)
 	gram      *linalg.GramSystem // its cached normal equations
-	normSrc   [][]float64        // its columns: maxNormalise(source_k)
+	normSrc   [][]float64        // its columns: maxNormalise(source_k); nil until first use on snapshot-loaded engines
+	nsOnce    sync.Once          // guards the lazy normSrc extraction
 	rowSums   [][]float64        // row sums per reference crosswalk (the Eq. 14 denominator basis)
 	maxRow    []float64          // max |row sum| per reference crosswalk
 	pat       *sparse.CSR        // union sparsity pattern (Val is nil)
 	slots     [][]int            // slots[k][t]: union position of ref k's t-th entry
 	zeroRow   []bool             // no reference has support in this source unit
+
+	// snap owns the mapped snapshot file for snapshot-loaded engines
+	// (nil for freshly built ones): the hot arrays above alias the
+	// mapping, so it must stay mapped until Close.
+	snap *snapshot.File
+
+	fbOnce sync.Once
+	fbSums []float64 // cached FallbackDM.RowSums(), computed on first degenerate patch
 
 	scratch sync.Pool
 	batch   sync.Pool // *batchScratch for the fused AlignAll chunks
@@ -114,7 +124,14 @@ func NewEngine(refs []Reference, opts Options) (*Engine, error) {
 	}
 
 	e.buildPattern()
+	e.initPools()
+	return e, nil
+}
 
+// initPools installs the scratch-buffer pool factories; called once the
+// pattern and dimensions are final (from NewEngine and the snapshot
+// loader).
+func (e *Engine) initPools() {
 	e.scratch.New = func() any {
 		return &engineScratch{
 			// The pattern CSR carries no values; its entry count is the
@@ -128,7 +145,78 @@ func NewEngine(refs []Reference, opts Options) (*Engine, error) {
 		}
 	}
 	e.batch.New = func() any { return newBatchScratch(e) }
-	return e, nil
+}
+
+// Close releases the mapped snapshot backing a snapshot-loaded engine.
+// After Close the engine must not be used: its precompute arrays alias
+// the mapping. Closing a freshly built engine is a no-op. Close is
+// idempotent.
+func (e *Engine) Close() error {
+	if e.snap == nil {
+		return nil
+	}
+	return e.snap.Close()
+}
+
+// FromSnapshot reports whether the engine was loaded from a snapshot.
+func (e *Engine) FromSnapshot() bool { return e.snap != nil }
+
+// MappedBytes returns the size of the snapshot backing this engine
+// (0 for freshly built engines).
+func (e *Engine) MappedBytes() int64 {
+	if e.snap == nil {
+		return 0
+	}
+	return e.snap.Size()
+}
+
+// PrecomputeBytes estimates the resident size of the engine's
+// attribute-independent precompute: crosswalks, design matrix, Gram
+// system, union pattern, slot maps and normalisers. For snapshot-loaded
+// engines most of it aliases the mapping and is shared page cache
+// rather than private heap.
+func (e *Engine) PrecomputeBytes() int64 {
+	const wordSize = 8
+	var n int64
+	for i, r := range e.refs {
+		n += int64(len(r.DM.IndPtr)+len(r.DM.ColIdx)+len(e.slots[i])) * wordSize
+		n += int64(len(r.DM.Val)+len(r.Source)+len(e.rowSums[i])) * wordSize
+		if e.normSrc != nil {
+			n += int64(len(e.normSrc[i])) * wordSize
+		}
+	}
+	n += int64(len(e.pat.IndPtr)+len(e.pat.ColIdx)) * wordSize
+	n += int64(len(e.weightMat.Data)+len(e.gram.Gram().Data)+len(e.maxRow)) * wordSize
+	if chol, _ := e.gram.CachedCholesky(); chol != nil {
+		n += int64(len(chol.Data)) * wordSize
+	}
+	n += int64(len(e.zeroRow))
+	return n
+}
+
+// normSrcCols returns the max-normalised reference source columns,
+// extracting them from the design matrix on first use. Snapshot-loaded
+// engines skip the extraction at load time — only the source-override
+// path reads these, and the design matrix columns hold the exact same
+// bits — which keeps the mmap cold-start free of the copy.
+func (e *Engine) normSrcCols() [][]float64 {
+	e.nsOnce.Do(func() {
+		if e.normSrc != nil {
+			return
+		}
+		k := len(e.refs)
+		cols := make([][]float64, k)
+		data := e.weightMat.Data
+		for i := 0; i < k; i++ {
+			col := make([]float64, e.ns)
+			for row := 0; row < e.ns; row++ {
+				col[row] = data[row*k+i]
+			}
+			cols[i] = col
+		}
+		e.normSrc = cols
+	})
+	return e.normSrc
 }
 
 // buildPattern merges the references' sparsity patterns row by row into
@@ -396,7 +484,7 @@ func (e *Engine) redistributeDM(objective, beta []float64, s *engineScratch) (*R
 		if fb := e.opts.FallbackDM; fb.Rows != e.ns || fb.Cols != e.nt {
 			return nil, fmt.Errorf("core: fallback DM is %dx%d, want %dx%d", fb.Rows, fb.Cols, e.ns, e.nt)
 		}
-		dmo, err := patchRows(e.materialize(s.val), e.opts.FallbackDM, degenerate, objective)
+		dmo, err := patchRows(e.materialize(s.val), e.opts.FallbackDM, e.fallbackSums(), degenerate, objective)
 		if err != nil {
 			return nil, err
 		}
@@ -414,6 +502,20 @@ func (e *Engine) redistributeDM(objective, beta []float64, s *engineScratch) (*R
 		res.DM = e.materialize(s.val)
 	}
 	return res, nil
+}
+
+// fallbackSums returns the cached row sums of the fallback crosswalk,
+// computing them once on first use. Before the cache, every degenerate
+// patch re-summed the whole fallback matrix per aligned attribute —
+// O(nnz) allocation and work that batch workloads hit once per
+// objective.
+func (e *Engine) fallbackSums() []float64 {
+	e.fbOnce.Do(func() {
+		if e.opts.FallbackDM != nil {
+			e.fbSums = e.opts.FallbackDM.RowSums()
+		}
+	})
+	return e.fbSums
 }
 
 // AlignAll crosswalks a batch of objectives, fanning the per-attribute
@@ -453,10 +555,11 @@ func (e *Engine) learnWeights(objective []float64, sources [][]float64, s *engin
 		if len(sources) != len(e.refs) {
 			return nil, fmt.Errorf("core: %d source overrides for %d references", len(sources), len(e.refs))
 		}
+		normSrc := e.normSrcCols()
 		cols := make([][]float64, len(e.refs))
 		for k := range e.refs {
 			if sources[k] == nil {
-				cols[k] = e.normSrc[k]
+				cols[k] = normSrc[k]
 				continue
 			}
 			if len(sources[k]) != e.ns {

@@ -50,7 +50,7 @@ func legacyAlign(p Problem, opts Options) (*Result, error) {
 		if fb.Rows != ns || fb.Cols != dmo.Cols {
 			return nil, fmt.Errorf("core: fallback DM is %dx%d, want %dx%d", fb.Rows, fb.Cols, ns, dmo.Cols)
 		}
-		dmo, err = patchRows(dmo, fb, degenerate, p.Objective)
+		dmo, err = patchRows(dmo, fb, nil, degenerate, p.Objective)
 		if err != nil {
 			return nil, err
 		}

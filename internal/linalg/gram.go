@@ -36,14 +36,18 @@ const gramBlockRows = 2048
 const gramParallelMin = 8192
 
 // GramSystem caches the normal-equations form of a fixed design matrix.
-// It is immutable after construction and safe for concurrent use.
+// It is immutable after construction (the lazy Lipschitz/Cholesky
+// caches are internally synchronised) and safe for concurrent use.
 type GramSystem struct {
 	a    *Matrix
 	G    *Matrix // k×k Gram matrix AᵀA
 	AInf float64 // matInfNorm(a): scales solver tolerances and μ
 
-	lipOnce sync.Once
-	lip     float64
+	mu       sync.Mutex
+	lipDone  bool
+	lip      float64
+	cholDone bool
+	chol     *Matrix // lower Cholesky factor of G; nil after cholDone ⇒ not PD
 }
 
 // NewGramSystem precomputes the Gram matrix and norm of a. The matrix
@@ -52,18 +56,96 @@ func NewGramSystem(a *Matrix) *GramSystem {
 	return &GramSystem{a: a, G: ParallelGram(a), AInf: matInfNorm(a)}
 }
 
+// RestoreGramSystem rebuilds a GramSystem from previously computed
+// parts — the design matrix, its Gram matrix G = AᵀA and ‖A‖∞ — without
+// redoing the O(ns·k²) ParallelGram pass. It exists for the engine
+// snapshot loader; the caller vouches that the parts belong together.
+// Both matrices are captured by reference and must not be mutated.
+func RestoreGramSystem(a, g *Matrix, ainf float64) *GramSystem {
+	return &GramSystem{a: a, G: g, AInf: ainf}
+}
+
 // Rows returns the design matrix row count (|U^s|).
 func (gs *GramSystem) Rows() int { return gs.a.Rows }
 
 // Cols returns the design matrix column count (|A_r|).
 func (gs *GramSystem) Cols() int { return gs.a.Cols }
 
+// Gram returns the cached k×k Gram matrix AᵀA. Callers must not mutate
+// it.
+func (gs *GramSystem) Gram() *Matrix { return gs.G }
+
 // Lipschitz returns the largest eigenvalue of G — the gradient
 // Lipschitz constant of ½‖Aβ−b‖² — computing it on first use and
 // caching it for every later call.
 func (gs *GramSystem) Lipschitz() float64 {
-	gs.lipOnce.Do(func() { gs.lip = powerIterSym(gs.G, 200) })
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if !gs.lipDone {
+		gs.lip = powerIterSym(gs.G, 200)
+		gs.lipDone = true
+	}
 	return gs.lip
+}
+
+// CachedLipschitz returns the Lipschitz constant if it has already been
+// computed (or primed), without triggering the power iteration.
+func (gs *GramSystem) CachedLipschitz() (float64, bool) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.lip, gs.lipDone
+}
+
+// PrimeLipschitz installs a previously computed Lipschitz constant —
+// e.g. one persisted in an engine snapshot — so later Lipschitz calls
+// skip the power iteration. It has no effect if the constant was
+// already computed.
+func (gs *GramSystem) PrimeLipschitz(lip float64) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if !gs.lipDone {
+		gs.lip = lip
+		gs.lipDone = true
+	}
+}
+
+// CholeskyFactor returns the lower Cholesky factor of G, computing it
+// on first use and caching it (a failed factorisation — G not
+// numerically positive definite, as happens for rank-deficient designs
+// — is cached too). ok is false in the failure case. The factor feeds
+// unconstrained k-space solves and is persisted in engine snapshots so
+// restored engines skip the factorisation.
+func (gs *GramSystem) CholeskyFactor() (*Matrix, bool) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if !gs.cholDone {
+		if l, err := Cholesky(gs.G); err == nil {
+			gs.chol = l
+		}
+		gs.cholDone = true
+	}
+	return gs.chol, gs.chol != nil
+}
+
+// CachedCholesky returns the cached Cholesky state without computing
+// anything: done reports whether a factorisation was attempted, and l
+// is nil when it was attempted and failed.
+func (gs *GramSystem) CachedCholesky() (l *Matrix, done bool) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	return gs.chol, gs.cholDone
+}
+
+// PrimeCholesky installs a previously computed Cholesky factor (nil to
+// record that the factorisation was attempted and G is not positive
+// definite). It has no effect if the factor was already computed.
+func (gs *GramSystem) PrimeCholesky(l *Matrix) {
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if !gs.cholDone {
+		gs.chol = l
+		gs.cholDone = true
+	}
 }
 
 // ApplyTInto computes dst = Aᵀb in O(ns·k), blocked over row chunks and

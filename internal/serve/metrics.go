@@ -66,7 +66,8 @@ type Metrics struct {
 	solve  stageLatency
 	encode stageLatency
 
-	queueDepth func() int // set by the server; admission slots in use
+	queueDepth func() int            // set by the server; admission slots in use
+	engines    func() SnapshotTotals // set by the server; registry engine gauges
 }
 
 func newMetrics() *Metrics {
@@ -133,6 +134,16 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 	if m.queueDepth != nil {
 		out["queue_depth"] = m.queueDepth()
+	}
+	if m.engines != nil {
+		t := m.engines()
+		out["engines"] = map[string]any{
+			"registered":            t.Engines,
+			"snapshot_backed":       t.SnapshotBacked,
+			"snapshot_mapped_bytes": t.MappedBytes,
+			"precompute_bytes":      t.PrecomputeBytes,
+			"snapshot_load_max_ms":  t.MaxLoadMillis,
+		}
 	}
 	return out
 }

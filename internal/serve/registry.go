@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"geoalign"
 )
@@ -23,6 +24,17 @@ type EngineInfo struct {
 	References  int    `json:"references"`
 	Generation  int    `json:"generation"`
 	Active      int64  `json:"active_requests"`
+	// FromSnapshot reports whether the engine was mapped from a snapshot
+	// file rather than built from crosswalks.
+	FromSnapshot bool `json:"from_snapshot"`
+	// MappedBytes is the size of the backing snapshot (0 when built).
+	MappedBytes int64 `json:"mapped_bytes,omitempty"`
+	// PrecomputeBytes estimates the engine's resident precompute size.
+	PrecomputeBytes int64 `json:"precompute_bytes"`
+	// LoadMillis is how long registration-time construction took
+	// (snapshot load or crosswalk build), when the registrant reported
+	// it.
+	LoadMillis float64 `json:"load_millis,omitempty"`
 }
 
 // Instance is one generation of a named engine. The coalescer keys its
@@ -33,6 +45,13 @@ type Instance struct {
 	name    string
 	gen     int
 	aligner *geoalign.Aligner
+
+	// owned instances close their aligner — releasing an mmap'd
+	// snapshot — once retired AND drained. The deferral is what makes a
+	// snapshot-backed hot swap safe: zero-copy views into the old
+	// mapping stay valid until the last lease lets go.
+	owned    bool
+	loadTime time.Duration
 
 	active  atomic.Int64
 	retired atomic.Bool
@@ -68,7 +87,15 @@ func (in *Instance) retire() {
 }
 
 func (in *Instance) closeDrained() {
-	in.once.Do(func() { close(in.drained) })
+	in.once.Do(func() {
+		// Release owned resources (the snapshot mapping) before
+		// signalling: anyone unblocked by Drained observes the unmap
+		// already done.
+		if in.owned {
+			in.aligner.Close()
+		}
+		close(in.drained)
+	})
 }
 
 // Lease is a ref-counted claim on an instance. It keeps the instance's
@@ -116,6 +143,20 @@ func (r *Registry) newInstance(name string, al *geoalign.Aligner) *Instance {
 // Register adds a new named engine. It fails if the name is taken; use
 // Swap to replace a live engine.
 func (r *Registry) Register(name string, al *geoalign.Aligner) error {
+	return r.register(name, al, false, 0)
+}
+
+// RegisterOwned is Register for engines whose resources the registry
+// owns — typically snapshot-backed aligners from geoalign.OpenSnapshot.
+// When the instance is eventually retired and its last lease released,
+// the registry closes the aligner, unmapping its snapshot. loadTime
+// (how long the snapshot load or build took) is surfaced in EngineInfo
+// and the metrics endpoint; pass 0 if unknown.
+func (r *Registry) RegisterOwned(name string, al *geoalign.Aligner, loadTime time.Duration) error {
+	return r.register(name, al, true, loadTime)
+}
+
+func (r *Registry) register(name string, al *geoalign.Aligner, owned bool, loadTime time.Duration) error {
 	if al == nil {
 		return fmt.Errorf("serve: register %q: nil aligner", name)
 	}
@@ -124,18 +165,34 @@ func (r *Registry) Register(name string, al *geoalign.Aligner) error {
 	if _, ok := r.engines[name]; ok {
 		return fmt.Errorf("serve: engine %q already registered", name)
 	}
-	r.engines[name] = r.newInstance(name, al)
+	in := r.newInstance(name, al)
+	in.owned, in.loadTime = owned, loadTime
+	r.engines[name] = in
 	return nil
 }
 
 // Swap replaces (or creates) the named engine and returns the retired
 // previous instance, nil if the name was new. In-flight requests finish
-// on the old instance; wait on its Drained channel to observe that.
+// on the old instance; wait on its Drained channel to observe that. If
+// the old instance was registered owned, its aligner is closed (the
+// snapshot unmapped) only after that drain completes.
 func (r *Registry) Swap(name string, al *geoalign.Aligner) *Instance {
+	return r.swap(name, al, false, 0)
+}
+
+// SwapOwned is Swap with registry ownership of the new engine's
+// resources, mirroring RegisterOwned.
+func (r *Registry) SwapOwned(name string, al *geoalign.Aligner, loadTime time.Duration) *Instance {
+	return r.swap(name, al, true, loadTime)
+}
+
+func (r *Registry) swap(name string, al *geoalign.Aligner, owned bool, loadTime time.Duration) *Instance {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	old := r.engines[name]
-	r.engines[name] = r.newInstance(name, al)
+	in := r.newInstance(name, al)
+	in.owned, in.loadTime = owned, loadTime
+	r.engines[name] = in
 	if old != nil {
 		old.retire()
 	}
@@ -181,15 +238,53 @@ func (r *Registry) List() []EngineInfo {
 	defer r.mu.Unlock()
 	out := make([]EngineInfo, 0, len(r.engines))
 	for _, in := range r.engines {
+		st := in.aligner.Stats()
 		out = append(out, EngineInfo{
-			Name:        in.name,
-			SourceUnits: in.aligner.SourceUnits(),
-			TargetUnits: in.aligner.TargetUnits(),
-			References:  in.aligner.References(),
-			Generation:  in.gen,
-			Active:      in.active.Load(),
+			Name:            in.name,
+			SourceUnits:     in.aligner.SourceUnits(),
+			TargetUnits:     in.aligner.TargetUnits(),
+			References:      in.aligner.References(),
+			Generation:      in.gen,
+			Active:          in.active.Load(),
+			FromSnapshot:    st.FromSnapshot,
+			MappedBytes:     st.MappedBytes,
+			PrecomputeBytes: st.PrecomputeBytes,
+			LoadMillis:      float64(in.loadTime) / float64(time.Millisecond),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// SnapshotTotals aggregates the registry's snapshot state for the
+// metrics endpoint: how many live engines are snapshot-backed, the
+// bytes they map, the summed precompute footprint of every engine, and
+// the largest registration load time.
+type SnapshotTotals struct {
+	Engines         int
+	SnapshotBacked  int
+	MappedBytes     int64
+	PrecomputeBytes int64
+	MaxLoadMillis   float64
+}
+
+// Totals computes the aggregate engine gauges over the live (current
+// generation) instances.
+func (r *Registry) Totals() SnapshotTotals {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t SnapshotTotals
+	t.Engines = len(r.engines)
+	for _, in := range r.engines {
+		st := in.aligner.Stats()
+		if st.FromSnapshot {
+			t.SnapshotBacked++
+			t.MappedBytes += st.MappedBytes
+		}
+		t.PrecomputeBytes += st.PrecomputeBytes
+		if ms := float64(in.loadTime) / float64(time.Millisecond); ms > t.MaxLoadMillis {
+			t.MaxLoadMillis = ms
+		}
+	}
+	return t
 }

@@ -97,6 +97,7 @@ func NewServer(reg *Registry, cfg Config) *Server {
 		cancel:   cancel,
 	}
 	m.queueDepth = s.gate.depth
+	m.engines = reg.Totals
 	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
 	s.mux.HandleFunc("POST /v1/align/batch", s.handleAlignBatch)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)

@@ -1,0 +1,361 @@
+// Package snapshot implements the versioned binary container behind
+// GeoAlign's engine snapshots: a precomputed engine is serialised once
+// (offline or on first boot) and mapped back with mmap(2) at
+// near-zero cost, instead of re-running the geometry → spatial-join →
+// CSR → AᵀA pipeline from raw polygons on every process start.
+//
+// The container is deliberately dumb: it knows nothing about engines,
+// only about typed, named sections of primitive data. The layout is
+//
+//	offset 0    file header (64 bytes, fixed)
+//	            ├── magic "GEOSNAP\x00" (8 bytes)
+//	            ├── format version (uint32)
+//	            ├── endianness guard (uint32, see endianMark)
+//	            ├── word size of int sections (uint8, always 8)
+//	            ├── section count (uint32)
+//	            └── CRC32C of the header bytes (crc field zeroed)
+//	header end  section table (32 bytes per section)
+//	            ├── per section: id, kind, offset, element count, CRC32C
+//	            └── table CRC32C (uint32, after the last entry)
+//	aligned     payload sections, each padded to a 64-byte boundary
+//
+// Every multi-byte value in the file is little-endian, including on
+// big-endian writers. Payload sections start on 64-byte boundaries so
+// that a page-aligned mmap of the file yields 8-byte-aligned float64
+// and int64 views; the reader hands out zero-copy slices aliased over
+// the mapping whenever the host is little-endian and the section is
+// aligned, and falls back to a safe copying decode otherwise. CRC32C
+// (Castagnoli — hardware-accelerated in the stdlib) is verified per
+// section at open time, in parallel for large files.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unsafe"
+)
+
+// Magic identifies a GeoAlign snapshot file. The trailing NUL keeps it
+// exactly 8 bytes and rejects text files that happen to share a prefix.
+var Magic = [8]byte{'G', 'E', 'O', 'S', 'N', 'A', 'P', 0}
+
+// Version is the current format version. Readers reject snapshots with
+// any other version: the format carries precomputed solver state whose
+// meaning is pinned to the writing code, so cross-version compatibility
+// is a rebuild, not a migration.
+const Version uint32 = 1
+
+// endianMark is written little-endian; a reader that decodes it as
+// endianMarkSwapped is looking at a file written by a (buggy or
+// foreign) native-endian writer and must refuse it.
+const (
+	endianMark        uint32 = 0x1A2B3C4D
+	endianMarkSwapped uint32 = 0x4D3C2B1A
+)
+
+const (
+	headerSize     = 64
+	tableEntrySize = 32
+	// sectionAlign pads payload sections to cache-line boundaries. Any
+	// multiple of 8 keeps float64/int64 views aligned; 64 additionally
+	// keeps hot sections from false-sharing the tail of their
+	// predecessor when scanned concurrently.
+	sectionAlign = 64
+	// maxSections bounds the section table so a corrupt count cannot
+	// drive a huge allocation before the table CRC is checked.
+	maxSections = 1 << 16
+)
+
+// Kind is the element type of a section.
+type Kind uint32
+
+const (
+	// KindF64 is a []float64 section (8 bytes per element).
+	KindF64 Kind = 1
+	// KindI64 is a []int64 section (8 bytes per element), surfaced to
+	// Go as []int on 64-bit hosts.
+	KindI64 Kind = 2
+	// KindBytes is an opaque byte section.
+	KindBytes Kind = 3
+	// KindStrings is a string-list section: uint32 count, then per
+	// string a uint32 byte length and the UTF-8 bytes.
+	KindStrings Kind = 4
+)
+
+func (k Kind) elemSize() int {
+	switch k {
+	case KindF64, KindI64:
+		return 8
+	case KindBytes, KindStrings:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func (k Kind) String() string {
+	switch k {
+	case KindF64:
+		return "f64"
+	case KindI64:
+		return "i64"
+	case KindBytes:
+		return "bytes"
+	case KindStrings:
+		return "strings"
+	default:
+		return fmt.Sprintf("kind(%d)", uint32(k))
+	}
+}
+
+// Sentinel errors. Every loader failure wraps exactly one of these, so
+// callers can distinguish "not a snapshot at all" from "was a snapshot,
+// now damaged" while still getting a descriptive message.
+var (
+	// ErrNotSnapshot reports a file that does not start with the magic.
+	ErrNotSnapshot = errors.New("snapshot: not a snapshot file (bad magic)")
+	// ErrVersion reports a snapshot written by an incompatible format
+	// version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrForeignEndian reports a snapshot whose header was written in
+	// non-little-endian byte order.
+	ErrForeignEndian = errors.New("snapshot: foreign-endian header")
+	// ErrTruncated reports a file shorter than its own layout claims.
+	ErrTruncated = errors.New("snapshot: truncated file")
+	// ErrChecksum reports a CRC32C mismatch on the header, table or a
+	// section payload.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrCorrupt reports any other structural damage: overlapping or
+	// out-of-bounds sections, impossible counts, malformed string
+	// blobs, duplicate ids.
+	ErrCorrupt = errors.New("snapshot: corrupt file")
+	// ErrMissingSection reports a required section id absent from the
+	// file.
+	ErrMissingSection = errors.New("snapshot: missing section")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLittleEndian reports whether the running machine is
+// little-endian; zero-copy aliasing of the little-endian file contents
+// is only legal when it is.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// wsec is one section queued for writing. The data slices are captured
+// by reference; the writer does not mutate them.
+type wsec struct {
+	id    uint32
+	kind  Kind
+	f64   []float64
+	ints  []int
+	bytes []byte
+}
+
+// byteLen returns the payload size of the section in bytes.
+func (s *wsec) byteLen() int {
+	switch s.kind {
+	case KindF64:
+		return 8 * len(s.f64)
+	case KindI64:
+		return 8 * len(s.ints)
+	default:
+		return len(s.bytes)
+	}
+}
+
+// elemCount returns the element count recorded in the section table.
+func (s *wsec) elemCount() int {
+	switch s.kind {
+	case KindF64:
+		return len(s.f64)
+	case KindI64:
+		return len(s.ints)
+	default:
+		return len(s.bytes)
+	}
+}
+
+// Writer assembles a snapshot file section by section and streams it
+// out with WriteTo. Section order is preserved; ids must be unique.
+type Writer struct {
+	sections []wsec
+	ids      map[uint32]bool
+}
+
+// NewWriter returns an empty snapshot writer.
+func NewWriter() *Writer {
+	return &Writer{ids: make(map[uint32]bool)}
+}
+
+func (w *Writer) add(s wsec) {
+	if w.ids[s.id] {
+		panic(fmt.Sprintf("snapshot: duplicate section id %d", s.id))
+	}
+	w.ids[s.id] = true
+	w.sections = append(w.sections, s)
+}
+
+// F64 queues a float64 section. The slice is captured by reference and
+// must not change before WriteTo returns.
+func (w *Writer) F64(id uint32, v []float64) { w.add(wsec{id: id, kind: KindF64, f64: v}) }
+
+// Ints queues an int section, stored as little-endian int64.
+func (w *Writer) Ints(id uint32, v []int) { w.add(wsec{id: id, kind: KindI64, ints: v}) }
+
+// Bytes queues an opaque byte section.
+func (w *Writer) Bytes(id uint32, b []byte) { w.add(wsec{id: id, kind: KindBytes, bytes: b}) }
+
+// Strings queues a string-list section.
+func (w *Writer) Strings(id uint32, v []string) {
+	n := 4
+	for _, s := range v {
+		n += 4 + len(s)
+	}
+	blob := make([]byte, 0, n)
+	blob = binary.LittleEndian.AppendUint32(blob, uint32(len(v)))
+	for _, s := range v {
+		blob = binary.LittleEndian.AppendUint32(blob, uint32(len(s)))
+		blob = append(blob, s...)
+	}
+	w.add(wsec{id: id, kind: KindStrings, bytes: blob})
+}
+
+// payloadBytes returns the section payload in file byte order. On
+// little-endian hosts numeric sections alias the caller's memory (no
+// copy); otherwise they are re-encoded.
+func (s *wsec) payloadBytes() []byte {
+	switch s.kind {
+	case KindF64:
+		if len(s.f64) == 0 {
+			return nil
+		}
+		if hostLittleEndian {
+			return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s.f64))), 8*len(s.f64))
+		}
+		out := make([]byte, 8*len(s.f64))
+		for i, v := range s.f64 {
+			binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+		}
+		return out
+	case KindI64:
+		if len(s.ints) == 0 {
+			return nil
+		}
+		// []int aliases []int64 only on 64-bit hosts; re-encode
+		// otherwise so 32-bit writers still emit a valid file.
+		if hostLittleEndian && unsafe.Sizeof(int(0)) == 8 {
+			return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s.ints))), 8*len(s.ints))
+		}
+		out := make([]byte, 8*len(s.ints))
+		for i, v := range s.ints {
+			binary.LittleEndian.PutUint64(out[8*i:], uint64(int64(v)))
+		}
+		return out
+	default:
+		return s.bytes
+	}
+}
+
+func pad(n int) int {
+	r := n % sectionAlign
+	if r == 0 {
+		return 0
+	}
+	return sectionAlign - r
+}
+
+// Layout computes the total file size the writer will produce.
+func (w *Writer) Layout() int64 {
+	off := headerSize + tableEntrySize*len(w.sections) + 4
+	off += pad(off)
+	for i := range w.sections {
+		off += w.sections[i].byteLen()
+		off += pad(off)
+	}
+	return int64(off)
+}
+
+// WriteTo streams the assembled snapshot. It satisfies io.WriterTo.
+func (w *Writer) WriteTo(out io.Writer) (int64, error) {
+	nsec := len(w.sections)
+	if nsec > maxSections {
+		return 0, fmt.Errorf("snapshot: %d sections exceeds the format limit %d", nsec, maxSections)
+	}
+
+	// Lay out the payload offsets first: the table records them.
+	tableLen := tableEntrySize*nsec + 4
+	off := headerSize + tableLen
+	off += pad(off)
+	offsets := make([]int, nsec)
+	payloads := make([][]byte, nsec)
+	for i := range w.sections {
+		offsets[i] = off
+		payloads[i] = w.sections[i].payloadBytes()
+		off += len(payloads[i])
+		off += pad(off)
+	}
+
+	header := make([]byte, headerSize)
+	copy(header, Magic[:])
+	binary.LittleEndian.PutUint32(header[8:], Version)
+	binary.LittleEndian.PutUint32(header[12:], endianMark)
+	header[16] = 8 // int section word size
+	binary.LittleEndian.PutUint32(header[20:], uint32(nsec))
+	// header[24:28] holds the CRC; computed over the header with the
+	// field zeroed.
+	crc := crc32.Checksum(header, castagnoli)
+	binary.LittleEndian.PutUint32(header[24:], crc)
+
+	table := make([]byte, tableLen)
+	for i := range w.sections {
+		s := &w.sections[i]
+		e := table[i*tableEntrySize:]
+		binary.LittleEndian.PutUint32(e[0:], s.id)
+		binary.LittleEndian.PutUint32(e[4:], uint32(s.kind))
+		binary.LittleEndian.PutUint64(e[8:], uint64(offsets[i]))
+		binary.LittleEndian.PutUint64(e[16:], uint64(s.elemCount()))
+		binary.LittleEndian.PutUint32(e[24:], crc32.Checksum(payloads[i], castagnoli))
+	}
+	binary.LittleEndian.PutUint32(table[tableEntrySize*nsec:],
+		crc32.Checksum(table[:tableEntrySize*nsec], castagnoli))
+
+	var written int64
+	emit := func(b []byte) error {
+		n, err := out.Write(b)
+		written += int64(n)
+		return err
+	}
+	if err := emit(header); err != nil {
+		return written, err
+	}
+	if err := emit(table); err != nil {
+		return written, err
+	}
+	var zeros [sectionAlign]byte
+	cursor := headerSize + tableLen
+	for i := range w.sections {
+		if p := pad(cursor); p > 0 {
+			if err := emit(zeros[:p]); err != nil {
+				return written, err
+			}
+			cursor += p
+		}
+		if err := emit(payloads[i]); err != nil {
+			return written, err
+		}
+		cursor += len(payloads[i])
+	}
+	if p := pad(cursor); p > 0 {
+		if err := emit(zeros[:p]); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,58 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzOpen throws arbitrary bytes at the full decode path: header,
+// table, checksums, and every section accessor. The invariant is
+// simple — OpenBytes either fails with an error or yields a File whose
+// accessors never panic, regardless of input.
+func FuzzOpen(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := sampleCorpusWriter().WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(Magic[:])
+	f.Add(valid[:headerSize])
+	f.Add(valid[:headerSize+tableEntrySize])
+	// Header claiming far more sections than the file holds.
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(huge[20:], 1<<15)
+	f.Add(huge)
+	// Section offset pointing past the end of the file.
+	oob := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(oob[headerSize+8:], uint64(len(oob)))
+	f.Add(oob)
+	// A fully truncated tail.
+	f.Add(valid[:len(valid)-sectionAlign])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sf, err := OpenBytes(data)
+		if err != nil {
+			return
+		}
+		defer sf.Close()
+		for _, id := range sf.SectionIDs() {
+			// Accessors on the wrong kind return errors; none may panic.
+			sf.F64(id)
+			sf.Ints(id)
+			sf.Bytes(id)
+			sf.Strings(id)
+		}
+	})
+}
+
+func sampleCorpusWriter() *Writer {
+	w := NewWriter()
+	w.F64(1, []float64{1, 2, 3})
+	w.Ints(2, []int{4, 5, 6})
+	w.Strings(3, []string{"a", "bc"})
+	w.Bytes(4, []byte{7, 8})
+	return w
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package snapshot
+
+import "os"
+
+// mapFile reads the whole file on platforms without mmap support. The
+// loader still gets zero-copy views over the heap copy; only the
+// page-cache sharing is lost.
+func mapFile(path string) (data []byte, mapped bool, closer func() error, err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return data, false, nil, nil
+}

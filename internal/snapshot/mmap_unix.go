@@ -1,0 +1,44 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile opens path read-only via mmap(2). The returned closer
+// unmaps the region; the file descriptor is closed immediately (the
+// mapping keeps the pages alive). Empty files cannot be mapped and are
+// returned as empty byte slices, which the parser then rejects as
+// truncated with a useful message.
+func mapFile(path string) (data []byte, mapped bool, closer func() error, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, false, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, false, nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, false, nil, fmt.Errorf("snapshot: %s: %d bytes exceeds the address space", path, size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network mounts) land
+		// here; fall back to a plain read.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, false, nil, fmt.Errorf("snapshot: mmap %s: %w (read fallback also failed: %v)", path, err, rerr)
+		}
+		return data, false, nil, nil
+	}
+	return data, true, func() error { return syscall.Munmap(data) }, nil
+}

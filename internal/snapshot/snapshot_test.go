@@ -1,0 +1,264 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleWriter() *Writer {
+	w := NewWriter()
+	w.F64(1, []float64{0, 1.5, -2.25, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64})
+	w.Ints(2, []int{0, 1, 2, 7, -3, 1 << 40})
+	w.Bytes(3, []byte("opaque payload"))
+	w.Strings(4, []string{"alpha", "", "Δ-tract", "06075"})
+	w.F64(5, nil) // empty sections must round-trip too
+	return w
+}
+
+func encode(t *testing.T, w *Writer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := w.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	if n != w.Layout() {
+		t.Fatalf("Layout predicted %d bytes, WriteTo produced %d", w.Layout(), n)
+	}
+	return buf.Bytes()
+}
+
+func checkSample(t *testing.T, f *File) {
+	t.Helper()
+	wantF := []float64{0, 1.5, -2.25, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64}
+	gotF, err := f.F64(1)
+	if err != nil || !reflect.DeepEqual(gotF, wantF) {
+		t.Fatalf("F64(1) = %v, %v; want %v", gotF, err, wantF)
+	}
+	wantI := []int{0, 1, 2, 7, -3, 1 << 40}
+	gotI, err := f.Ints(2)
+	if err != nil || !reflect.DeepEqual(gotI, wantI) {
+		t.Fatalf("Ints(2) = %v, %v; want %v", gotI, err, wantI)
+	}
+	gotB, err := f.Bytes(3)
+	if err != nil || string(gotB) != "opaque payload" {
+		t.Fatalf("Bytes(3) = %q, %v", gotB, err)
+	}
+	wantS := []string{"alpha", "", "Δ-tract", "06075"}
+	gotS, err := f.Strings(4)
+	if err != nil || !reflect.DeepEqual(gotS, wantS) {
+		t.Fatalf("Strings(4) = %v, %v; want %v", gotS, err, wantS)
+	}
+	if empty, err := f.F64(5); err != nil || len(empty) != 0 {
+		t.Fatalf("F64(5) = %v, %v; want empty", empty, err)
+	}
+	if !f.Has(1) || f.Has(99) {
+		t.Fatalf("Has: got (1:%v, 99:%v), want (true, false)", f.Has(1), f.Has(99))
+	}
+	if got := f.SectionIDs(); !reflect.DeepEqual(got, []uint32{1, 2, 3, 4, 5}) {
+		t.Fatalf("SectionIDs = %v", got)
+	}
+}
+
+func TestRoundTripBytes(t *testing.T) {
+	data := encode(t, sampleWriter())
+	f, err := OpenBytes(data)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	defer f.Close()
+	checkSample(t, f)
+	if f.Size() != int64(len(data)) {
+		t.Fatalf("Size = %d, want %d", f.Size(), len(data))
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sample.snap")
+	if err := WriteFile(path, sampleWriter()); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	checkSample(t, f)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestZeroCopyAliasing pins the core promise of the format: on a
+// little-endian host, numeric reads alias the underlying buffer rather
+// than copying it.
+func TestZeroCopyAliasing(t *testing.T) {
+	if !hostLittleEndian {
+		t.Skip("zero-copy views require a little-endian host")
+	}
+	data := encode(t, sampleWriter())
+	f, err := OpenBytes(data)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	defer f.Close()
+	if !f.ZeroCopy() {
+		t.Fatal("ZeroCopy() = false on a little-endian host")
+	}
+	v, err := f.F64(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.sections[1]
+	// Mutate the backing bytes and observe the change through the view.
+	binary.LittleEndian.PutUint64(data[s.off:], math.Float64bits(42))
+	if v[0] != 42 {
+		t.Fatalf("F64 view did not alias the buffer: v[0] = %v", v[0])
+	}
+}
+
+// TestUnalignedFallback shifts the snapshot inside a larger buffer so
+// sections land misaligned; reads must fall back to copying decodes and
+// still return correct values.
+func TestUnalignedFallback(t *testing.T) {
+	data := encode(t, sampleWriter())
+	shifted := make([]byte, len(data)+1)
+	copy(shifted[1:], data)
+	f, err := OpenBytes(shifted[1:])
+	if err != nil {
+		t.Fatalf("OpenBytes(shifted): %v", err)
+	}
+	defer f.Close()
+	checkSample(t, f)
+}
+
+func TestCorruptionMatrix(t *testing.T) {
+	base := encode(t, sampleWriter())
+	// Locate the first payload byte of section 1 for CRC flipping.
+	f, err := OpenBytes(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloadOff := f.sections[1].off
+	f.Close()
+
+	cases := []struct {
+		name    string
+		mutate  func(b []byte) []byte
+		wantErr error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrTruncated},
+		{"short header", func(b []byte) []byte { return b[:headerSize-1] }, ErrTruncated},
+		{"wrong magic", func(b []byte) []byte { b[0] = 'X'; return b }, ErrNotSnapshot},
+		{"wrong version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], Version+1)
+			return b
+		}, ErrVersion},
+		{"foreign endian", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], endianMarkSwapped)
+			return b
+		}, ErrForeignEndian},
+		{"garbage endian mark", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 0xDEADBEEF)
+			return b
+		}, ErrCorrupt},
+		{"wrong word size", func(b []byte) []byte { b[16] = 4; return b }, ErrCorrupt},
+		{"flipped header byte", func(b []byte) []byte { b[20] ^= 1; return b }, ErrChecksum},
+		{"truncated table", func(b []byte) []byte { return b[:headerSize+tableEntrySize] }, ErrTruncated},
+		{"flipped table byte", func(b []byte) []byte { b[headerSize+8] ^= 1; return b }, ErrChecksum},
+		{"flipped payload byte", func(b []byte) []byte { b[payloadOff] ^= 1; return b }, ErrChecksum},
+		// Cutting the tail strands the final (empty) section's offset
+		// outside the file: structural corruption, caught before CRC.
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-8] }, ErrCorrupt},
+		{"truncated mid-payload", func(b []byte) []byte { return b[:payloadOff+3] }, ErrCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := append([]byte(nil), base...)
+			mutated := tc.mutate(b)
+			f, err := OpenBytes(mutated)
+			if err == nil {
+				f.Close()
+				t.Fatalf("OpenBytes accepted a %s snapshot", tc.name)
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("OpenBytes error = %v, want errors.Is(err, %v)", err, tc.wantErr)
+			}
+		})
+	}
+
+	// Version/magic errors must win over truncation noise: a foreign
+	// file should be identified as foreign, not merely damaged.
+	t.Run("wrong version wins over bad CRC", func(t *testing.T) {
+		b := append([]byte(nil), base...)
+		binary.LittleEndian.PutUint32(b[8:], 99)
+		_, err := OpenBytes(b)
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("error = %v, want ErrVersion", err)
+		}
+	})
+}
+
+func TestSectionTypeMismatch(t *testing.T) {
+	data := encode(t, sampleWriter())
+	f, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Ints(1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Ints on an f64 section: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := f.F64(42); !errors.Is(err, ErrMissingSection) {
+		t.Fatalf("F64 on a missing id: err = %v, want ErrMissingSection", err)
+	}
+}
+
+func TestDuplicateSectionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate section id did not panic")
+		}
+	}()
+	w := NewWriter()
+	w.F64(1, nil)
+	w.F64(1, nil)
+}
+
+// TestLargeParallelVerify exercises the parallel CRC path (> 4 MiB).
+func TestLargeParallelVerify(t *testing.T) {
+	w := NewWriter()
+	big := make([]float64, 1<<17) // 1 MiB each
+	for i := range big {
+		big[i] = float64(i)
+	}
+	for id := uint32(1); id <= 6; id++ {
+		w.F64(id, big)
+	}
+	data := encode(t, w)
+	f, err := OpenBytes(data)
+	if err != nil {
+		t.Fatalf("OpenBytes: %v", err)
+	}
+	defer f.Close()
+	v, err := f.F64(3)
+	if err != nil || v[100] != 100 {
+		t.Fatalf("F64(3)[100] = %v, %v", v, err)
+	}
+	// A flipped byte in the last section must still be caught.
+	s := f.sections[6]
+	data[s.off+17] ^= 1
+	if _, err := OpenBytes(data); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("parallel verify missed a flipped byte: err = %v", err)
+	}
+}
