@@ -509,6 +509,95 @@ func BenchmarkPublicAlign(b *testing.B) {
 	}
 }
 
+// BenchmarkDeltaApply pins the incremental-maintenance value
+// proposition at the paper's US scale (30238 source units, 3142
+// targets, 7 references): deriving a revised engine from a single-row
+// delta must beat rebuilding the engine from its crosswalks by an
+// order of magnitude (the CI gate holds the ratio via the recorded
+// ns/op of the sub-benchmarks). The arms cover the three maintenance
+// tiers plus the rebuild baseline:
+//
+//   - value-row: one crosswalk row re-valued on its existing column
+//     set — shares the union pattern, patches one value array, and
+//     rank-one-updates the Gram system;
+//   - structural-row: the row's column set changes, so the union
+//     pattern splices around the affected row;
+//   - source-revision: one entry of a reference's source aggregate
+//     moves, rescaling nothing structural but touching the design
+//     matrix and its normal equations;
+//   - full-rebuild: NewAligner from the same references, the path a
+//     delta replaces.
+func BenchmarkDeltaApply(b *testing.B) {
+	p := synth.ScalingProblem(rand.New(rand.NewSource(9)), 30238, 3142, 7)
+	refs := make([]Reference, len(p.References))
+	for k, r := range p.References {
+		xw := NewCrosswalk(r.DM.Rows, r.DM.Cols)
+		for i := 0; i < r.DM.Rows; i++ {
+			cols, vals := r.DM.Row(i)
+			for t, j := range cols {
+				if err := xw.Add(i, j, vals[t]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		refs[k] = Reference{Name: r.Name, Crosswalk: xw}
+	}
+	al, err := NewAligner(refs, &AlignerOptions{DiscardCrosswalks: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Row 1000 of reference 0, revised in place: same columns with
+	// values nudged 1% (value-row), and with its first column dropped
+	// (structural-row). The nudge keeps every column max where it was,
+	// staying on the rank-one fast path a real small revision takes.
+	const row = 1000
+	cols, vals := p.References[0].DM.Row(row)
+	if len(cols) < 2 {
+		b.Fatalf("bench row has %d entries, want >= 2", len(cols))
+	}
+	sameCols, nudged := append([]int(nil), cols...), append([]float64(nil), vals...)
+	for i := range nudged {
+		nudged[i] *= 1.01
+	}
+	deltas := map[string]Delta{
+		"value-row": {RowPatches: []RowPatch{
+			{Ref: 0, Row: row, Cols: sameCols, Vals: nudged},
+		}},
+		"structural-row": {RowPatches: []RowPatch{
+			{Ref: 0, Row: row, Cols: sameCols[1:], Vals: nudged[1:]},
+		}},
+		"source-revision": {SourcePatches: []SourcePatch{
+			{Ref: 0, Row: row, Value: 1.01 * vals[0]},
+		}},
+	}
+	for _, name := range []string{"value-row", "structural-row", "source-revision"} {
+		d := deltas[name]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				next, err := al.ApplyDelta(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if next.SourceUnits() != al.SourceUnits() {
+					b.Fatal("derived engine changed shape")
+				}
+			}
+		})
+	}
+	b.Run("full-rebuild", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			next, err := NewAligner(refs, &AlignerOptions{DiscardCrosswalks: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if next.SourceUnits() != al.SourceUnits() {
+				b.Fatal("rebuilt engine changed shape")
+			}
+		}
+	})
+}
+
 // BenchmarkEngineColdStart pins the snapshot value proposition at the
 // paper's US scale: mapping a persisted engine back must be at least an
 // order of magnitude cheaper than standing it up from crosswalk files.

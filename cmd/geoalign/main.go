@@ -24,6 +24,11 @@
 //	    near-zero cold-start cost; solver caches are forced in
 //	geoalign snapshot info engine.snap
 //	    validate a snapshot (full checksum pass) and print its shape
+//	geoalign delta apply -server URL -engine name -delta d.json
+//	geoalign delta apply -snapshot in.snap -delta d.json -out out.snap
+//	    apply an incremental crosswalk/source revision to a running
+//	    geoalignd engine (live hot-swap) or to a snapshot offline;
+//	    see delta.go for the delta JSON format
 package main
 
 import (
@@ -53,6 +58,9 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) error {
 	if len(args) > 0 && args[0] == "snapshot" {
 		return runSnapshot(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "delta" {
+		return runDelta(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("geoalign", flag.ContinueOnError)
 	fs.SetOutput(stderr)

@@ -24,7 +24,12 @@
 // snapshot is reported and rebuilt from the crosswalks.
 //
 // Endpoints: POST /v1/align, POST /v1/align/batch, GET /v1/engines,
-// GET /healthz, GET /metrics. See internal/serve for the wire formats.
+// POST /v1/engines/{name}/delta, GET /healthz, GET /metrics. See
+// internal/serve for the wire formats. The delta endpoint applies an
+// incremental crosswalk/source revision and hot-swaps the derived
+// engine in as a new generation; with -snapshot-dir and
+// -snapshot-every N, every Nth applied delta re-persists the engine's
+// snapshot so a restart boots the revised state.
 package main
 
 import (
@@ -88,6 +93,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		reqTimeout  = fs.Duration("request-timeout", 0, "per-request deadline plumbed into the engine (0 = none)")
 		workers     = fs.Int("workers", 0, "engine worker-pool size for batch solves (0 = NumCPU)")
 		snapDir     = fs.String("snapshot-dir", "", "engine snapshot directory: map <name>.snap when present, else build and persist it")
+		snapEvery   = fs.Int("snapshot-every", 0, "re-persist an engine's snapshot after every N applied deltas (needs -snapshot-dir; 0 = never)")
 	)
 	fs.Var(&engineSpecs, "engine", "name=xwalk1.csv[,xwalk2.csv...]; repeatable")
 	if err := fs.Parse(args); err != nil {
@@ -98,6 +104,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	reg := serve.NewRegistry()
+	// metas keeps each engine's boot-time unit keys so delta-triggered
+	// snapshot re-persists carry the same metadata as the original file.
+	// Written only during startup registration; read-only afterwards.
+	metas := make(map[string]*geoalign.SnapshotMeta)
 	for _, spec := range engineSpecs {
 		name, paths, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || paths == "" {
@@ -106,27 +116,46 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		build := func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error) {
 			return loadEngine(strings.Split(paths, ","), *workers)
 		}
-		if err := registerEngine(reg, name, *snapDir, *workers, stderr, build); err != nil {
+		meta, err := registerEngine(reg, name, *snapDir, *workers, stderr, build)
+		if err != nil {
 			return fmt.Errorf("engine %q: %w", name, err)
 		}
+		metas[name] = meta
 	}
 	if *demo {
 		build := func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error) {
 			al, err := demoEngine(*workers)
 			return al, nil, err
 		}
-		if err := registerEngine(reg, "demo", *snapDir, *workers, stderr, build); err != nil {
+		meta, err := registerEngine(reg, "demo", *snapDir, *workers, stderr, build)
+		if err != nil {
 			return fmt.Errorf("demo engine: %w", err)
 		}
+		metas["demo"] = meta
 	}
 
-	srv := serve.NewServer(reg, serve.Config{
+	cfg := serve.Config{
 		MaxBatch:       *maxBatch,
 		MaxWait:        *maxWait,
 		MaxInFlight:    *maxInflight,
 		QueueWait:      *queueWait,
 		RequestTimeout: *reqTimeout,
-	})
+	}
+	if *snapDir != "" && *snapEvery > 0 {
+		dir := *snapDir
+		cfg.SnapshotEvery = *snapEvery
+		cfg.SnapshotPersist = func(name string, al *geoalign.Aligner) error {
+			path := filepath.Join(dir, name+".snap")
+			al.PrecomputeSolverCaches()
+			if err := al.WriteSnapshot(path, metas[name]); err != nil {
+				fmt.Fprintf(stderr, "geoalignd: engine %q: re-persisting snapshot: %v\n", name, err)
+				return err
+			}
+			fmt.Fprintf(stderr, "geoalignd: engine %q: re-wrote %s after deltas\n", name, path)
+			return nil
+		}
+	}
+	srv := serve.NewServer(reg, cfg)
 	publishOnce.Do(func() { expvar.Publish("geoalignd", srv.Metrics().Var()) })
 
 	ln, err := net.Listen("tcp", *addr)
@@ -166,23 +195,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 // fallback build path persists its result so the next boot takes the
 // fast path. Engines are always registered owned with their startup
 // cost: Close on a built engine is a no-op, and the load time feeds the
-// /metrics cold-start gauge either way.
+// /metrics cold-start gauge either way. The returned metadata (unit
+// keys from the snapshot or the build) feeds delta-triggered
+// re-persists.
 func registerEngine(reg *serve.Registry, name, snapDir string, workers int, stderr io.Writer,
-	build func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error)) error {
+	build func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error)) (*geoalign.SnapshotMeta, error) {
 	start := time.Now()
 	if snapDir != "" {
 		path := filepath.Join(snapDir, name+".snap")
-		al, _, err := geoalign.OpenSnapshot(path, &geoalign.AlignerOptions{Workers: workers, DiscardCrosswalks: true})
+		al, meta, err := geoalign.OpenSnapshot(path, &geoalign.AlignerOptions{Workers: workers, DiscardCrosswalks: true})
 		switch {
 		case err == nil:
 			took := time.Since(start)
 			if rerr := reg.RegisterOwned(name, al, took); rerr != nil {
 				al.Close()
-				return rerr
+				return nil, rerr
 			}
 			fmt.Fprintf(stderr, "geoalignd: engine %q: mapped %s in %s (%d sources -> %d targets, %d references)\n",
 				name, path, took.Round(time.Microsecond), al.SourceUnits(), al.TargetUnits(), al.References())
-			return nil
+			return meta, nil
 		case !errors.Is(err, os.ErrNotExist):
 			// A present-but-unloadable snapshot deserves a loud line, but
 			// the crosswalks remain the source of truth: rebuild and let
@@ -192,7 +223,7 @@ func registerEngine(reg *serve.Registry, name, snapDir string, workers int, stde
 	}
 	al, meta, err := build()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	took := time.Since(start)
 	if snapDir != "" {
@@ -205,11 +236,11 @@ func registerEngine(reg *serve.Registry, name, snapDir string, workers int, stde
 		}
 	}
 	if rerr := reg.RegisterOwned(name, al, took); rerr != nil {
-		return rerr
+		return nil, rerr
 	}
 	fmt.Fprintf(stderr, "geoalignd: engine %q: %d sources -> %d targets, %d references (built in %s)\n",
 		name, al.SourceUnits(), al.TargetUnits(), al.References(), took.Round(time.Microsecond))
-	return nil
+	return meta, nil
 }
 
 // loadEngine builds a serving engine from reference crosswalk CSVs. The

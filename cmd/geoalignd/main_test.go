@@ -84,7 +84,7 @@ func TestRegisterEngineSnapshotDir(t *testing.T) {
 
 	var log bytes.Buffer
 	reg := serve.NewRegistry()
-	if err := registerEngine(reg, "pop", snapDir, 1, &log, build); err != nil {
+	if _, err := registerEngine(reg, "pop", snapDir, 1, &log, build); err != nil {
 		t.Fatal(err)
 	}
 	snapPath := filepath.Join(snapDir, "pop.snap")
@@ -97,7 +97,7 @@ func TestRegisterEngineSnapshotDir(t *testing.T) {
 
 	log.Reset()
 	reg2 := serve.NewRegistry()
-	if err := registerEngine(reg2, "pop", snapDir, 1, &log, build); err != nil {
+	if _, err := registerEngine(reg2, "pop", snapDir, 1, &log, build); err != nil {
 		t.Fatal(err)
 	}
 	info := reg2.List()[0]
@@ -138,7 +138,7 @@ func TestRegisterEngineSnapshotDir(t *testing.T) {
 	}
 	log.Reset()
 	reg3 := serve.NewRegistry()
-	if err := registerEngine(reg3, "pop", snapDir, 1, &log, build); err != nil {
+	if _, err := registerEngine(reg3, "pop", snapDir, 1, &log, build); err != nil {
 		t.Fatal(err)
 	}
 	if reg3.List()[0].FromSnapshot {
@@ -148,7 +148,7 @@ func TestRegisterEngineSnapshotDir(t *testing.T) {
 		t.Fatalf("log: %q", log.String())
 	}
 	reg4 := serve.NewRegistry()
-	if err := registerEngine(reg4, "pop", snapDir, 1, &log, build); err != nil {
+	if _, err := registerEngine(reg4, "pop", snapDir, 1, &log, build); err != nil {
 		t.Fatal(err)
 	}
 	if !reg4.List()[0].FromSnapshot {
@@ -251,6 +251,114 @@ func TestRunServesAndShutsDown(t *testing.T) {
 	}
 	if _, err := http.Get(base + "/healthz"); err == nil {
 		t.Fatal("server still accepting after shutdown")
+	}
+}
+
+// TestRunDeltaRepersistsSnapshot boots the daemon with -snapshot-every,
+// applies deltas over HTTP, and checks the cadence: the second delta
+// reports persisted=true and the on-disk snapshot then reloads to an
+// engine matching the live post-delta state exactly.
+func TestRunDeltaRepersistsSnapshot(t *testing.T) {
+	snapDir := t.TempDir()
+	addrc := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrc <- a }
+	defer func() { onListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		var out bytes.Buffer
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-demo",
+			"-snapshot-dir", snapDir, "-snapshot-every", "2"}, &out, &out)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrc:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started listening")
+	}
+	base := "http://" + addr.String()
+
+	postDelta := func(body string) (persisted bool) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/engines/demo/delta", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delta status %d: %s", resp.StatusCode, raw)
+		}
+		var dr struct {
+			Persisted bool `json:"persisted"`
+		}
+		if err := json.Unmarshal(raw, &dr); err != nil {
+			t.Fatal(err)
+		}
+		return dr.Persisted
+	}
+	if postDelta(`{"source_patches":[{"ref":0,"row":3,"value":77}]}`) {
+		t.Fatal("first delta persisted; want every second")
+	}
+	if !postDelta(`{"source_patches":[{"ref":1,"row":5,"value":33}]}`) {
+		t.Fatal("second delta did not persist the snapshot")
+	}
+
+	objective := make([]float64, 500)
+	for i := range objective {
+		objective[i] = float64(i%13) + 1
+	}
+	body, _ := json.Marshal(map[string]any{"engine": "demo", "objective": objective})
+	resp, err := http.Post(base+"/v1/align", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("align status %d: %s", resp.StatusCode, raw)
+	}
+	var live struct {
+		Target []float64 `json:"target"`
+	}
+	if err := json.Unmarshal(raw, &live); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same serving options as the daemon: the fused no-crosswalk
+	// redistribution path, whose summation order the bitwise comparison
+	// below depends on.
+	al, _, err := geoalign.OpenSnapshot(filepath.Join(snapDir, "demo.snap"),
+		&geoalign.AlignerOptions{DiscardCrosswalks: true})
+	if err != nil {
+		t.Fatalf("reloading re-persisted snapshot: %v", err)
+	}
+	defer al.Close()
+	want, err := al.Align(objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Target) != len(live.Target) {
+		t.Fatalf("snapshot engine has %d targets, live %d", len(want.Target), len(live.Target))
+	}
+	for i := range want.Target {
+		if want.Target[i] != live.Target[i] {
+			t.Fatalf("target[%d]: snapshot %v != live %v", i, want.Target[i], live.Target[i])
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
 	}
 }
 

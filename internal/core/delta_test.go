@@ -1,0 +1,529 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"geoalign/internal/sparse"
+)
+
+// randDeltaRefs builds a random reference set mixing the two source
+// conventions (explicit vector, DM-derived) with realistic sparsity:
+// each source unit overlaps a handful of target units.
+func randDeltaRefs(rng *rand.Rand, ns, nt, k int) []Reference {
+	refs := make([]Reference, k)
+	for r := 0; r < k; r++ {
+		coo := sparse.NewCOO(ns, nt)
+		for i := 0; i < ns; i++ {
+			if rng.Float64() < 0.05 {
+				continue // leave some rows empty: partial support
+			}
+			n := 1 + rng.Intn(3)
+			used := map[int]bool{}
+			for t := 0; t < n; t++ {
+				j := rng.Intn(nt)
+				if used[j] {
+					continue
+				}
+				used[j] = true
+				coo.Add(i, j, 1+rng.Float64()*100)
+			}
+		}
+		ref := Reference{Name: fmt.Sprintf("ref%d", r), DM: coo.ToCSR()}
+		if r%2 == 1 {
+			src := make([]float64, ns)
+			for i := range src {
+				src[i] = rng.Float64() * 50
+			}
+			ref.Source = src
+		}
+		refs[r] = ref
+	}
+	return refs
+}
+
+// randDelta builds a random well-formed delta against the given
+// references: a mix of value-only upserts, structural upserts, row
+// deletes and source revisions.
+func randDelta(rng *rand.Rand, refs []Reference, ns, nt int) Delta {
+	var d Delta
+	usedRow := map[[2]int]bool{}
+	for n := 1 + rng.Intn(3); n > 0; n-- {
+		p := RowPatch{Ref: rng.Intn(len(refs)), Row: rng.Intn(ns)}
+		if usedRow[[2]int{p.Ref, p.Row}] {
+			continue
+		}
+		usedRow[[2]int{p.Ref, p.Row}] = true
+		switch rng.Intn(3) {
+		case 0: // value-only: keep the row's column set
+			cols, _ := refs[p.Ref].DM.Row(p.Row)
+			p.Cols = append([]int(nil), cols...)
+			p.Vals = make([]float64, len(cols))
+			for t := range p.Vals {
+				p.Vals[t] = rng.Float64() * 200
+			}
+		case 1: // structural: a fresh column set
+			n := rng.Intn(4)
+			used := map[int]bool{}
+			for t := 0; t < n; t++ {
+				j := rng.Intn(nt)
+				if used[j] {
+					continue
+				}
+				used[j] = true
+				p.Cols = append(p.Cols, j)
+			}
+			insertionSortInts(p.Cols)
+			p.Vals = make([]float64, len(p.Cols))
+			for t := range p.Vals {
+				p.Vals[t] = rng.Float64() * 200
+			}
+		default:
+			p.Delete = true
+		}
+		d.RowPatches = append(d.RowPatches, p)
+	}
+	usedSrc := map[[2]int]bool{}
+	for n := rng.Intn(3); n > 0; n-- {
+		p := SourcePatch{Ref: rng.Intn(len(refs)), Row: rng.Intn(ns), Value: rng.Float64() * 400}
+		if usedSrc[[2]int{p.Ref, p.Row}] {
+			continue
+		}
+		usedSrc[[2]int{p.Ref, p.Row}] = true
+		d.SourcePatches = append(d.SourcePatches, p)
+	}
+	return d
+}
+
+// applyToRefs is the reference implementation the harness rebuilds
+// from: it applies the delta to deep copies of the references by brute
+// force, independent of every incremental path in ApplyDelta.
+func applyToRefs(refs []Reference, d Delta) []Reference {
+	out := make([]Reference, len(refs))
+	for i, r := range refs {
+		out[i] = Reference{Name: r.Name, DM: r.DM.Clone()}
+		if r.Source != nil {
+			out[i].Source = append([]float64(nil), r.Source...)
+		}
+	}
+	byRef := map[int][]RowPatch{}
+	for _, p := range d.RowPatches {
+		byRef[p.Ref] = append(byRef[p.Ref], p)
+	}
+	for r, patches := range byRef {
+		old := out[r].DM
+		replaced := map[int]RowPatch{}
+		for _, p := range patches {
+			replaced[p.Row] = p
+		}
+		coo := sparse.NewCOO(old.Rows, old.Cols)
+		for i := 0; i < old.Rows; i++ {
+			if p, ok := replaced[i]; ok {
+				for t, c := range p.Cols {
+					coo.Add(i, c, p.Vals[t])
+				}
+				continue
+			}
+			cols, vals := old.Row(i)
+			for t, c := range cols {
+				coo.Add(i, c, vals[t])
+			}
+		}
+		out[r].DM = coo.ToCSR()
+	}
+	for _, p := range d.SourcePatches {
+		if out[p.Ref].Source == nil {
+			out[p.Ref].Source = out[p.Ref].DM.RowSums()
+		}
+		out[p.Ref].Source[p.Row] = p.Value
+	}
+	return out
+}
+
+func closeTo(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	return d <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func vecsClose(t *testing.T, what string, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if !closeTo(got[i], want[i], tol) {
+			t.Fatalf("%s[%d]: %g (incremental) vs %g (rebuild)", what, i, got[i], want[i])
+		}
+	}
+}
+
+// checkEquivalence asserts the incremental engine matches one rebuilt
+// from scratch on the same (patched) references: shared precompute
+// bit-identical, weights and estimates within 1e-9.
+func checkEquivalence(t *testing.T, trial int, inc, rebuilt *Engine, objective []float64) {
+	t.Helper()
+	if !bitEqual(inc.weightMat.Data, rebuilt.weightMat.Data) {
+		t.Fatalf("trial %d: design matrices differ bitwise", trial)
+	}
+	if !intsEqual(inc.pat.IndPtr, rebuilt.pat.IndPtr) || !intsEqual(inc.pat.ColIdx, rebuilt.pat.ColIdx) {
+		t.Fatalf("trial %d: union patterns differ", trial)
+	}
+	for kk := range inc.refs {
+		if !intsEqual(inc.slots[kk], rebuilt.slots[kk]) {
+			t.Fatalf("trial %d: slot map %d differs", trial, kk)
+		}
+		if !bitEqual(inc.rowSums[kk], rebuilt.rowSums[kk]) {
+			t.Fatalf("trial %d: row sums %d differ bitwise", trial, kk)
+		}
+		if inc.maxRow[kk] != rebuilt.maxRow[kk] {
+			t.Fatalf("trial %d: max row sum %d differs", trial, kk)
+		}
+		if !intsEqual(inc.refs[kk].DM.IndPtr, rebuilt.refs[kk].DM.IndPtr) ||
+			!intsEqual(inc.refs[kk].DM.ColIdx, rebuilt.refs[kk].DM.ColIdx) ||
+			!bitEqual(inc.refs[kk].DM.Val, rebuilt.refs[kk].DM.Val) {
+			t.Fatalf("trial %d: reference %d crosswalk differs", trial, kk)
+		}
+	}
+	for i := range inc.zeroRow {
+		if inc.zeroRow[i] != rebuilt.zeroRow[i] {
+			t.Fatalf("trial %d: zero-row mask differs at %d", trial, i)
+		}
+	}
+	gi, gr := inc.gram.Gram(), rebuilt.gram.Gram()
+	for i := range gi.Data {
+		if !closeTo(gi.Data[i], gr.Data[i], 1e-9) {
+			t.Fatalf("trial %d: Gram[%d]: %g vs %g", trial, i, gi.Data[i], gr.Data[i])
+		}
+	}
+	if inc.gram.AInf != rebuilt.gram.AInf {
+		t.Fatalf("trial %d: ‖A‖∞ %g vs %g", trial, inc.gram.AInf, rebuilt.gram.AInf)
+	}
+
+	ri, err := inc.Align(objective)
+	if err != nil {
+		t.Fatalf("trial %d: incremental align: %v", trial, err)
+	}
+	rr, err := rebuilt.Align(objective)
+	if err != nil {
+		t.Fatalf("trial %d: rebuilt align: %v", trial, err)
+	}
+	vecsClose(t, fmt.Sprintf("trial %d weights", trial), ri.Weights, rr.Weights, 1e-9)
+	vecsClose(t, fmt.Sprintf("trial %d target", trial), ri.Target, rr.Target, 1e-9)
+}
+
+// TestApplyDeltaRebuildEquivalence is the headline harness: randomized
+// delta sequences applied incrementally must match a from-scratch
+// rebuild on the patched references within 1e-9 — weights, estimates,
+// and the shared precompute (pattern, slots, design matrix, row sums)
+// bit-identically. Trials run in parallel so `go test -race` also
+// exercises concurrent construction, and each chain step aligns on the
+// parent while ApplyDelta derives the child (live traffic during
+// maintenance).
+func TestApplyDeltaRebuildEquivalence(t *testing.T) {
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seq%03d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(9000 + trial)))
+			ns := 30 + rng.Intn(90)
+			nt := 8 + rng.Intn(24)
+			k := 2 + rng.Intn(5)
+			refs := randDeltaRefs(rng, ns, nt, k)
+			opts := Options{}
+			if trial%4 == 0 {
+				opts.KeepDM = true
+			}
+			eng, err := NewEngine(refs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			objective := make([]float64, ns)
+			for i := range objective {
+				objective[i] = rng.Float64() * 1000
+			}
+
+			steps := 1 + rng.Intn(4)
+			cur := eng
+			curRefs := refs
+			for s := 0; s < steps; s++ {
+				d := randDelta(rng, curRefs, ns, nt)
+
+				// Live traffic on the parent while the child derives.
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, err := cur.Align(objective); err != nil {
+						t.Errorf("step %d: concurrent align: %v", s, err)
+					}
+				}()
+				next, err := cur.ApplyDelta(d)
+				wg.Wait()
+				if err != nil {
+					t.Fatalf("step %d: ApplyDelta: %v", s, err)
+				}
+				cur = next
+				curRefs = applyToRefs(curRefs, d)
+			}
+
+			rebuilt, err := NewEngine(curRefs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkEquivalence(t, trial, cur, rebuilt, objective)
+		})
+	}
+}
+
+// TestApplyDeltaParentUnchanged pins the copy-on-write contract: the
+// parent engine's results are bitwise identical before and after a
+// delta is derived from it, including structural patches.
+func TestApplyDeltaParentUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	refs := randDeltaRefs(rng, 60, 15, 4)
+	eng, err := NewEngine(refs, Options{KeepDM: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objective := make([]float64, 60)
+	for i := range objective {
+		objective[i] = rng.Float64() * 100
+	}
+	before, err := eng.Align(objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 10; step++ {
+		if _, err := eng.ApplyDelta(randDelta(rng, refs, 60, 15)); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	after, err := eng.Align(objective)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitEqual(before.Weights, after.Weights) || !bitEqual(before.Target, after.Target) {
+		t.Fatal("parent results changed after deriving deltas")
+	}
+	if !sparse.Equal(before.DM, after.DM, 0) {
+		t.Fatal("parent estimated crosswalk changed after deriving deltas")
+	}
+}
+
+// TestApplyDeltaZeroSupport drives a source unit out of every
+// reference's support and back, checking the Eq. 14 degenerate mask
+// follows.
+func TestApplyDeltaZeroSupport(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	ns, nt := 40, 10
+	refs := randDeltaRefs(rng, ns, nt, 3)
+	eng, err := NewEngine(refs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := 7
+	var del Delta
+	for r := range refs {
+		del.RowPatches = append(del.RowPatches, RowPatch{Ref: r, Row: row, Delete: true})
+	}
+	dropped, err := eng.ApplyDelta(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dropped.ZeroSupportRows()[row] {
+		t.Fatal("row deleted from every reference should be zero-support")
+	}
+	restore := Delta{RowPatches: []RowPatch{{Ref: 0, Row: row, Cols: []int{2, 5}, Vals: []float64{3, 4}}}}
+	back, err := dropped.ApplyDelta(restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ZeroSupportRows()[row] {
+		t.Fatal("row restored to a reference should regain support")
+	}
+	// And the full rebuild agrees end to end.
+	objective := make([]float64, ns)
+	for i := range objective {
+		objective[i] = rng.Float64() * 10
+	}
+	rebuilt, err := NewEngine(applyToRefs(applyToRefs(refs, del), restore), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, 0, back, rebuilt, objective)
+}
+
+func TestApplyDeltaValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	refs := randDeltaRefs(rng, 20, 8, 3)
+	eng, err := NewEngine(refs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"empty", Delta{}},
+		{"ref out of range", Delta{RowPatches: []RowPatch{{Ref: 3, Row: 0, Delete: true}}}},
+		{"negative ref", Delta{RowPatches: []RowPatch{{Ref: -1, Row: 0, Delete: true}}}},
+		{"row out of range", Delta{RowPatches: []RowPatch{{Ref: 0, Row: 20, Delete: true}}}},
+		{"delete with cols", Delta{RowPatches: []RowPatch{{Ref: 0, Row: 0, Delete: true, Cols: []int{1}, Vals: []float64{1}}}}},
+		{"ragged cols/vals", Delta{RowPatches: []RowPatch{{Ref: 0, Row: 0, Cols: []int{1, 2}, Vals: []float64{1}}}}},
+		{"unsorted cols", Delta{RowPatches: []RowPatch{{Ref: 0, Row: 0, Cols: []int{3, 1}, Vals: []float64{1, 2}}}}},
+		{"duplicate cols", Delta{RowPatches: []RowPatch{{Ref: 0, Row: 0, Cols: []int{2, 2}, Vals: []float64{1, 2}}}}},
+		{"col out of range", Delta{RowPatches: []RowPatch{{Ref: 0, Row: 0, Cols: []int{8}, Vals: []float64{1}}}}},
+		{"negative value", Delta{RowPatches: []RowPatch{{Ref: 0, Row: 0, Cols: []int{1}, Vals: []float64{-1}}}}},
+		{"NaN value", Delta{RowPatches: []RowPatch{{Ref: 0, Row: 0, Cols: []int{1}, Vals: []float64{math.NaN()}}}}},
+		{"Inf value", Delta{RowPatches: []RowPatch{{Ref: 0, Row: 0, Cols: []int{1}, Vals: []float64{math.Inf(1)}}}}},
+		{"duplicate row patch", Delta{RowPatches: []RowPatch{
+			{Ref: 1, Row: 4, Delete: true},
+			{Ref: 1, Row: 4, Cols: []int{0}, Vals: []float64{1}},
+		}}},
+		{"source ref out of range", Delta{SourcePatches: []SourcePatch{{Ref: 5, Row: 0, Value: 1}}}},
+		{"source row out of range", Delta{SourcePatches: []SourcePatch{{Ref: 0, Row: -1, Value: 1}}}},
+		{"source NaN", Delta{SourcePatches: []SourcePatch{{Ref: 0, Row: 0, Value: math.NaN()}}}},
+		{"source negative", Delta{SourcePatches: []SourcePatch{{Ref: 0, Row: 0, Value: -2}}}},
+		{"duplicate source patch", Delta{SourcePatches: []SourcePatch{
+			{Ref: 2, Row: 1, Value: 1},
+			{Ref: 2, Row: 1, Value: 2},
+		}}},
+	}
+	for _, tc := range cases {
+		if _, err := eng.ApplyDelta(tc.d); !errors.Is(err, ErrBadDelta) {
+			t.Errorf("%s: got err %v, want ErrBadDelta", tc.name, err)
+		}
+	}
+}
+
+// TestApplyDeltaSnapshotParent derives a delta from a snapshot-backed
+// engine, closes the parent (as the serving registry does once the old
+// generation drains), and checks the child still matches a rebuild —
+// i.e. nothing in the child aliases the unmapped file.
+func TestApplyDeltaSnapshotParent(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	ns, nt := 50, 12
+	refs := randDeltaRefs(rng, ns, nt, 4)
+	built, err := NewEngine(refs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built.PrecomputeSolverCaches()
+	path := filepath.Join(t.TempDir(), "eng.snap")
+	if err := built.WriteSnapshotFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	parent, _, err := LoadSnapshot(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		d := randDelta(rng, refs, ns, nt)
+		child, err := parent.ApplyDelta(d)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if child.FromSnapshot() {
+			t.Fatal("delta-derived engine must not be snapshot-backed")
+		}
+		// Tear the parent's mapping out from under the child.
+		if err := parent.Close(); err != nil {
+			t.Fatal(err)
+		}
+		objective := make([]float64, ns)
+		for i := range objective {
+			objective[i] = rng.Float64() * 100
+		}
+		rebuilt, err := NewEngine(applyToRefs(refs, d), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEquivalence(t, trial, child, rebuilt, objective)
+		// Remap for the next trial (Close is idempotent; reopen fresh).
+		parent, _, err = LoadSnapshot(path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	parent.Close()
+}
+
+// TestNormSrcExtractionRace is the regression test for the data race
+// between the lazy normSrc extraction (first AlignWithSources on a
+// snapshot-loaded or delta-derived engine) and PrecomputeBytes, which
+// the serving registry polls concurrently. Run with -race.
+func TestNormSrcExtractionRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	ns, nt := 40, 10
+	refs := randDeltaRefs(rng, ns, nt, 3)
+	built, err := NewEngine(refs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "eng.snap")
+	if err := built.WriteSnapshotFile(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng, _, err := LoadSnapshot(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	objective := make([]float64, ns)
+	overrides := make([][]float64, 3)
+	src := make([]float64, ns)
+	for i := range objective {
+		objective[i] = rng.Float64() * 10
+		src[i] = rng.Float64() * 5
+	}
+	overrides[1] = src
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if w%2 == 0 {
+					eng.PrecomputeBytes()
+				} else if _, err := eng.AlignWithSources(objective, overrides); err != nil {
+					t.Errorf("AlignWithSources: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The delta path must coexist with the lazy extraction too.
+	child, err := eng.ApplyDelta(Delta{SourcePatches: []SourcePatch{{Ref: 0, Row: 1, Value: 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg2 sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			for i := 0; i < 50; i++ {
+				if w%2 == 0 {
+					child.PrecomputeBytes()
+				} else if _, err := child.AlignWithSources(objective, overrides); err != nil {
+					t.Errorf("child AlignWithSources: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg2.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"geoalign/internal/linalg"
 	"geoalign/internal/snapshot"
@@ -41,8 +42,9 @@ type Engine struct {
 
 	weightMat *linalg.Matrix     // Eq. 15 design matrix (ns × k)
 	gram      *linalg.GramSystem // its cached normal equations
-	normSrc   [][]float64        // its columns: maxNormalise(source_k); nil until first use on snapshot-loaded engines
+	normSrc   [][]float64        // its columns: maxNormalise(source_k); nil until first use on snapshot- or delta-derived engines
 	nsOnce    sync.Once          // guards the lazy normSrc extraction
+	nsReady   atomic.Bool        // normSrc published; the only safe gate for readers outside nsOnce
 	rowSums   [][]float64        // row sums per reference crosswalk (the Eq. 14 denominator basis)
 	maxRow    []float64          // max |row sum| per reference crosswalk
 	pat       *sparse.CSR        // union sparsity pattern (Val is nil)
@@ -116,6 +118,7 @@ func NewEngine(refs []Reference, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.nsReady.Store(true)
 	e.gram = linalg.NewGramSystem(e.weightMat)
 	if opts.SolverIterations > 0 {
 		// The projected-gradient solver is selected: every solve needs
@@ -178,10 +181,14 @@ func (e *Engine) MappedBytes() int64 {
 func (e *Engine) PrecomputeBytes() int64 {
 	const wordSize = 8
 	var n int64
+	// The lazy normSrc extraction may race with this accounting (the
+	// registry polls PrecomputeBytes while traffic runs); nsReady is the
+	// publication gate — e.normSrc itself must not be read without it.
+	nsReady := e.nsReady.Load()
 	for i, r := range e.refs {
 		n += int64(len(r.DM.IndPtr)+len(r.DM.ColIdx)+len(e.slots[i])) * wordSize
 		n += int64(len(r.DM.Val)+len(r.Source)+len(e.rowSums[i])) * wordSize
-		if e.normSrc != nil {
+		if nsReady {
 			n += int64(len(e.normSrc[i])) * wordSize
 		}
 	}
@@ -196,12 +203,16 @@ func (e *Engine) PrecomputeBytes() int64 {
 
 // normSrcCols returns the max-normalised reference source columns,
 // extracting them from the design matrix on first use. Snapshot-loaded
-// engines skip the extraction at load time — only the source-override
-// path reads these, and the design matrix columns hold the exact same
-// bits — which keeps the mmap cold-start free of the copy.
+// and delta-derived engines skip the extraction at construction time —
+// only the source-override path reads these, and the design matrix
+// columns hold the exact same bits — which keeps the mmap cold-start
+// free of the copy. The nsReady store publishes the slice to readers
+// outside the Once (PrecomputeBytes, polled concurrently by the serving
+// registry).
 func (e *Engine) normSrcCols() [][]float64 {
 	e.nsOnce.Do(func() {
 		if e.normSrc != nil {
+			e.nsReady.Store(true)
 			return
 		}
 		k := len(e.refs)
@@ -215,6 +226,7 @@ func (e *Engine) normSrcCols() [][]float64 {
 			cols[i] = col
 		}
 		e.normSrc = cols
+		e.nsReady.Store(true)
 	})
 	return e.normSrc
 }

@@ -1,0 +1,400 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSPD builds a well-conditioned SPD matrix AᵀA + d·I together with
+// its Cholesky factor.
+func randSPD(t *testing.T, rng *rand.Rand, n int, d float64) (*Matrix, *Matrix) {
+	t.Helper()
+	a := NewMatrix(3*n+4, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	m := a.Gram()
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+d)
+	}
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatalf("Cholesky of SPD seed: %v", err)
+	}
+	return m, l
+}
+
+// maxAbsDiff returns max |a−b| over all elements.
+func maxAbsDiff(a, b *Matrix) float64 {
+	var mx float64
+	for i, v := range a.Data {
+		if d := math.Abs(v - b.Data[i]); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// addOuter returns m + s·x·xᵀ as a new matrix.
+func addOuter(m *Matrix, x []float64, s float64) *Matrix {
+	out := m.Clone()
+	for i := range x {
+		row := out.Row(i)
+		for j := range x {
+			row[j] += s * x[i] * x[j]
+		}
+	}
+	return out
+}
+
+func TestCholUpdateMatchesRefactorisation(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		m, l := randSPD(t, rng, n, 0.5)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		CholUpdate(l, x)
+		want, err := Cholesky(addOuter(m, x, 1))
+		if err != nil {
+			t.Fatalf("trial %d: refactorisation: %v", trial, err)
+		}
+		if d := maxAbsDiff(l, want); d > 1e-10*(1+matInfNorm(want)) {
+			t.Fatalf("trial %d: updated factor differs from refactorisation by %g", trial, d)
+		}
+	}
+}
+
+func TestCholDowndateMatchesRefactorisation(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		m, _ := randSPD(t, rng, n, 0.5)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		up := addOuter(m, x, 1)
+		l, err := Cholesky(up)
+		if err != nil {
+			t.Fatalf("trial %d: factor of updated matrix: %v", trial, err)
+		}
+		if err := CholDowndate(l, x); err != nil {
+			t.Fatalf("trial %d: downdate of a safely PD matrix: %v", trial, err)
+		}
+		want, err := Cholesky(m)
+		if err != nil {
+			t.Fatalf("trial %d: refactorisation: %v", trial, err)
+		}
+		if d := maxAbsDiff(l, want); d > 1e-9*(1+matInfNorm(want)) {
+			t.Fatalf("trial %d: downdated factor differs from refactorisation by %g", trial, d)
+		}
+	}
+}
+
+func TestCholDowndateToSingularFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n := 5
+	// M = x·xᵀ + tiny·I: removing x·xᵀ leaves a matrix that is singular
+	// to working precision, so the downdate must refuse and leave the
+	// factor untouched.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 + rng.Float64()
+	}
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, x[i]*x[j])
+		}
+		m.Set(i, i, m.At(i, i)+1e-14)
+	}
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	before := l.Clone()
+	if err := CholDowndate(l, x); !errors.Is(err, ErrDowndate) {
+		t.Fatalf("downdate to singular: got err %v, want ErrDowndate", err)
+	}
+	if d := maxAbsDiff(l, before); d != 0 {
+		t.Fatalf("failed downdate modified the factor (max diff %g)", d)
+	}
+}
+
+func TestCholUpdateRoundTripChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	n := 8
+	m, l := randSPD(t, rng, n, 1)
+	// A long alternating chain of updates and matching downdates must
+	// return to (numerically) the starting factor.
+	for rep := 0; rep < 200; rep++ {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		CholUpdate(l, x)
+		if err := CholDowndate(l, x); err != nil {
+			t.Fatalf("rep %d: downdate: %v", rep, err)
+		}
+	}
+	want, err := Cholesky(m)
+	if err != nil {
+		t.Fatalf("Cholesky: %v", err)
+	}
+	if d := maxAbsDiff(l, want); d > 1e-8*(1+matInfNorm(want)) {
+		t.Fatalf("round-trip chain drifted from the exact factor by %g", d)
+	}
+}
+
+// applyRandomRowUpdates drives k random UpdateRow calls against a
+// mutable clone of gs, returning the clone and the patched dense
+// matrix. makeRow produces the replacement row for a given trial.
+func applyRandomRowUpdates(gs *GramSystem, a *Matrix, rng *rand.Rand, updates int, makeRow func(i int) []float64) (*GramSystem, *Matrix) {
+	patched := a.Clone()
+	mut := gs.MutableClone(patched)
+	for u := 0; u < updates; u++ {
+		i := rng.Intn(a.Rows)
+		mut.UpdateRow(i, makeRow(i))
+	}
+	mut.RefreshInfNorm()
+	return mut, patched
+}
+
+// TestGramSolversAfterRowUpdates is the rebuild-equivalence property
+// test for the solver layer: after k random rank-one up/downdates the
+// warm NNLS and simplex solvers on the maintained system must agree
+// with a cold solve on a GramSystem rebuilt from the patched dense
+// matrix. Covers well- and ill-conditioned designs; the ill-conditioned
+// case deliberately drives near-parallel columns so some downdates land
+// on the refactorisation fallback.
+func TestGramSolversAfterRowUpdates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cond string
+	}{
+		{"well-conditioned", "well"},
+		{"ill-conditioned", "ill"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(75))
+			for trial := 0; trial < 30; trial++ {
+				k := 2 + rng.Intn(6)
+				m := 8*k + 1 + rng.Intn(120)
+				a := NewMatrix(m, k)
+				for i := 0; i < m; i++ {
+					row := a.Row(i)
+					base := rng.Float64()
+					for j := range row {
+						if tc.cond == "ill" {
+							// Columns are tiny perturbations of one
+							// shared column: condition number blows up.
+							row[j] = base + 1e-8*rng.Float64()
+						} else {
+							row[j] = rng.Float64()
+						}
+					}
+				}
+				gs := NewGramSystem(a)
+				gs.CholeskyFactor() // prime so updates exercise the factor path
+				updates := 1 + rng.Intn(2*k)
+				mut, patched := applyRandomRowUpdates(gs, a, rng, updates, func(int) []float64 {
+					row := make([]float64, k)
+					for j := range row {
+						row[j] = rng.Float64()
+					}
+					return row
+				})
+
+				cold := NewGramSystem(patched)
+				b := make([]float64, m)
+				for i := range b {
+					b[i] = rng.NormFloat64()
+				}
+
+				// Maintained state must match the rebuilt state exactly
+				// up to float accumulation: compare the Gram matrices.
+				if d := maxAbsDiff(mut.Gram(), cold.Gram()); d > 1e-9*(1+matInfNorm(cold.Gram())) {
+					t.Fatalf("trial %d: maintained Gram differs from rebuild by %g", trial, d)
+				}
+				if mut.AInf != cold.AInf {
+					t.Fatalf("trial %d: maintained ‖A‖∞ %g != rebuilt %g", trial, mut.AInf, cold.AInf)
+				}
+
+				c := make([]float64, k)
+				mut.ApplyTInto(c, b)
+				tol := GramTolerance(mut.AInf, Norm2(b), k)
+				warm := make([]float64, k)
+				for j := range warm {
+					warm[j] = 1 / float64(k)
+				}
+				got, err := NNLSGramWarm(mut.Gram(), c, tol, warm)
+				if err != nil {
+					t.Fatalf("trial %d: NNLSGramWarm: %v", trial, err)
+				}
+				want, err := NNLSGram(cold.Gram(), c, tol)
+				if err != nil {
+					t.Fatalf("trial %d: cold NNLSGram: %v", trial, err)
+				}
+				// Both are KKT points of (numerically) the same problem:
+				// compare objectives rather than coordinates, which can
+				// differ on rank-deficient designs.
+				og := lsObjective(patched, b, got)
+				ow := lsObjective(patched, b, want)
+				if relDiff(og, ow) > 1e-7 {
+					t.Fatalf("trial %d: NNLS objective %g (maintained) vs %g (cold)", trial, og, ow)
+				}
+
+				gotS, err := mut.SimplexLS(b, warm)
+				if err != nil {
+					t.Fatalf("trial %d: maintained SimplexLS: %v", trial, err)
+				}
+				wantS, err := cold.SimplexLS(b, nil)
+				if err != nil {
+					t.Fatalf("trial %d: cold SimplexLS: %v", trial, err)
+				}
+				os, osC := lsObjective(patched, b, gotS), lsObjective(patched, b, wantS)
+				if relDiff(os, osC) > 1e-7 {
+					t.Fatalf("trial %d: simplex objective %g (maintained) vs %g (cold)", trial, os, osC)
+				}
+			}
+		})
+	}
+}
+
+// TestUpdateRowDowndateFallback drives a maintained system into a
+// downdate that must trip the refactorisation fallback — the design
+// collapses to (numerically) rank one — and checks the factor cache
+// still matches a from-scratch factorisation afterwards.
+func TestUpdateRowDowndateFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	k := 4
+	m := 40
+	a := NewMatrix(m, k)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	gs := NewGramSystem(a)
+	if _, ok := gs.CholeskyFactor(); !ok {
+		t.Fatal("seed system should be positive definite")
+	}
+	patched := a.Clone()
+	mut := gs.MutableClone(patched)
+	// Zero out every row but the first: G becomes rank one, so the
+	// factor chain must hit CholDowndate failures and refactorise.
+	zero := make([]float64, k)
+	for i := 1; i < m; i++ {
+		mut.UpdateRow(i, zero)
+	}
+	mut.RefreshInfNorm()
+	l, ok := mut.CachedCholesky()
+	if !ok {
+		t.Fatal("factor cache should remain primed through the fallback")
+	}
+	cold := NewGramSystem(patched)
+	coldL, coldOK := cold.CholeskyFactor()
+	if coldOK != (l != nil) {
+		t.Fatalf("maintained PD state %v != rebuilt %v", l != nil, coldOK)
+	}
+	if l != nil && coldL != nil {
+		if d := maxAbsDiff(l, coldL); d > 1e-9*(1+matInfNorm(coldL)) {
+			t.Fatalf("maintained factor differs from rebuild by %g", d)
+		}
+	}
+	// Restoring a full-rank design must bring the factor back.
+	for i := 1; i < m; i++ {
+		row := make([]float64, k)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		mut.UpdateRow(i, row)
+	}
+	mut.RefreshInfNorm()
+	if l, ok := mut.CachedCholesky(); !ok || l == nil {
+		t.Fatal("factor should be positive definite again after restoring rank")
+	}
+}
+
+func TestRecomputeColumnsMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		k := 3 + rng.Intn(5)
+		m := 50 + rng.Intn(100)
+		a := NewMatrix(m, k)
+		for i := range a.Data {
+			a.Data[i] = rng.Float64()
+		}
+		gs := NewGramSystem(a)
+		gs.CholeskyFactor()
+		patched := a.Clone()
+		mut := gs.MutableClone(patched)
+		// Rescale two whole columns in place (the column-max-moved
+		// case), then ask the system to recompute them.
+		cols := []int{rng.Intn(k), rng.Intn(k)}
+		for _, j := range cols {
+			s := 0.25 + rng.Float64()
+			for i := 0; i < m; i++ {
+				patched.Set(i, j, patched.At(i, j)*s)
+			}
+		}
+		mut.RecomputeColumns(cols)
+		mut.RefreshInfNorm()
+		cold := NewGramSystem(patched)
+		if d := maxAbsDiff(mut.Gram(), cold.Gram()); d > 1e-10*(1+matInfNorm(cold.Gram())) {
+			t.Fatalf("trial %d: recomputed Gram differs from rebuild by %g", trial, d)
+		}
+		if mut.AInf != cold.AInf {
+			t.Fatalf("trial %d: ‖A‖∞ %g != %g", trial, mut.AInf, cold.AInf)
+		}
+		l, ok := mut.CachedCholesky()
+		if !ok || l == nil {
+			t.Fatalf("trial %d: factor cache lost", trial)
+		}
+		coldL, coldOK := cold.CholeskyFactor()
+		if !coldOK {
+			t.Fatalf("trial %d: rebuilt system not PD", trial)
+		}
+		if d := maxAbsDiff(l, coldL); d > 1e-9*(1+matInfNorm(coldL)) {
+			t.Fatalf("trial %d: factor differs from rebuild by %g", trial, d)
+		}
+	}
+}
+
+func TestMutableCloneLeavesParentUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	a := NewMatrix(30, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+	}
+	gs := NewGramSystem(a)
+	gs.CholeskyFactor()
+	gBefore := gs.Gram().Clone()
+	ainfBefore := gs.AInf
+	lBefore, _ := gs.CachedCholesky()
+	lSnap := lBefore.Clone()
+
+	mut := gs.MutableClone(a.Clone())
+	for u := 0; u < 10; u++ {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = rng.Float64() * 3
+		}
+		mut.UpdateRow(rng.Intn(30), row)
+	}
+	mut.RefreshInfNorm()
+
+	if d := maxAbsDiff(gs.Gram(), gBefore); d != 0 {
+		t.Fatalf("parent Gram mutated (max diff %g)", d)
+	}
+	if gs.AInf != ainfBefore {
+		t.Fatalf("parent ‖A‖∞ mutated: %g != %g", gs.AInf, ainfBefore)
+	}
+	lAfter, _ := gs.CachedCholesky()
+	if d := maxAbsDiff(lAfter, lSnap); d != 0 {
+		t.Fatalf("parent Cholesky factor mutated (max diff %g)", d)
+	}
+}

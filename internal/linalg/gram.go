@@ -38,6 +38,9 @@ const gramParallelMin = 8192
 // GramSystem caches the normal-equations form of a fixed design matrix.
 // It is immutable after construction (the lazy Lipschitz/Cholesky
 // caches are internally synchronised) and safe for concurrent use.
+// Incremental maintenance goes through MutableClone (cholupdate.go),
+// which derives a single-owner writable copy and leaves the original
+// untouched.
 type GramSystem struct {
 	a    *Matrix
 	G    *Matrix // k×k Gram matrix AᵀA
@@ -48,6 +51,10 @@ type GramSystem struct {
 	lip      float64
 	cholDone bool
 	chol     *Matrix // lower Cholesky factor of G; nil after cholDone ⇒ not PD
+
+	// cholUpdates counts rank-one ops applied to chol since the last
+	// full factorisation; see cholRefactorEvery in cholupdate.go.
+	cholUpdates int
 }
 
 // NewGramSystem precomputes the Gram matrix and norm of a. The matrix

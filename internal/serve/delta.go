@@ -1,0 +1,282 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"geoalign"
+)
+
+// POST /v1/engines/{name}/delta applies one atomic delta to the named
+// engine and publishes the derived engine as a new generation. In-flight
+// align requests finish on the generation they leased; arrivals after
+// the swap see the revised engine. Application is serialised per engine
+// name (concurrent deltas to one engine queue, deltas to different
+// engines proceed in parallel) so generations advance one delta at a
+// time and the snapshot re-persist counter is exact.
+//
+// The request body is a JSON geoalign.Delta by default, or the binary
+// framing of encodeDelta for Content-Type: application/octet-stream.
+// The response is always JSON.
+
+// deltaResponse is the JSON body of a successful delta apply.
+type deltaResponse struct {
+	Engine     string `json:"engine"`
+	Generation int    `json:"generation"` // generation now serving the name
+	Applied    int64  `json:"applied"`    // deltas applied to the name since boot
+	Persisted  bool   `json:"persisted"`  // this apply triggered a snapshot re-persist
+}
+
+// deltaState serialises delta application for one engine name and
+// counts applies for the SnapshotEvery policy.
+type deltaState struct {
+	mu      chan struct{} // 1-buffered semaphore; ctx-interruptible lock
+	applied int64
+}
+
+// deltaState returns (creating if needed) the per-name apply state.
+func (s *Server) deltaState(name string) *deltaState {
+	s.deltaMu.Lock()
+	defer s.deltaMu.Unlock()
+	st, ok := s.deltas[name]
+	if !ok {
+		st = &deltaState{mu: make(chan struct{}, 1)}
+		s.deltas[name] = st
+	}
+	return st
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	name := r.PathValue("name")
+	var d geoalign.Delta
+	body := http.MaxBytesReader(w, r.Body, 1<<28)
+	if r.Header.Get("Content-Type") == contentTypeBinary {
+		raw, err := readBody(body, r.ContentLength)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+		d, err = decodeDelta(raw)
+		putBuf(raw)
+		if err != nil {
+			s.metrics.deltaRejected.Add(1)
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	} else if err := json.NewDecoder(body).Decode(&d); err != nil {
+		s.metrics.deltaRejected.Add(1)
+		s.writeError(w, http.StatusBadRequest, "decoding delta: "+err.Error())
+		return
+	}
+
+	st := s.deltaState(name)
+	select {
+	case st.mu <- struct{}{}:
+		defer func() { <-st.mu }()
+	case <-ctx.Done():
+		s.metrics.cancelled.Add(1)
+		s.writeError(w, solveError(ctx.Err()), "waiting for delta slot: "+ctx.Err().Error())
+		return
+	}
+
+	lease, err := s.registry.Acquire(name)
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	t0 := time.Now()
+	next, err := lease.Aligner().ApplyDelta(d)
+	lease.Release()
+	if err != nil {
+		if errors.Is(err, geoalign.ErrBadDelta) {
+			s.metrics.deltaRejected.Add(1)
+			s.writeError(w, http.StatusBadRequest, err.Error())
+		} else {
+			s.writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	took := time.Since(t0)
+
+	// The derived aligner never aliases its parent's snapshot mapping, so
+	// ownership transfers cleanly: the registry closes the parent (and
+	// unmaps its snapshot, if any) once the old generation drains.
+	s.registry.SwapOwned(name, next, took)
+	gen := s.registry.Generation(name)
+	s.metrics.deltas.Add(1)
+	st.applied++
+
+	persisted := false
+	if s.cfg.SnapshotEvery > 0 && s.cfg.SnapshotPersist != nil && st.applied%int64(s.cfg.SnapshotEvery) == 0 {
+		if err := s.cfg.SnapshotPersist(name, next); err != nil {
+			// The delta itself is live; report the persist failure without
+			// failing the request.
+			s.metrics.serverErrors.Add(1)
+		} else {
+			s.metrics.persists.Add(1)
+			persisted = true
+		}
+	}
+
+	writeJSON(w, http.StatusOK, deltaResponse{
+		Engine:     name,
+		Generation: gen,
+		Applied:    st.applied,
+		Persisted:  persisted,
+	})
+	s.metrics.ok.Add(1)
+}
+
+// Binary delta wire format (all integers little-endian):
+//
+//	uint32 row-patch count, uint32 source-patch count
+//	per row patch:    uint32 ref, uint32 row, uint32 flags (bit 0 =
+//	                  delete), uint32 nnz, nnz uint32 cols, nnz float64
+//	                  vals
+//	per source patch: uint32 ref, uint32 row, float64 value
+//
+// The format mirrors geoalign.Delta exactly; semantic validation
+// (ranges, ordering, finiteness) stays in ApplyDelta — the decoder
+// checks only framing.
+
+// errMalformedDelta is the sentinel wrapped by every binary delta
+// framing failure.
+var errMalformedDelta = errors.New("serve: malformed binary delta")
+
+// encodeDelta appends the binary framing of d to dst.
+func encodeDelta(dst []byte, d *geoalign.Delta) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(d.RowPatches)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(d.SourcePatches)))
+	for _, p := range d.RowPatches {
+		var flags uint32
+		if p.Delete {
+			flags |= 1
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Ref))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Row))
+		dst = binary.LittleEndian.AppendUint32(dst, flags)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Cols)))
+		for _, c := range p.Cols {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(c))
+		}
+		dst = appendFloats(dst, p.Vals)
+	}
+	for _, p := range d.SourcePatches {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Ref))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(p.Row))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(p.Value))
+	}
+	return dst
+}
+
+// deltaCursor walks a binary delta payload with explicit bounds checks;
+// every read past the end sets err instead of panicking.
+type deltaCursor struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (c *deltaCursor) u32(what string) uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+4 > len(c.b) {
+		c.err = fmt.Errorf("%w: truncated at %s (offset %d of %d)", errMalformedDelta, what, c.off, len(c.b))
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v
+}
+
+func (c *deltaCursor) f64(what string) float64 {
+	if c.err != nil {
+		return 0
+	}
+	if c.off+8 > len(c.b) {
+		c.err = fmt.Errorf("%w: truncated at %s (offset %d of %d)", errMalformedDelta, what, c.off, len(c.b))
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.b[c.off:]))
+	c.off += 8
+	return v
+}
+
+// count reads a u32 element count and sanity-checks it against the
+// bytes remaining, so a hostile header cannot drive a huge allocation.
+func (c *deltaCursor) count(what string, minElemBytes int) int {
+	n := c.u32(what)
+	if c.err != nil {
+		return 0
+	}
+	if int64(n)*int64(minElemBytes) > int64(len(c.b)-c.off) {
+		c.err = fmt.Errorf("%w: %s %d exceeds payload", errMalformedDelta, what, n)
+		return 0
+	}
+	return int(n)
+}
+
+// decodeDelta parses the framing written by encodeDelta. Framing
+// errors wrap errMalformedDelta; semantic validation is ApplyDelta's.
+func decodeDelta(b []byte) (geoalign.Delta, error) {
+	c := &deltaCursor{b: b}
+	nRow := c.count("row-patch count", 16)
+	nSrc := c.count("source-patch count", 16)
+	var d geoalign.Delta
+	if nRow > 0 {
+		d.RowPatches = make([]geoalign.RowPatch, 0, nRow)
+	}
+	if nSrc > 0 {
+		d.SourcePatches = make([]geoalign.SourcePatch, 0, nSrc)
+	}
+	for i := 0; i < nRow && c.err == nil; i++ {
+		p := geoalign.RowPatch{
+			Ref: int(c.u32("row patch ref")),
+			Row: int(c.u32("row patch row")),
+		}
+		flags := c.u32("row patch flags")
+		if c.err == nil && flags > 1 {
+			c.err = fmt.Errorf("%w: row patch %d: unknown flags %#x", errMalformedDelta, i, flags)
+		}
+		p.Delete = flags&1 != 0
+		nnz := c.count("row patch nnz", 12)
+		if c.err != nil {
+			break
+		}
+		if nnz > 0 {
+			p.Cols = make([]int, nnz)
+			p.Vals = make([]float64, nnz)
+			for t := range p.Cols {
+				p.Cols[t] = int(c.u32("row patch col"))
+			}
+			for t := range p.Vals {
+				p.Vals[t] = c.f64("row patch val")
+			}
+		}
+		d.RowPatches = append(d.RowPatches, p)
+	}
+	for i := 0; i < nSrc && c.err == nil; i++ {
+		d.SourcePatches = append(d.SourcePatches, geoalign.SourcePatch{
+			Ref:   int(c.u32("source patch ref")),
+			Row:   int(c.u32("source patch row")),
+			Value: c.f64("source patch value"),
+		})
+	}
+	if c.err != nil {
+		return geoalign.Delta{}, c.err
+	}
+	if c.off != len(b) {
+		return geoalign.Delta{}, fmt.Errorf("%w: %d trailing bytes", errMalformedDelta, len(b)-c.off)
+	}
+	return d, nil
+}

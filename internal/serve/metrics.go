@@ -61,6 +61,10 @@ type Metrics struct {
 	batched   atomic.Int64 // requests served through those calls
 	batchHist []atomic.Int64
 
+	deltas        atomic.Int64 // deltas applied and published
+	deltaRejected atomic.Int64 // deltas rejected as malformed
+	persists      atomic.Int64 // snapshot re-persists triggered by deltas
+
 	parse  stageLatency
 	queue  stageLatency
 	solve  stageLatency
@@ -101,6 +105,14 @@ func (m *Metrics) Batches() int64 { return m.batches.Load() }
 // coalesced engine calls.
 func (m *Metrics) BatchedRequests() int64 { return m.batched.Load() }
 
+// DeltasApplied reports the number of deltas applied and published as
+// new engine generations.
+func (m *Metrics) DeltasApplied() int64 { return m.deltas.Load() }
+
+// SnapshotPersists reports the number of snapshot re-persists the delta
+// handler has triggered.
+func (m *Metrics) SnapshotPersists() int64 { return m.persists.Load() }
+
 // Snapshot renders the metrics block as a JSON-encodable map.
 func (m *Metrics) Snapshot() map[string]any {
 	hist := make(map[string]int64, len(m.batchHist))
@@ -124,6 +136,11 @@ func (m *Metrics) Snapshot() map[string]any {
 			"batches":          m.batches.Load(),
 			"batched_requests": m.batched.Load(),
 			"size_histogram":   hist,
+		},
+		"deltas": map[string]any{
+			"applied":  m.deltas.Load(),
+			"rejected": m.deltaRejected.Load(),
+			"persists": m.persists.Load(),
 		},
 		"latency": map[string]any{
 			"parse":  m.parse.snapshot(),

@@ -65,6 +65,12 @@ func (in *Instance) Aligner() *geoalign.Aligner { return in.aligner }
 // Name returns the registry name the instance was registered under.
 func (in *Instance) Name() string { return in.name }
 
+// Generation returns the instance's generation number under its name:
+// 1 for the first registration, incremented by every Swap. Delta
+// responses echo it so clients can tell which engine revision served
+// them.
+func (in *Instance) Generation() int { return in.gen }
+
 // Drained returns a channel closed once the instance has been retired
 // (swapped out or removed) and its last in-flight request has finished.
 func (in *Instance) Drained() <-chan struct{} { return in.drained }
@@ -223,6 +229,17 @@ func (r *Registry) Acquire(name string) (*Lease, error) {
 	}
 	in.acquire()
 	return &Lease{in: in}, nil
+}
+
+// Generation reports the current generation of the named engine, 0 if
+// the name is unknown.
+func (r *Registry) Generation(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.engines[name]; ok {
+		return in.gen
+	}
+	return 0
 }
 
 // Len reports the number of registered engines.

@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"geoalign"
@@ -48,6 +49,17 @@ type Config struct {
 	// RequestTimeout, if positive, caps each request's total time via a
 	// context deadline plumbed into the engine.
 	RequestTimeout time.Duration
+	// SnapshotEvery, if positive, invokes SnapshotPersist after every
+	// SnapshotEvery deltas applied to an engine name, so a long-lived
+	// server's on-disk snapshot tracks its live state. 0 disables
+	// re-persistence.
+	SnapshotEvery int
+	// SnapshotPersist re-persists one engine, called synchronously from
+	// the delta handler per SnapshotEvery (the response's "persisted"
+	// field reports the outcome). The geoalignd binary wires this to
+	// Aligner.WriteSnapshot with the engine's boot-time metadata; nil
+	// disables re-persistence regardless of SnapshotEvery.
+	SnapshotPersist func(name string, al *geoalign.Aligner) error
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +90,12 @@ type Server struct {
 	mux      *http.ServeMux
 	baseCtx  context.Context
 	cancel   context.CancelFunc
+
+	// deltaMu guards deltas; each engine name gets one deltaState whose
+	// own mutex serialises delta application for that name (concurrent
+	// deltas to different engines proceed in parallel).
+	deltaMu sync.Mutex
+	deltas  map[string]*deltaState
 }
 
 // NewServer builds a server over the given registry. cfg zero values
@@ -95,12 +113,14 @@ func NewServer(reg *Registry, cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		baseCtx:  baseCtx,
 		cancel:   cancel,
+		deltas:   make(map[string]*deltaState),
 	}
 	m.queueDepth = s.gate.depth
 	m.engines = reg.Totals
 	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
 	s.mux.HandleFunc("POST /v1/align/batch", s.handleAlignBatch)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
+	s.mux.HandleFunc("POST /v1/engines/{name}/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
