@@ -16,7 +16,9 @@ import (
 	"math"
 	"math/rand"
 	"path/filepath"
+	"runtime"
 	"sync"
+	"time"
 	"testing"
 
 	"geoalign/internal/core"
@@ -698,5 +700,115 @@ func BenchmarkEngineColdStart(b *testing.B) {
 			}
 			al.Close()
 		}
+	})
+}
+
+// crosswalkBenchLayers lazily builds the BenchmarkCrosswalkBuildTiled
+// layers: a zip→county-scale pair of TIGER-like jittered-lattice
+// partitions, held in memory so the benchmark times the tiled join
+// itself rather than disk reads.
+var (
+	crosswalkBenchOnce sync.Once
+	crosswalkBenchSrc  []geom.MultiPolygon
+	crosswalkBenchTgt  []geom.MultiPolygon
+)
+
+func crosswalkBenchLayers(b *testing.B) {
+	b.Helper()
+	crosswalkBenchOnce.Do(func() {
+		collect := func(cfg synth.TigerConfig) []geom.MultiPolygon {
+			var units []geom.MultiPolygon
+			synth.TigerLayer(cfg, func(i int, name string, parts geom.MultiPolygon) error {
+				units = append(units, parts)
+				return nil
+			})
+			return units
+		}
+		crosswalkBenchSrc = collect(synth.TigerConfig{Units: 3000, Seed: 5})
+		crosswalkBenchTgt = collect(synth.TigerConfig{Units: 150, Seed: 6})
+	})
+}
+
+// reportPeakHeap runs fn while a sampling goroutine tracks the heap
+// high-water mark, then attaches it to the benchmark as
+// peak-heap-bytes. ReadMemStats briefly stops the world, so the sample
+// period is kept coarse; the metric pins the bounded-memory claim of
+// the out-of-core build rather than exact allocation totals.
+func reportPeakHeap(b *testing.B, fn func()) {
+	runtime.GC()
+	stop := make(chan struct{})
+	done := make(chan uint64)
+	go func() {
+		var ms runtime.MemStats
+		var peak uint64
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+			select {
+			case <-stop:
+				done <- peak
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	b.ReportMetric(float64(<-done), "peak-heap-bytes")
+}
+
+// BenchmarkCrosswalkBuildTiled times the out-of-core crosswalk build on
+// zip→county-scale lattice layers (3000×150 units) against the
+// in-memory MeasureDM path, each reported with its heap high-water
+// mark. The tiled variants re-prepare geometry per tile, so their extra
+// time is the price of the bounded footprint; the spill variant adds a
+// deliberately tiny budget to include the disk round-trip.
+func BenchmarkCrosswalkBuildTiled(b *testing.B) {
+	crosswalkBenchLayers(b)
+	src := partition.SliceStream(crosswalkBenchSrc)
+	tgt := partition.SliceStream(crosswalkBenchTgt)
+	runTiled := func(name string, opt partition.TiledOptions) {
+		b.Run(name, func(b *testing.B) {
+			reportPeakHeap(b, func() {
+				for i := 0; i < b.N; i++ {
+					dm, _, err := partition.TiledMeasureDM(src, tgt, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if dm.NNZ() == 0 {
+						b.Fatal("empty crosswalk")
+					}
+				}
+			})
+		})
+	}
+	runTiled("tiled-4x4", partition.TiledOptions{TileCols: 4, TileRows: 4})
+	runTiled("tiled-spill", partition.TiledOptions{
+		TileCols: 4, TileRows: 4,
+		MemBudget: 1 << 20,
+		SpillDir:  b.TempDir(),
+	})
+	b.Run("inmemory", func(b *testing.B) {
+		reportPeakHeap(b, func() {
+			for i := 0; i < b.N; i++ {
+				srcSys, err := partition.NewMultiPolygonSystem(crosswalkBenchSrc, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tgtSys, err := partition.NewMultiPolygonSystem(crosswalkBenchTgt, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dm, err := partition.MeasureDM(srcSys, tgtSys)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dm.NNZ() == 0 {
+					b.Fatal("empty crosswalk")
+				}
+			}
+		})
 	})
 }

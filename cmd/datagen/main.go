@@ -32,15 +32,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	var (
-		kind   = fs.String("kind", "ny", "catalog kind: ny | us")
+		kind   = fs.String("kind", "ny", "catalog kind: ny | us | tiger")
 		scale  = fs.Float64("scale", 0.02, "unit-count scale relative to the paper's real counts")
 		budget = fs.Int("budget", 20000, "points in the densest dataset")
 		seed   = fs.Int64("seed", 1, "generation seed")
 		format = fs.String("format", "geojson", "layer format: geojson | shapefile")
 		outDir = fs.String("out", "data", "output directory")
+		units  = fs.Int("units", 200000, "tiger mode: source-layer unit count (targets ~ units/ratio)")
+		ratio  = fs.Int("ratio", 25, "tiger mode: source-to-target unit ratio")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *kind == "tiger" {
+		return runTiger(*units, *ratio, *seed, *outDir)
 	}
 
 	var cfg synth.Config
@@ -98,6 +103,57 @@ func run(args []string) error {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d datasets to %s\n", len(cat.Datasets), *outDir)
+	return nil
+}
+
+// runTiger streams two TIGER-like unit layers straight to shapefiles —
+// the generator emits one polygon at a time and the streaming Writer
+// patches headers on close, so a 10⁶-unit layer never lives in memory.
+// These layers are the intended input for `geoalign crosswalk build`.
+func runTiger(units, ratio int, seed int64, outDir string) error {
+	if units <= 0 {
+		return fmt.Errorf("tiger mode needs -units > 0")
+	}
+	if ratio <= 0 {
+		return fmt.Errorf("tiger mode needs -ratio > 0")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	layers := []struct {
+		base string
+		cfg  synth.TigerConfig
+	}{
+		{"source_units", synth.TigerConfig{Units: units, Seed: seed}},
+		{"target_units", synth.TigerConfig{Units: max(1, units/ratio), Seed: seed + 1}},
+	}
+	for _, l := range layers {
+		if err := streamTigerLayer(filepath.Join(outDir, l.base), l.cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func streamTigerLayer(base string, cfg synth.TigerConfig) error {
+	w, closer, err := shapefile.CreateWriter(base, []shapefile.Field{{Name: "NAME", Length: 12}})
+	if err != nil {
+		return err
+	}
+	err = synth.TigerLayer(cfg, func(i int, name string, parts geom.MultiPolygon) error {
+		return w.Write(shapefile.MultiRecord{
+			Parts: parts,
+			Attrs: map[string]string{"NAME": name},
+		})
+	})
+	if err != nil {
+		closer()
+		return fmt.Errorf("streaming %s: %w", base, err)
+	}
+	if err := closer(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d tiger units to %s.{shp,shx,dbf}\n", w.Records(), base)
 	return nil
 }
 

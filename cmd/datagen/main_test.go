@@ -94,12 +94,53 @@ func TestRunShapefile(t *testing.T) {
 	}
 }
 
+// TestRunTiger drives the streaming tiger mode end to end: both layers
+// land as scannable shapefiles with NAME attributes and the configured
+// source/target ratio.
+func TestRunTiger(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-kind", "tiger", "-units", "300", "-ratio", "30", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, base := range []string{"source_units", "target_units"} {
+		sc, closer, err := shapefile.OpenScanner(filepath.Join(dir, base))
+		if err != nil {
+			t.Fatalf("%s: %v", base, err)
+		}
+		for sc.Next() {
+			r := sc.Record()
+			if !strings.HasPrefix(r.Attrs["NAME"], "T") {
+				t.Fatalf("%s: bad NAME %q", base, r.Attrs["NAME"])
+			}
+			counts[base]++
+		}
+		err = sc.Err()
+		closer()
+		if err != nil {
+			t.Fatalf("%s: %v", base, err)
+		}
+	}
+	if counts["source_units"] < 300 {
+		t.Fatalf("source layer has %d units, want ≥ 300", counts["source_units"])
+	}
+	if counts["target_units"] < 10 || counts["target_units"] >= counts["source_units"] {
+		t.Fatalf("target layer has %d units (source %d)", counts["target_units"], counts["source_units"])
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-kind", "mars"}); err == nil {
 		t.Error("unknown kind accepted")
 	}
 	if err := run([]string{"-kind", "ny", "-format", "papyrus", "-out", t.TempDir()}); err == nil {
 		t.Error("unknown format accepted")
+	}
+	if err := run([]string{"-kind", "tiger", "-units", "-3", "-out", t.TempDir()}); err == nil {
+		t.Error("negative -units accepted")
+	}
+	if err := run([]string{"-kind", "tiger", "-units", "10", "-ratio", "0", "-out", t.TempDir()}); err == nil {
+		t.Error("zero -ratio accepted")
 	}
 }
 

@@ -29,6 +29,12 @@
 //	    apply an incremental crosswalk/source revision to a running
 //	    geoalignd engine (live hot-swap) or to a snapshot offline;
 //	    see delta.go for the delta JSON format
+//	geoalign crosswalk build -src units_a -tgt units_b -out engine.snap \
+//	    [-mem-budget 512MiB] [-tiles auto] [-csv xwalk.csv]
+//	    stream two polygon shapefiles through the tiled out-of-core
+//	    intersection join — memory bounded by -mem-budget, spilling
+//	    tile buckets to disk as needed — and persist the resulting
+//	    intersection-area engine snapshot; see crosswalk.go
 package main
 
 import (
@@ -61,6 +67,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "delta" {
 		return runDelta(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "crosswalk" {
+		return runCrosswalk(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("geoalign", flag.ContinueOnError)
 	fs.SetOutput(stderr)

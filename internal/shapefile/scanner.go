@@ -1,0 +1,381 @@
+package shapefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Sentinel error classes for streaming reads. Every error the Scanner
+// (and the Read* wrappers built on it) returns wraps exactly one of
+// these, so callers can classify failures with errors.Is without
+// string-matching — the same contract the snapshot reader establishes
+// for corrupt .snap files.
+var (
+	// ErrTruncated marks inputs shorter than their own declarations:
+	// a cut-off header, a record whose content length runs past the
+	// end of the file, a .dbf row that stops mid-record.
+	ErrTruncated = errors.New("truncated input")
+	// ErrFormat marks structurally malformed inputs: bad magic
+	// numbers, unsupported shape types, part indexes out of range,
+	// geometry/attribute row-count mismatches.
+	ErrFormat = errors.New("malformed input")
+	// ErrIndexMismatch marks a .shx index that disagrees with the
+	// .shp it claims to describe: wrong entry count, or an entry
+	// whose offset/length does not match the record stream.
+	ErrIndexMismatch = errors.New("shp/shx mismatch")
+)
+
+// SizedReaderAt is the random-access input the Scanner consumes.
+// *bytes.Reader, *io.SectionReader and *strings.Reader all satisfy it;
+// wrap an *os.File with io.NewSectionReader.
+type SizedReaderAt interface {
+	io.ReaderAt
+	Size() int64
+}
+
+// Scanner is a pull-based reader over the components of a shapefile:
+// it yields one record — geometry plus (when a .dbf is supplied)
+// attributes — per Next call, without ever materializing the layer.
+// Memory use is bounded by the largest single record regardless of
+// layer size, which is what lets TIGER-scale inputs stream through
+// the tiled crosswalk build.
+//
+// The .shx and .dbf components are optional. When the .shx is present
+// each record's offset and content length are cross-checked against
+// the index (ErrIndexMismatch on disagreement); when the .dbf is
+// present attribute rows are paired with geometry records in order,
+// skipping rows flagged deleted, and a count mismatch is an error just
+// as in ReadMulti.
+//
+// Usage:
+//
+//	sc, err := NewScanner(shpR, shxR, dbfR)
+//	for sc.Next() {
+//		rec := sc.Record()
+//		...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type Scanner struct {
+	shp SizedReaderAt
+	shx SizedReaderAt
+	dbf SizedReaderAt
+
+	// .dbf header state.
+	fields        []Field
+	dbfRecords    int // declared row count, including deleted rows
+	dbfHeaderSize int
+	dbfRecSize    int
+	dbfRow        int // next .dbf row to consider (0-based, includes deleted)
+	attrRows      int // non-deleted rows consumed so far
+
+	shxCount int // number of .shx entries, -1 when no .shx
+
+	shpOff int64 // offset of the next record header
+	recIdx int   // records yielded so far
+
+	recBuf []byte // record content scratch, grown as needed
+	rowBuf []byte // .dbf row scratch
+
+	cur  MultiRecord
+	err  error
+	done bool
+}
+
+// NewScanner validates the .shp (and optional .shx/.dbf) headers and
+// returns a Scanner positioned before the first record. shx and dbf
+// may be nil.
+func NewScanner(shp, shx, dbf SizedReaderAt) (*Scanner, error) {
+	if shp == nil {
+		return nil, fmt.Errorf("shapefile: nil .shp reader: %w", ErrFormat)
+	}
+	s := &Scanner{shp: shp, shx: shx, dbf: dbf, shxCount: -1, shpOff: headerLen}
+	var hdr [headerLen]byte
+	if err := s.readFull(shp, hdr[:], 0, ".shp header"); err != nil {
+		return nil, err
+	}
+	if code := binary.BigEndian.Uint32(hdr[0:4]); code != fileCode {
+		return nil, fmt.Errorf("shapefile: bad file code %d: %w", code, ErrFormat)
+	}
+	if st := binary.LittleEndian.Uint32(hdr[32:36]); st != shapePolygon {
+		return nil, fmt.Errorf("shapefile: shape type %d unsupported (want %d): %w", st, shapePolygon, ErrFormat)
+	}
+	if shx != nil {
+		if err := s.readFull(shx, hdr[:], 0, ".shx header"); err != nil {
+			return nil, err
+		}
+		if code := binary.BigEndian.Uint32(hdr[0:4]); code != fileCode {
+			return nil, fmt.Errorf("shapefile: .shx bad file code %d: %w", code, ErrFormat)
+		}
+		rest := shx.Size() - headerLen
+		if rest%8 != 0 {
+			return nil, fmt.Errorf("shapefile: .shx body is %d bytes, not a multiple of 8: %w", rest, ErrIndexMismatch)
+		}
+		s.shxCount = int(rest / 8)
+	}
+	if dbf != nil {
+		if err := s.readDBFHeader(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// OpenScanner opens base+".shp" plus the sibling ".shx" and ".dbf"
+// when they exist (base may also name the .shp itself) and returns a
+// Scanner over them. The returned closer must be called when done.
+func OpenScanner(base string) (*Scanner, func() error, error) {
+	base = strings.TrimSuffix(base, ".shp")
+	var files []*os.File
+	closer := func() error {
+		var first error
+		for _, f := range files {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	open := func(ext string, required bool) (SizedReaderAt, error) {
+		f, err := os.Open(base + ext)
+		if err != nil {
+			if !required && os.IsNotExist(err) {
+				return nil, nil
+			}
+			return nil, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		files = append(files, f)
+		return io.NewSectionReader(f, 0, st.Size()), nil
+	}
+	shp, err := open(".shp", true)
+	if err != nil {
+		closer()
+		return nil, nil, err
+	}
+	shx, err := open(".shx", false)
+	if err != nil {
+		closer()
+		return nil, nil, err
+	}
+	dbf, err := open(".dbf", false)
+	if err != nil {
+		closer()
+		return nil, nil, err
+	}
+	sc, err := NewScanner(shp, shx, dbf)
+	if err != nil {
+		closer()
+		return nil, nil, err
+	}
+	return sc, closer, nil
+}
+
+// Fields returns the .dbf schema, or nil when no .dbf was supplied.
+func (s *Scanner) Fields() []Field { return s.fields }
+
+// RecordsScanned returns the number of records yielded so far.
+func (s *Scanner) RecordsScanned() int { return s.recIdx }
+
+// Err returns the first error encountered, or nil after a clean scan.
+func (s *Scanner) Err() error { return s.err }
+
+// Record returns the current record. The geometry and attribute map
+// are freshly allocated per record; callers may retain them.
+func (s *Scanner) Record() MultiRecord { return s.cur }
+
+// Next advances to the next record. It returns false at the end of the
+// layer or on error; the two are distinguished by Err.
+func (s *Scanner) Next() bool {
+	if s.err != nil || s.done {
+		return false
+	}
+	if s.shpOff >= s.shp.Size() {
+		s.finish()
+		return false
+	}
+	var hdr [8]byte
+	if err := s.readFull(s.shp, hdr[:], s.shpOff, fmt.Sprintf("record %d header", s.recIdx)); err != nil {
+		s.err = err
+		return false
+	}
+	contentWords := int(int32(binary.BigEndian.Uint32(hdr[4:8])))
+	if contentWords < 0 {
+		s.err = fmt.Errorf("shapefile: negative record length at %d: %w", s.shpOff+4, ErrFormat)
+		return false
+	}
+	contentOff := s.shpOff + 8
+	end := contentOff + int64(contentWords)*2
+	if end > s.shp.Size() {
+		s.err = fmt.Errorf("shapefile: truncated record content at %d: %w", contentOff, ErrTruncated)
+		return false
+	}
+	if s.shxCount >= 0 {
+		if s.recIdx >= s.shxCount {
+			s.err = fmt.Errorf("shapefile: .shx has %d entries but .shp has more records: %w", s.shxCount, ErrIndexMismatch)
+			return false
+		}
+		var ent [8]byte
+		if err := s.readFull(s.shx, ent[:], headerLen+int64(8*s.recIdx), fmt.Sprintf(".shx entry %d", s.recIdx)); err != nil {
+			s.err = err
+			return false
+		}
+		offWords := int64(int32(binary.BigEndian.Uint32(ent[0:4])))
+		lenWords := int(int32(binary.BigEndian.Uint32(ent[4:8])))
+		if offWords*2 != s.shpOff || lenWords != contentWords {
+			s.err = fmt.Errorf("shapefile: .shx entry %d says offset %d length %d words, record is at %d with %d words: %w",
+				s.recIdx, offWords, lenWords, s.shpOff/2, contentWords, ErrIndexMismatch)
+			return false
+		}
+	}
+	need := contentWords * 2
+	if cap(s.recBuf) < need {
+		s.recBuf = make([]byte, need)
+	}
+	s.recBuf = s.recBuf[:need]
+	if err := s.readFull(s.shp, s.recBuf, contentOff, fmt.Sprintf("record %d content", s.recIdx)); err != nil {
+		s.err = err
+		return false
+	}
+	mp, err := parsePolygonRecord(s.recBuf)
+	if err != nil {
+		s.err = fmt.Errorf("record %d: %w", s.recIdx, err)
+		return false
+	}
+	var attrs map[string]string
+	if s.dbf != nil {
+		attrs, err = s.nextAttrRow()
+		if err != nil {
+			s.err = err
+			return false
+		}
+	}
+	s.cur = MultiRecord{Parts: mp, Attrs: attrs}
+	s.recIdx++
+	s.shpOff = end
+	return true
+}
+
+// finish runs the end-of-stream consistency checks: the .shx entry
+// count must match the record count, and the .dbf must not hold more
+// live rows than there were geometry records.
+func (s *Scanner) finish() {
+	s.done = true
+	if s.shxCount >= 0 && s.recIdx != s.shxCount {
+		s.err = fmt.Errorf("shapefile: .shx has %d entries but .shp has %d records: %w", s.shxCount, s.recIdx, ErrIndexMismatch)
+		return
+	}
+	if s.dbf == nil {
+		return
+	}
+	extra := 0
+	for ; s.dbfRow < s.dbfRecords; s.dbfRow++ {
+		deleted, err := s.dbfRowDeleted(s.dbfRow)
+		if err != nil {
+			s.err = err
+			return
+		}
+		if !deleted {
+			extra++
+		}
+	}
+	if extra > 0 {
+		s.err = fmt.Errorf("shapefile: %d geometries but %d attribute rows: %w", s.recIdx, s.attrRows+extra, ErrFormat)
+	}
+}
+
+// readDBFHeader parses and validates the .dbf preamble and field
+// descriptors, mirroring readDBF's checks.
+func (s *Scanner) readDBFHeader() error {
+	size := s.dbf.Size()
+	if size < 33 {
+		return fmt.Errorf("shapefile: .dbf too short: %w", ErrTruncated)
+	}
+	var pre [32]byte
+	if err := s.readFull(s.dbf, pre[:], 0, ".dbf header"); err != nil {
+		return err
+	}
+	s.dbfRecords = int(binary.LittleEndian.Uint32(pre[4:8]))
+	s.dbfHeaderSize = int(binary.LittleEndian.Uint16(pre[8:10]))
+	s.dbfRecSize = int(binary.LittleEndian.Uint16(pre[10:12]))
+	if s.dbfHeaderSize < 33 || int64(s.dbfHeaderSize) > size {
+		return fmt.Errorf("shapefile: bad .dbf header size %d: %w", s.dbfHeaderSize, ErrFormat)
+	}
+	if s.dbfRecSize < 1 {
+		return fmt.Errorf("shapefile: bad .dbf record size %d: %w", s.dbfRecSize, ErrFormat)
+	}
+	if s.dbfRecords < 0 || s.dbfRecords > int(size-int64(s.dbfHeaderSize))/s.dbfRecSize+1 {
+		return fmt.Errorf("shapefile: .dbf claims %d records of %d bytes but only %d bytes remain: %w",
+			s.dbfRecords, s.dbfRecSize, size-int64(s.dbfHeaderSize), ErrTruncated)
+	}
+	desc := make([]byte, s.dbfHeaderSize-32)
+	if err := s.readFull(s.dbf, desc, 32, ".dbf field descriptors"); err != nil {
+		return err
+	}
+	fields, err := parseDBFFields(desc)
+	if err != nil {
+		return err
+	}
+	s.fields = fields
+	fieldBytes := 1 // deletion flag
+	for _, f := range fields {
+		fieldBytes += f.Length
+	}
+	if fieldBytes > s.dbfRecSize {
+		return fmt.Errorf("shapefile: .dbf fields need %d bytes but record size is %d: %w", fieldBytes, s.dbfRecSize, ErrFormat)
+	}
+	s.rowBuf = make([]byte, s.dbfRecSize)
+	return nil
+}
+
+// nextAttrRow returns the attributes of the next non-deleted .dbf row,
+// or an error when the table runs out before the geometry does.
+func (s *Scanner) nextAttrRow() (map[string]string, error) {
+	for ; s.dbfRow < s.dbfRecords; s.dbfRow++ {
+		off := int64(s.dbfHeaderSize) + int64(s.dbfRow)*int64(s.dbfRecSize)
+		if err := s.readFull(s.dbf, s.rowBuf, off, fmt.Sprintf(".dbf record %d", s.dbfRow)); err != nil {
+			return nil, err
+		}
+		if s.rowBuf[0] == '*' { // deleted
+			continue
+		}
+		s.dbfRow++
+		s.attrRows++
+		return parseDBFRow(s.rowBuf, s.fields), nil
+	}
+	return nil, fmt.Errorf("shapefile: geometry record %d has no attribute row (%d live rows in .dbf): %w",
+		s.recIdx, s.attrRows, ErrFormat)
+}
+
+// dbfRowDeleted reads just the deletion flag of row r.
+func (s *Scanner) dbfRowDeleted(r int) (bool, error) {
+	var flag [1]byte
+	off := int64(s.dbfHeaderSize) + int64(r)*int64(s.dbfRecSize)
+	if off+int64(s.dbfRecSize) > s.dbf.Size() {
+		return false, fmt.Errorf("shapefile: truncated .dbf record %d: %w", r, ErrTruncated)
+	}
+	if err := s.readFull(s.dbf, flag[:], off, fmt.Sprintf(".dbf record %d", r)); err != nil {
+		return false, err
+	}
+	return flag[0] == '*', nil
+}
+
+// readFull reads len(dst) bytes at off, mapping short reads to
+// ErrTruncated with a location label.
+func (s *Scanner) readFull(r io.ReaderAt, dst []byte, off int64, what string) error {
+	n, err := r.ReadAt(dst, off)
+	if n == len(dst) {
+		return nil
+	}
+	if err == nil || err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("shapefile: truncated %s at %d: %w", what, off, ErrTruncated)
+	}
+	return fmt.Errorf("shapefile: reading %s at %d: %v: %w", what, off, err, ErrFormat)
+}

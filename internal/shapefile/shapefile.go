@@ -9,6 +9,11 @@
 // holes) and DBF fields of type C (character) and N (numeric). That
 // covers partition layers, including multi-part island units via
 // MultiFile; it is not a general-purpose shapefile library.
+//
+// Two access styles are provided. Read/ReadMulti/Write/WriteMulti work
+// on whole in-memory layers; Scanner and Writer stream one record at a
+// time with memory bounded by the largest record, which is what the
+// out-of-core crosswalk build uses for TIGER-scale inputs.
 package shapefile
 
 import (
@@ -117,28 +122,24 @@ func WriteMulti(f *MultiFile) (shp, shx, dbf []byte, err error) {
 	return shp, shx, dbf, nil
 }
 
-// ReadMulti parses a layer keeping multi-part geometries intact.
+// ReadMulti parses a layer keeping multi-part geometries intact. It is
+// a collect-all wrapper over Scanner; use the Scanner directly to
+// stream layers that should not be materialized.
 func ReadMulti(shp, dbf []byte) (*MultiFile, error) {
-	polys, err := readSHP(shp)
+	var dbfR SizedReaderAt
+	if dbf != nil {
+		dbfR = bytes.NewReader(dbf)
+	}
+	sc, err := NewScanner(bytes.NewReader(shp), nil, dbfR)
 	if err != nil {
 		return nil, err
 	}
-	f := &MultiFile{}
-	for _, mp := range polys {
-		f.Records = append(f.Records, MultiRecord{Parts: mp})
+	f := &MultiFile{Fields: sc.Fields()}
+	for sc.Next() {
+		f.Records = append(f.Records, sc.Record())
 	}
-	if dbf != nil {
-		fields, rows, err := readDBF(dbf)
-		if err != nil {
-			return nil, err
-		}
-		if len(rows) != len(polys) {
-			return nil, fmt.Errorf("shapefile: %d geometries but %d attribute rows", len(polys), len(rows))
-		}
-		f.Fields = fields
-		for i := range f.Records {
-			f.Records[i].Attrs = rows[i]
-		}
+	if err := sc.Err(); err != nil {
+		return nil, err
 	}
 	return f, nil
 }
@@ -254,61 +255,28 @@ func mainHeader(lengthWords int, bbox geom.BBox) []byte {
 	return h
 }
 
-func readSHP(shp []byte) ([]geom.MultiPolygon, error) {
-	if len(shp) < headerLen {
-		return nil, fmt.Errorf("shapefile: .shp too short (%d bytes)", len(shp))
-	}
-	if code := binary.BigEndian.Uint32(shp[0:4]); code != fileCode {
-		return nil, fmt.Errorf("shapefile: bad file code %d", code)
-	}
-	if st := binary.LittleEndian.Uint32(shp[32:36]); st != shapePolygon {
-		return nil, fmt.Errorf("shapefile: shape type %d unsupported (want %d)", st, shapePolygon)
-	}
-	var polys []geom.MultiPolygon
-	off := headerLen
-	for off < len(shp) {
-		if off+8 > len(shp) {
-			return nil, fmt.Errorf("shapefile: truncated record header at %d", off)
-		}
-		contentWords := int(int32(binary.BigEndian.Uint32(shp[off+4 : off+8])))
-		off += 8
-		if contentWords < 0 {
-			return nil, fmt.Errorf("shapefile: negative record length at %d", off-4)
-		}
-		end := off + contentWords*2
-		if end > len(shp) || end < off {
-			return nil, fmt.Errorf("shapefile: truncated record content at %d", off)
-		}
-		mp, err := parsePolygonRecord(shp[off:end])
-		if err != nil {
-			return nil, err
-		}
-		polys = append(polys, mp)
-		off = end
-	}
-	return polys, nil
-}
-
+// parsePolygonRecord decodes one Polygon-type record's content. It is
+// the shared kernel behind Scanner.Next and the collect-all readers.
 func parsePolygonRecord(b []byte) (geom.MultiPolygon, error) {
 	if len(b) < 44 {
-		return nil, fmt.Errorf("shapefile: polygon record too short (%d bytes)", len(b))
+		return nil, fmt.Errorf("shapefile: polygon record too short (%d bytes): %w", len(b), ErrTruncated)
 	}
 	le := binary.LittleEndian
 	if st := int32(le.Uint32(b[0:4])); st != shapePolygon {
-		return nil, fmt.Errorf("shapefile: record shape type %d unsupported", st)
+		return nil, fmt.Errorf("shapefile: record shape type %d unsupported: %w", st, ErrFormat)
 	}
 	numParts := int(int32(le.Uint32(b[36:40])))
 	numPoints := int(int32(le.Uint32(b[40:44])))
 	if numParts < 1 || numParts > numPoints {
-		return nil, fmt.Errorf("shapefile: record with %d parts, %d points", numParts, numPoints)
+		return nil, fmt.Errorf("shapefile: record with %d parts, %d points: %w", numParts, numPoints, ErrFormat)
 	}
 	if numPoints < 4 { // at least a triangle plus the closing vertex
-		return nil, fmt.Errorf("shapefile: record with %d points", numPoints)
+		return nil, fmt.Errorf("shapefile: record with %d points: %w", numPoints, ErrFormat)
 	}
 	ptsOff := 44 + 4*numParts
 	need := ptsOff + 16*numPoints
 	if need < 0 || len(b) < need {
-		return nil, fmt.Errorf("shapefile: record needs %d bytes, has %d", need, len(b))
+		return nil, fmt.Errorf("shapefile: record needs %d bytes, has %d: %w", need, len(b), ErrTruncated)
 	}
 	starts := make([]int, numParts+1)
 	for p := 0; p < numParts; p++ {
@@ -319,7 +287,7 @@ func parsePolygonRecord(b []byte) (geom.MultiPolygon, error) {
 	for p := 0; p < numParts; p++ {
 		lo, hi := starts[p], starts[p+1]
 		if lo < 0 || hi > numPoints || hi-lo < 4 {
-			return nil, fmt.Errorf("shapefile: part %d spans [%d,%d) of %d points", p, lo, hi, numPoints)
+			return nil, fmt.Errorf("shapefile: part %d spans [%d,%d) of %d points: %w", p, lo, hi, numPoints, ErrFormat)
 		}
 		pg := make(geom.Polygon, 0, hi-lo)
 		for i := lo; i < hi; i++ {
@@ -331,7 +299,7 @@ func parsePolygonRecord(b []byte) (geom.MultiPolygon, error) {
 			pg = pg[:len(pg)-1]
 		}
 		if len(pg) < 3 {
-			return nil, fmt.Errorf("shapefile: part %d has %d vertices", p, len(pg))
+			return nil, fmt.Errorf("shapefile: part %d has %d vertices: %w", p, len(pg), ErrFormat)
 		}
 		mp = append(mp, pg.EnsureCCW())
 	}
@@ -340,21 +308,23 @@ func parsePolygonRecord(b []byte) (geom.MultiPolygon, error) {
 
 // --- .dbf ---
 
-func writeDBF(fields []Field, records []Record) ([]byte, error) {
+// buildDBFHeader emits the 32-byte preamble, the field descriptors and
+// the 0x0D terminator for a table of numRecords rows.
+func buildDBFHeader(fields []Field, numRecords int) []byte {
 	recSize := 1 // deletion flag
 	for _, f := range fields {
 		recSize += f.Length
 	}
 	headerSize := 32 + 32*len(fields) + 1
 
-	var buf bytes.Buffer
+	out := make([]byte, 0, headerSize)
 	h := make([]byte, 32)
 	h[0] = 0x03 // dBASE III, no memo
 	h[1], h[2], h[3] = 126, 7, 4
-	binary.LittleEndian.PutUint32(h[4:8], uint32(len(records)))
+	binary.LittleEndian.PutUint32(h[4:8], uint32(numRecords))
 	binary.LittleEndian.PutUint16(h[8:10], uint16(headerSize))
 	binary.LittleEndian.PutUint16(h[10:12], uint16(recSize))
-	buf.Write(h)
+	out = append(out, h...)
 
 	for _, f := range fields {
 		fd := make([]byte, 32)
@@ -365,52 +335,51 @@ func writeDBF(fields []Field, records []Record) ([]byte, error) {
 			fd[11] = 'C'
 		}
 		fd[16] = byte(f.Length)
-		buf.Write(fd)
+		out = append(out, fd...)
 	}
-	buf.WriteByte(0x0D)
-
-	for i, r := range records {
-		buf.WriteByte(' ') // not deleted
-		for _, f := range fields {
-			v := r.Attrs[f.Name]
-			if len(v) > f.Length {
-				return nil, fmt.Errorf("shapefile: record %d field %q value %q exceeds length %d",
-					i, f.Name, v, f.Length)
-			}
-			if f.Numeric {
-				// Numeric fields are right-justified, space padded.
-				buf.WriteString(strings.Repeat(" ", f.Length-len(v)))
-				buf.WriteString(v)
-			} else {
-				buf.WriteString(v)
-				buf.WriteString(strings.Repeat(" ", f.Length-len(v)))
-			}
-		}
-	}
-	buf.WriteByte(0x1A)
-	return buf.Bytes(), nil
+	return append(out, 0x0D)
 }
 
-func readDBF(b []byte) ([]Field, []map[string]string, error) {
-	if len(b) < 33 {
-		return nil, nil, fmt.Errorf("shapefile: .dbf too short")
+// appendDBFRow appends one encoded attribute row. idx is only used in
+// error messages.
+func appendDBFRow(dst []byte, fields []Field, attrs map[string]string, idx int) ([]byte, error) {
+	dst = append(dst, ' ') // not deleted
+	for _, f := range fields {
+		v := attrs[f.Name]
+		if len(v) > f.Length {
+			return nil, fmt.Errorf("shapefile: record %d field %q value %q exceeds length %d",
+				idx, f.Name, v, f.Length)
+		}
+		pad := strings.Repeat(" ", f.Length-len(v))
+		if f.Numeric {
+			// Numeric fields are right-justified, space padded.
+			dst = append(dst, pad...)
+			dst = append(dst, v...)
+		} else {
+			dst = append(dst, v...)
+			dst = append(dst, pad...)
+		}
 	}
-	numRecords := int(binary.LittleEndian.Uint32(b[4:8]))
-	headerSize := int(binary.LittleEndian.Uint16(b[8:10]))
-	recSize := int(binary.LittleEndian.Uint16(b[10:12]))
-	if headerSize < 33 || headerSize > len(b) {
-		return nil, nil, fmt.Errorf("shapefile: bad .dbf header size %d", headerSize)
+	return dst, nil
+}
+
+func writeDBF(fields []Field, records []Record) ([]byte, error) {
+	out := buildDBFHeader(fields, len(records))
+	var err error
+	for i, r := range records {
+		if out, err = appendDBFRow(out, fields, r.Attrs, i); err != nil {
+			return nil, err
+		}
 	}
-	if recSize < 1 {
-		return nil, nil, fmt.Errorf("shapefile: bad .dbf record size %d", recSize)
-	}
-	if numRecords < 0 || numRecords > (len(b)-headerSize)/recSize+1 {
-		return nil, nil, fmt.Errorf("shapefile: .dbf claims %d records of %d bytes but only %d bytes remain",
-			numRecords, recSize, len(b)-headerSize)
-	}
+	return append(out, 0x1A), nil
+}
+
+// parseDBFFields decodes the field descriptors (the header bytes past
+// the 32-byte preamble, up to and including the 0x0D terminator).
+func parseDBFFields(desc []byte) ([]Field, error) {
 	var fields []Field
-	for off := 32; off+32 <= headerSize-1; off += 32 {
-		fd := b[off : off+32]
+	for off := 0; off+32 <= len(desc)-1; off += 32 {
+		fd := desc[off : off+32]
 		if fd[0] == 0x0D {
 			break
 		}
@@ -421,32 +390,60 @@ func readDBF(b []byte) ([]Field, []map[string]string, error) {
 			Length:  int(fd[16]),
 		})
 	}
+	return fields, nil
+}
+
+// parseDBFRow decodes one non-deleted record's attribute values.
+func parseDBFRow(rec []byte, fields []Field) map[string]string {
+	row := make(map[string]string, len(fields))
+	p := 1 // past the deletion flag
+	for _, f := range fields {
+		row[f.Name] = strings.TrimSpace(string(rec[p : p+f.Length]))
+		p += f.Length
+	}
+	return row
+}
+
+func readDBF(b []byte) ([]Field, []map[string]string, error) {
+	if len(b) < 33 {
+		return nil, nil, fmt.Errorf("shapefile: .dbf too short: %w", ErrTruncated)
+	}
+	numRecords := int(binary.LittleEndian.Uint32(b[4:8]))
+	headerSize := int(binary.LittleEndian.Uint16(b[8:10]))
+	recSize := int(binary.LittleEndian.Uint16(b[10:12]))
+	if headerSize < 33 || headerSize > len(b) {
+		return nil, nil, fmt.Errorf("shapefile: bad .dbf header size %d: %w", headerSize, ErrFormat)
+	}
+	if recSize < 1 {
+		return nil, nil, fmt.Errorf("shapefile: bad .dbf record size %d: %w", recSize, ErrFormat)
+	}
+	if numRecords < 0 || numRecords > (len(b)-headerSize)/recSize+1 {
+		return nil, nil, fmt.Errorf("shapefile: .dbf claims %d records of %d bytes but only %d bytes remain: %w",
+			numRecords, recSize, len(b)-headerSize, ErrTruncated)
+	}
+	fields, err := parseDBFFields(b[32:headerSize])
+	if err != nil {
+		return nil, nil, err
+	}
 	fieldBytes := 1 // deletion flag
 	for _, f := range fields {
 		fieldBytes += f.Length
 	}
 	if fieldBytes > recSize {
-		return nil, nil, fmt.Errorf("shapefile: .dbf fields need %d bytes but record size is %d", fieldBytes, recSize)
+		return nil, nil, fmt.Errorf("shapefile: .dbf fields need %d bytes but record size is %d: %w", fieldBytes, recSize, ErrFormat)
 	}
 	rows := make([]map[string]string, 0, numRecords)
 	off := headerSize
 	for r := 0; r < numRecords; r++ {
 		if off+recSize > len(b) {
-			return nil, nil, fmt.Errorf("shapefile: truncated .dbf record %d", r)
+			return nil, nil, fmt.Errorf("shapefile: truncated .dbf record %d: %w", r, ErrTruncated)
 		}
 		rec := b[off : off+recSize]
 		off += recSize
 		if rec[0] == '*' { // deleted
 			continue
 		}
-		row := make(map[string]string, len(fields))
-		p := 1
-		for _, f := range fields {
-			raw := strings.TrimSpace(string(rec[p : p+f.Length]))
-			row[f.Name] = raw
-			p += f.Length
-		}
-		rows = append(rows, row)
+		rows = append(rows, parseDBFRow(rec, fields))
 	}
 	return fields, rows, nil
 }

@@ -1,0 +1,169 @@
+package shapefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"geoalign/internal/geom"
+)
+
+// Writer emits a shapefile record by record without buffering the
+// layer: records stream to the three component writers as they arrive
+// and the headers — which carry the total length, bounding box and
+// record count — are patched in place by Close. Output is
+// byte-identical to WriteMulti over the same records, so round-trip
+// tests hold for either path; the streaming path exists so generators
+// (cmd/datagen's TIGER-like mode) can emit million-polygon layers with
+// memory bounded by one record.
+type Writer struct {
+	shp, shx, dbf io.WriteSeeker
+	fields        []Field
+
+	bbox      geom.BBox
+	n         int
+	bodyWords int // .shp record bytes written so far, in 16-bit words
+	closed    bool
+}
+
+// NewWriter writes placeholder headers to the three components and
+// returns a Writer ready for records. All three writers are required;
+// the .dbf schema may be empty (fields nil) for attribute-less layers.
+func NewWriter(shp, shx, dbf io.WriteSeeker, fields []Field) (*Writer, error) {
+	if shp == nil || shx == nil || dbf == nil {
+		return nil, fmt.Errorf("shapefile: NewWriter requires .shp, .shx and .dbf writers")
+	}
+	if err := validateFields(fields); err != nil {
+		return nil, err
+	}
+	w := &Writer{shp: shp, shx: shx, dbf: dbf, fields: fields, bbox: geom.EmptyBBox()}
+	// Placeholder main headers; Close rewrites them with the final
+	// lengths and bounding box.
+	empty := mainHeader(headerLen/2, geom.EmptyBBox())
+	if _, err := shp.Write(empty); err != nil {
+		return nil, err
+	}
+	if _, err := shx.Write(empty); err != nil {
+		return nil, err
+	}
+	if _, err := dbf.Write(buildDBFHeader(fields, 0)); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Write appends one record: the geometry to .shp (one part per
+// polygon), its index entry to .shx, and the attribute row to .dbf.
+func (w *Writer) Write(rec MultiRecord) error {
+	if w.closed {
+		return fmt.Errorf("shapefile: Write on closed Writer")
+	}
+	content, rb, err := encodePolygonRecord(rec.Parts)
+	if err != nil {
+		return fmt.Errorf("shapefile: record %d: %w", w.n, err)
+	}
+	row, err := appendDBFRow(nil, w.fields, rec.Attrs, w.n)
+	if err != nil {
+		return err
+	}
+	contentWords := len(content) / 2
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(w.n+1))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(contentWords))
+	if _, err := w.shp.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.shp.Write(content); err != nil {
+		return err
+	}
+	var idx [8]byte
+	binary.BigEndian.PutUint32(idx[0:4], uint32(headerLen/2+w.bodyWords))
+	binary.BigEndian.PutUint32(idx[4:8], uint32(contentWords))
+	if _, err := w.shx.Write(idx[:]); err != nil {
+		return err
+	}
+	if _, err := w.dbf.Write(row); err != nil {
+		return err
+	}
+	w.bodyWords += 4 + contentWords
+	w.bbox = w.bbox.Union(rb)
+	w.n++
+	return nil
+}
+
+// Records returns the number of records written so far.
+func (w *Writer) Records() int { return w.n }
+
+// Close terminates the .dbf and patches the three headers with the
+// final lengths, bounding box and record count. It does not close the
+// underlying writers.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if _, err := w.dbf.Write([]byte{0x1A}); err != nil {
+		return err
+	}
+	patch := func(ws io.WriteSeeker, hdr []byte) error {
+		if _, err := ws.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		_, err := ws.Write(hdr)
+		return err
+	}
+	if err := patch(w.shp, mainHeader(headerLen/2+w.bodyWords, w.bbox)); err != nil {
+		return err
+	}
+	if err := patch(w.shx, mainHeader((headerLen+8*w.n)/2, w.bbox)); err != nil {
+		return err
+	}
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(w.n))
+	if _, err := w.dbf.Seek(4, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := w.dbf.Write(cnt[:]); err != nil {
+		return err
+	}
+	return nil
+}
+
+// CreateWriter creates base+".shp", ".shx" and ".dbf" on disk and
+// returns a Writer over them plus a closer that finalizes the headers
+// and closes the files. On error the closer still releases the files.
+func CreateWriter(base string, fields []Field) (*Writer, func() error, error) {
+	exts := []string{".shp", ".shx", ".dbf"}
+	files := make([]*os.File, 0, len(exts))
+	closeAll := func() error {
+		var first error
+		for _, f := range files {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	for _, ext := range exts {
+		f, err := os.Create(base + ext)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		files = append(files, f)
+	}
+	w, err := NewWriter(files[0], files[1], files[2], fields)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	closer := func() error {
+		err := w.Close()
+		if cerr := closeAll(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+	return w, closer, nil
+}

@@ -1,0 +1,174 @@
+package shapefile
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geoalign/internal/geom"
+)
+
+// memSeeker is an in-memory io.WriteSeeker for header-patch testing.
+type memSeeker struct {
+	buf []byte
+	off int64
+}
+
+func (m *memSeeker) Write(p []byte) (int, error) {
+	end := m.off + int64(len(p))
+	if end > int64(len(m.buf)) {
+		grown := make([]byte, end)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	copy(m.buf[m.off:end], p)
+	m.off = end
+	return len(p), nil
+}
+
+func (m *memSeeker) Seek(off int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		m.off = off
+	case io.SeekCurrent:
+		m.off += off
+	case io.SeekEnd:
+		m.off = int64(len(m.buf)) + off
+	default:
+		return 0, fmt.Errorf("bad whence %d", whence)
+	}
+	return m.off, nil
+}
+
+// TestWriterByteIdentical pins the streaming Writer to WriteMulti's
+// exact output, so snapshots of either path interoperate.
+func TestWriterByteIdentical(t *testing.T) {
+	rect := func(x, y, w, h float64) geom.Polygon {
+		return geom.Rect(geom.BBox{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h})
+	}
+	f := &MultiFile{
+		Fields: []Field{{Name: "NAME", Length: 10}, {Name: "VAL", Numeric: true, Length: 7}},
+		Records: []MultiRecord{
+			{Parts: geom.MultiPolygon{rect(0, 0, 1, 1)}, Attrs: map[string]string{"NAME": "alpha", "VAL": "1.5"}},
+			{Parts: geom.MultiPolygon{rect(2, 0, 2, 1), rect(5, 5, 1, 2)}, Attrs: map[string]string{"NAME": "beta", "VAL": "22"}},
+			{Parts: geom.MultiPolygon{geom.Polygon{{X: 9, Y: 9}, {X: 11, Y: 9.5}, {X: 10, Y: 11}}}, Attrs: map[string]string{"NAME": "gamma", "VAL": "0.25"}},
+		},
+	}
+	wantSHP, wantSHX, wantDBF, err := WriteMulti(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var shp, shx, dbf memSeeker
+	w, err := NewWriter(&shp, &shx, &dbf, f.Fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != len(f.Records) {
+		t.Fatalf("Records() = %d", w.Records())
+	}
+	if !bytes.Equal(shp.buf, wantSHP) {
+		t.Errorf(".shp differs: streaming %d bytes, batch %d", len(shp.buf), len(wantSHP))
+	}
+	if !bytes.Equal(shx.buf, wantSHX) {
+		t.Errorf(".shx differs: streaming %d bytes, batch %d", len(shx.buf), len(wantSHX))
+	}
+	if !bytes.Equal(dbf.buf, wantDBF) {
+		t.Errorf(".dbf differs: streaming %d bytes, batch %d", len(dbf.buf), len(wantDBF))
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	var shp, shx, dbf memSeeker
+	if _, err := NewWriter(&shp, &shx, &dbf, []Field{{Name: "WAYTOOLONGNAME", Length: 4}}); err == nil {
+		t.Error("long field name accepted")
+	}
+	w, err := NewWriter(&shp, &shx, &dbf, []Field{{Name: "N", Length: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(MultiRecord{Parts: geom.MultiPolygon{}}); err == nil {
+		t.Error("empty record accepted")
+	}
+	if err := w.Write(MultiRecord{
+		Parts: geom.MultiPolygon{geom.Rect(geom.BBox{MaxX: 1, MaxY: 1})},
+		Attrs: map[string]string{"N": "toolong"},
+	}); err == nil {
+		t.Error("overflowing attribute accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(MultiRecord{Parts: geom.MultiPolygon{geom.Rect(geom.BBox{MaxX: 1, MaxY: 1})}}); err == nil {
+		t.Error("write after Close accepted")
+	}
+}
+
+// TestCreateWriterRoundTrip streams a layer to disk and reads it back
+// through both OpenScanner (with .shx cross-checking) and ReadMulti.
+func TestCreateWriterRoundTrip(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "stream")
+	w, closer, err := CreateWriter(base, []Field{{Name: "NAME", Length: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		x := float64(i % 5)
+		y := float64(i / 5)
+		rec := MultiRecord{
+			Parts: geom.MultiPolygon{geom.Rect(geom.BBox{MinX: x, MinY: y, MaxX: x + 1, MaxY: y + 1})},
+			Attrs: map[string]string{"NAME": fmt.Sprintf("u%03d", i)},
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, scCloser, err := OpenScanner(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scCloser()
+	got := 0
+	for sc.Next() {
+		r := sc.Record()
+		if want := fmt.Sprintf("u%03d", got); r.Attrs["NAME"] != want {
+			t.Errorf("record %d NAME = %q, want %q", got, r.Attrs["NAME"], want)
+		}
+		if a := r.Parts.Area(); a < 0.99 || a > 1.01 {
+			t.Errorf("record %d area = %v", got, a)
+		}
+		got++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("scanned %d records, want %d", got, n)
+	}
+
+	shp, _ := os.ReadFile(base + ".shp")
+	dbf, _ := os.ReadFile(base + ".dbf")
+	mf, err := ReadMulti(shp, dbf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mf.Records) != n {
+		t.Fatalf("ReadMulti: %d records", len(mf.Records))
+	}
+}

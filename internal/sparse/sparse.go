@@ -32,6 +32,20 @@ func NewCOO(rows, cols int) *COO {
 	return &COO{rows: rows, cols: cols}
 }
 
+// NewCOOWithCapacity returns an empty COO builder with room for nnz
+// entries before the first reallocation. Assembly paths that know the
+// entry count up front (the tiled crosswalk merge) use it to avoid
+// growth copies of multi-million-entry triplet slices.
+func NewCOOWithCapacity(rows, cols, nnz int) *COO {
+	m := NewCOO(rows, cols)
+	if nnz > 0 {
+		m.r = make([]int, 0, nnz)
+		m.c = make([]int, 0, nnz)
+		m.v = make([]float64, 0, nnz)
+	}
+	return m
+}
+
 // Add records v at (row, col). Explicit zeros are preserved through CSR
 // conversion; callers who want them removed use CSR.Prune.
 func (m *COO) Add(row, col int, v float64) {
