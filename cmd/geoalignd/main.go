@@ -42,9 +42,11 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -67,8 +69,40 @@ func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 var publishOnce sync.Once
 
 // onListen, when set by tests, receives the bound address before the
-// server starts accepting.
-var onListen func(net.Addr)
+// server starts accepting. onPprofListen is its -pprof-addr analogue.
+var (
+	onListen      func(net.Addr)
+	onPprofListen func(net.Addr)
+)
+
+// parseBytes accepts plain byte counts or binary-suffixed sizes
+// (512MiB, 2G, 64KB — K/M/G with optional B/iB, all binary multiples),
+// mirroring the geoalign CLI's -mem flag. Empty means 0.
+func parseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(t)
+	shift := 0
+	for suf, sh := range map[string]int{"K": 10, "M": 20, "G": 30} {
+		for _, full := range []string{suf + "IB", suf + "B", suf} {
+			if strings.HasSuffix(upper, full) {
+				upper = strings.TrimSuffix(upper, full)
+				shift = sh
+				break
+			}
+		}
+		if shift != 0 {
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 512MiB, 2GiB, 1048576)", s)
+	}
+	return n << shift, nil
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -94,6 +128,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers     = fs.Int("workers", 0, "engine worker-pool size for batch solves (0 = NumCPU)")
 		snapDir     = fs.String("snapshot-dir", "", "engine snapshot directory: map <name>.snap when present, else build and persist it")
 		snapEvery   = fs.Int("snapshot-every", 0, "re-persist an engine's snapshot after every N applied deltas (needs -snapshot-dir; 0 = never)")
+		cacheBytes  = fs.String("result-cache-bytes", "", "align result cache budget (e.g. 256MiB); repeated objectives answer from stored bytes, hot swaps invalidate; empty or 0 disables")
+		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
 	)
 	fs.Var(&engineSpecs, "engine", "name=xwalk1.csv[,xwalk2.csv...]; repeatable")
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +137,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	if len(engineSpecs) == 0 && !*demo {
 		return fmt.Errorf("no engines: give at least one -engine spec or -demo")
+	}
+	resultCacheBytes, err := parseBytes(*cacheBytes)
+	if err != nil {
+		return fmt.Errorf("-result-cache-bytes: %w", err)
 	}
 
 	reg := serve.NewRegistry()
@@ -135,11 +175,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	cfg := serve.Config{
-		MaxBatch:       *maxBatch,
-		MaxWait:        *maxWait,
-		MaxInFlight:    *maxInflight,
-		QueueWait:      *queueWait,
-		RequestTimeout: *reqTimeout,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		MaxInFlight:      *maxInflight,
+		QueueWait:        *queueWait,
+		RequestTimeout:   *reqTimeout,
+		ResultCacheBytes: resultCacheBytes,
 	}
 	if *snapDir != "" && *snapEvery > 0 {
 		dir := *snapDir
@@ -157,6 +198,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	srv := serve.NewServer(reg, cfg)
 	publishOnce.Do(func() { expvar.Publish("geoalignd", srv.Metrics().Var()) })
+
+	// Profiling stays off the serving address: -pprof-addr binds its own
+	// listener (typically loopback-only) with just the pprof handlers, so
+	// exposing the API never exposes the profiler.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof-addr: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ps := &http.Server{Handler: pmux}
+		go ps.Serve(pln)
+		defer ps.Close()
+		if onPprofListen != nil {
+			onPprofListen(pln.Addr())
+		}
+		fmt.Fprintf(stderr, "geoalignd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

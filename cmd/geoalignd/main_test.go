@@ -375,3 +375,124 @@ func TestDemoEngine(t *testing.T) {
 		t.Fatalf("demo align: %v", err)
 	}
 }
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"":        0,
+		"0":       0,
+		"1048576": 1 << 20,
+		"64K":     64 << 10,
+		"64KB":    64 << 10,
+		"64KiB":   64 << 10,
+		"256MiB":  256 << 20,
+		"2G":      2 << 30,
+		" 512mb ": 512 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"x", "-1", "12Q", "1.5G"} {
+		if _, err := parseBytes(in); err == nil {
+			t.Errorf("parseBytes(%q) accepted", in)
+		}
+	}
+}
+
+func TestRunBadResultCacheBytes(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-demo", "-result-cache-bytes", "lots"}, &out, &out)
+	if err == nil || !strings.Contains(err.Error(), "result-cache-bytes") {
+		t.Fatalf("err = %v, want a -result-cache-bytes parse error", err)
+	}
+}
+
+// TestRunPprofAndResultCache boots the daemon with the profiler on its
+// own listener and the result cache enabled, then checks the pprof
+// index answers, the serving address does NOT expose it, and a repeated
+// align is served as a cache hit.
+func TestRunPprofAndResultCache(t *testing.T) {
+	addrc := make(chan net.Addr, 1)
+	pprofc := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrc <- a }
+	onPprofListen = func(a net.Addr) { pprofc <- a }
+	defer func() { onListen, onPprofListen = nil, nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		var out bytes.Buffer
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-demo", "-max-wait", "1ms",
+			"-pprof-addr", "127.0.0.1:0", "-result-cache-bytes", "64MiB"}, &out, &out)
+	}()
+	var addr, pprofAddr net.Addr
+	for addr == nil || pprofAddr == nil {
+		select {
+		case addr = <-addrc:
+		case pprofAddr = <-pprofc:
+		case err := <-done:
+			t.Fatalf("run exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never started listening")
+		}
+	}
+	base := "http://" + addr.String()
+
+	resp, err := http.Get("http://" + pprofAddr.String() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("serving address exposes the profiler")
+	}
+
+	objective := make([]float64, 500)
+	for i := range objective {
+		objective[i] = float64(i%13) + 1
+	}
+	body, _ := json.Marshal(map[string]any{"engine": "demo", "objective": objective})
+	align := func() (string, []byte) {
+		resp, err := http.Post(base+"/v1/align", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("align status %d: %s", resp.StatusCode, raw)
+		}
+		return resp.Header.Get("X-Geoalign-Cache"), raw
+	}
+	how1, first := align()
+	how2, second := align()
+	if how1 != "" || how2 != "hit" {
+		t.Fatalf("cache headers %q then %q, want fresh then hit", how1, how2)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cache hit bytes differ from the fresh solve")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on graceful shutdown", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("run did not exit after context cancellation")
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -14,14 +15,32 @@ import (
 // GC pressure under concurrent load.
 var bufPool sync.Pool
 
+// maxPooledBuf caps the capacity the pool will retain. Without the cap
+// a single oversized request would park its buffer in the pool forever:
+// getBuf discards any pooled buffer too small for the ask, so the pool
+// converges monotonically toward its largest-ever tenant and the
+// "recycled" memory grows without bound. Buffers above the cap are
+// allocated and dropped like any other transient.
+const maxPooledBuf = 4 << 20
+
 func getBuf(n int) []byte {
-	if b, ok := bufPool.Get().([]byte); ok && cap(b) >= n {
-		return b[:n]
+	if b, ok := bufPool.Get().([]byte); ok {
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for this ask but still a valid pool citizen for the
+		// next smaller one; don't leak it out of circulation.
+		bufPool.Put(b[:0]) //nolint:staticcheck // slice header boxing is fine here
 	}
 	return make([]byte, n)
 }
 
-func putBuf(b []byte) { bufPool.Put(b[:0]) } //nolint:staticcheck // slice header boxing is fine here
+func putBuf(b []byte) {
+	if cap(b) > maxPooledBuf {
+		return
+	}
+	bufPool.Put(b[:0]) //nolint:staticcheck // slice header boxing is fine here
+}
 
 // Wire formats. JSON is the default; clients that care about encode
 // overhead can POST application/octet-stream instead:
@@ -89,17 +108,35 @@ func appendFloats(dst []byte, v []float64) []byte {
 	return dst
 }
 
+// appendBinaryResult appends the binary response framing for one
+// aligned attribute to dst. This is the encode-once kernel shared by
+// the streaming writer below and the result cache, which stores the
+// framed bytes so a hit never re-encodes.
+func appendBinaryResult(dst []byte, target, weights []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(target)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(weights)))
+	dst = appendFloats(dst, target)
+	return appendFloats(dst, weights)
+}
+
 // encodeBinaryResult writes the binary response framing for one aligned
-// attribute.
+// attribute through a pooled scratch buffer.
 func encodeBinaryResult(w io.Writer, target, weights []float64) error {
-	buf := getBuf(8 + 8*(len(target)+len(weights)))[:0]
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(target)))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(weights)))
-	buf = appendFloats(buf, target)
-	buf = appendFloats(buf, weights)
+	buf := appendBinaryResult(getBuf(8+8*(len(target)+len(weights)))[:0], target, weights)
 	_, err := w.Write(buf)
 	putBuf(buf)
 	return err
+}
+
+// marshalJSONBody renders body exactly as writeJSON's json.Encoder
+// would put it on the wire (trailing newline included), so cached JSON
+// responses are byte-identical to uncached ones.
+func marshalJSONBody(body any) ([]byte, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
 }
 
 // decodeBinaryResult parses the framing written by encodeBinaryResult;

@@ -65,6 +65,15 @@ type Metrics struct {
 	deltaRejected atomic.Int64 // deltas rejected as malformed
 	persists      atomic.Int64 // snapshot re-persists triggered by deltas
 
+	cacheEnabled       bool         // result cache configured (set once at server build)
+	cacheHits          atomic.Int64 // align responses served from the result cache
+	cacheMisses        atomic.Int64 // lookups that went on to solve (singleflight leaders)
+	cacheEvictions     atomic.Int64 // entries evicted by the LRU byte budget
+	cachePurged        atomic.Int64 // entries dropped eagerly by a generation swap
+	singleflightMerged atomic.Int64 // identical concurrent misses merged into a leader's solve
+	cacheBytes         atomic.Int64 // gauge: current budget charge across shards
+	cacheEntries       atomic.Int64 // gauge: current entry count
+
 	parse  stageLatency
 	queue  stageLatency
 	solve  stageLatency
@@ -109,6 +118,29 @@ func (m *Metrics) BatchedRequests() int64 { return m.batched.Load() }
 // new engine generations.
 func (m *Metrics) DeltasApplied() int64 { return m.deltas.Load() }
 
+// CacheHits reports the number of align responses served straight from
+// the result cache.
+func (m *Metrics) CacheHits() int64 { return m.cacheHits.Load() }
+
+// CacheMisses reports the number of cache lookups that went on to
+// solve (one per singleflight leader).
+func (m *Metrics) CacheMisses() int64 { return m.cacheMisses.Load() }
+
+// CacheEvictions reports the number of entries evicted by the LRU byte
+// budget.
+func (m *Metrics) CacheEvictions() int64 { return m.cacheEvictions.Load() }
+
+// CachePurged reports the number of entries dropped eagerly when a
+// generation swap invalidated them.
+func (m *Metrics) CachePurged() int64 { return m.cachePurged.Load() }
+
+// SingleflightMerged reports how many identical concurrent misses were
+// merged into another request's in-flight solve.
+func (m *Metrics) SingleflightMerged() int64 { return m.singleflightMerged.Load() }
+
+// CacheBytes reports the result cache's current budget charge.
+func (m *Metrics) CacheBytes() int64 { return m.cacheBytes.Load() }
+
 // SnapshotPersists reports the number of snapshot re-persists the delta
 // handler has triggered.
 func (m *Metrics) SnapshotPersists() int64 { return m.persists.Load() }
@@ -141,6 +173,16 @@ func (m *Metrics) Snapshot() map[string]any {
 			"applied":  m.deltas.Load(),
 			"rejected": m.deltaRejected.Load(),
 			"persists": m.persists.Load(),
+		},
+		"result_cache": map[string]any{
+			"enabled":             m.cacheEnabled,
+			"hits":                m.cacheHits.Load(),
+			"misses":              m.cacheMisses.Load(),
+			"evictions":           m.cacheEvictions.Load(),
+			"purged":              m.cachePurged.Load(),
+			"singleflight_merged": m.singleflightMerged.Load(),
+			"bytes":               m.cacheBytes.Load(),
+			"entries":             m.cacheEntries.Load(),
 		},
 		"latency": map[string]any{
 			"parse":  m.parse.snapshot(),

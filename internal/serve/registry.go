@@ -134,6 +134,10 @@ type Registry struct {
 	mu      sync.Mutex
 	engines map[string]*Instance
 	gens    map[string]int
+
+	// swapHooks run after the current generation of a name changes —
+	// outside the registry lock, in registration order. See OnSwap.
+	swapHooks []func(name string, newGen int)
 }
 
 // NewRegistry returns an empty registry.
@@ -194,7 +198,6 @@ func (r *Registry) SwapOwned(name string, al *geoalign.Aligner, loadTime time.Du
 
 func (r *Registry) swap(name string, al *geoalign.Aligner, owned bool, loadTime time.Duration) *Instance {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	old := r.engines[name]
 	in := r.newInstance(name, al)
 	in.owned, in.loadTime = owned, loadTime
@@ -202,18 +205,42 @@ func (r *Registry) swap(name string, al *geoalign.Aligner, owned bool, loadTime 
 	if old != nil {
 		old.retire()
 	}
+	gen, hooks := in.gen, r.swapHooks
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn(name, gen)
+	}
 	return old
+}
+
+// OnSwap registers fn to run after the current generation of any name
+// changes: Swap/SwapOwned report the freshly published generation,
+// Remove reports 0 (nothing is serving the name anymore). Hooks run
+// outside the registry lock, on the swapping goroutine, after the new
+// instance is visible to Acquire — the server uses this to purge
+// result-cache entries keyed to displaced generations. Register hooks
+// before serving traffic; OnSwap is not synchronised against in-flight
+// swaps.
+func (r *Registry) OnSwap(fn func(name string, newGen int)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.swapHooks = append(r.swapHooks, fn)
 }
 
 // Remove retires and unregisters the named engine, returning the
 // retired instance or nil if the name was unknown.
 func (r *Registry) Remove(name string) *Instance {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	old := r.engines[name]
+	var hooks []func(string, int)
 	if old != nil {
 		delete(r.engines, name)
 		old.retire()
+		hooks = r.swapHooks
+	}
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn(name, 0)
 	}
 	return old
 }
@@ -221,6 +248,18 @@ func (r *Registry) Remove(name string) *Instance {
 // Acquire leases the current instance of the named engine. The caller
 // must Release the lease when the request is done.
 func (r *Registry) Acquire(name string) (*Lease, error) {
+	in, err := r.AcquireInstance(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Lease{in: in}, nil
+}
+
+// AcquireInstance is the allocation-free variant of Acquire for hot
+// paths: it takes the same ref-counted claim but returns the instance
+// directly instead of wrapping it in a heap-allocated Lease. The caller
+// must call ReleaseInstance (or in.release) exactly once.
+func (r *Registry) AcquireInstance(name string) (*Instance, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	in, ok := r.engines[name]
@@ -228,8 +267,12 @@ func (r *Registry) Acquire(name string) (*Lease, error) {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownEngine, name)
 	}
 	in.acquire()
-	return &Lease{in: in}, nil
+	return in, nil
 }
+
+// ReleaseInstance drops a claim taken with AcquireInstance. Unlike
+// Lease.Release it must be called exactly once per acquire.
+func (r *Registry) ReleaseInstance(in *Instance) { in.release() }
 
 // Generation reports the current generation of the named engine, 0 if
 // the name is unknown.

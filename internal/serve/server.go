@@ -19,6 +19,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"strconv"
@@ -49,6 +50,13 @@ type Config struct {
 	// RequestTimeout, if positive, caps each request's total time via a
 	// context deadline plumbed into the engine.
 	RequestTimeout time.Duration
+	// ResultCacheBytes budgets the generation-keyed align result cache:
+	// repeated (engine generation, objective) pairs are answered from
+	// already-encoded response bytes without solving, and identical
+	// concurrent misses collapse into one solve. 0 (the default)
+	// disables the cache. Hits bypass the admission gate — they cost a
+	// shard lookup and one Write, not a solve slot.
+	ResultCacheBytes int64
 	// SnapshotEvery, if positive, invokes SnapshotPersist after every
 	// SnapshotEvery deltas applied to an engine name, so a long-lived
 	// server's on-disk snapshot tracks its live state. 0 disables
@@ -87,6 +95,7 @@ type Server struct {
 	metrics  *Metrics
 	coal     *Coalescer
 	gate     *gate
+	cache    *ResultCache // nil when ResultCacheBytes == 0
 	mux      *http.ServeMux
 	baseCtx  context.Context
 	cancel   context.CancelFunc
@@ -117,6 +126,15 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	}
 	m.queueDepth = s.gate.depth
 	m.engines = reg.Totals
+	if cfg.ResultCacheBytes > 0 {
+		s.cache = newResultCache(cfg.ResultCacheBytes, m)
+		m.cacheEnabled = true
+		// Eager invalidation: a hot swap purges every entry cached
+		// against the displaced generations so memory accounting stays
+		// honest between swaps. (Correctness never depends on this —
+		// stale keys can't be looked up again — it only bounds waste.)
+		reg.OnSwap(func(name string, newGen int) { s.cache.purge(name, newGen) })
+	}
 	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
 	s.mux.HandleFunc("POST /v1/align/batch", s.handleAlignBatch)
 	s.mux.HandleFunc("GET /v1/engines", s.handleEngines)
@@ -134,6 +152,9 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Registry returns the engine registry the server routes over.
 func (s *Server) Registry() *Registry { return s.registry }
+
+// ResultCache returns the server's result cache, nil when disabled.
+func (s *Server) ResultCache() *ResultCache { return s.cache }
 
 // Shutdown drains the serving layer. Call it after http.Server.Shutdown
 // has returned (so no new requests are arriving): it runs every batch
@@ -213,71 +234,160 @@ func readBody(r io.Reader, contentLength int64) ([]byte, error) {
 	return buf, nil
 }
 
-// parseAlign decodes a single-align request body by content type.
-func (s *Server) parseAlign(w http.ResponseWriter, r *http.Request) (engine string, objective []float64, binary, ok bool) {
-	engine = r.URL.Query().Get("engine")
-	body := http.MaxBytesReader(w, r.Body, 1<<28)
-	if r.Header.Get("Content-Type") == contentTypeBinary {
-		raw, err := readBody(body, r.ContentLength)
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
-			return "", nil, true, false
-		}
-		objective, err = decodeFloats(raw)
-		putBuf(raw)
-		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err.Error())
-			return "", nil, true, false
-		}
-		if engine == "" {
-			s.writeError(w, http.StatusBadRequest, "binary requests name the engine via ?engine=")
-			return "", nil, true, false
-		}
-		return engine, objective, true, true
-	}
-	var req alignRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
-		return "", nil, false, false
-	}
-	if req.Engine != "" {
-		engine = req.Engine
-	}
-	if engine == "" {
-		s.writeError(w, http.StatusBadRequest, "missing engine name")
-		return "", nil, false, false
-	}
-	return engine, req.Objective, false, true
+// isCtxErr reports whether err is a context cancellation or deadline —
+// an error private to one request rather than a property of the solve.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// handleAlign is the single-attribute serving path, restructured around
+// "encode once, serve many": parse and validate, key the result cache
+// by (engine name, generation, objective digest), and only on a cache
+// miss admit through the gate and solve. A binary-protocol hit never
+// even decodes the objective — the digest is computed straight over the
+// raw little-endian body, and the response is one Write of stored
+// bytes.
 func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests.Add(1)
 	t0 := time.Now()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 
-	name, objective, binary, ok := s.parseAlign(w, r)
-	if !ok {
-		return
+	name := r.URL.Query().Get("engine")
+	binary := r.Header.Get("Content-Type") == contentTypeBinary
+	body := http.MaxBytesReader(w, r.Body, 1<<28)
+
+	// Parse: binary bodies stay raw bytes until a solve is actually
+	// needed; JSON decodes to floats (digesting either form produces the
+	// same key — see digestFloats).
+	var raw []byte // pooled; every return path below must putBuf it
+	var objective []float64
+	if binary {
+		var err error
+		raw, err = readBody(body, r.ContentLength)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+		if len(raw)%8 != 0 {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("serve: binary payload of %d bytes is not a whole number of float64s", len(raw)))
+			putBuf(raw)
+			return
+		}
+		if name == "" {
+			s.writeError(w, http.StatusBadRequest, "binary requests name the engine via ?engine=")
+			putBuf(raw)
+			return
+		}
+	} else {
+		var req alignRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+			return
+		}
+		if req.Engine != "" {
+			name = req.Engine
+		}
+		if name == "" {
+			s.writeError(w, http.StatusBadRequest, "missing engine name")
+			return
+		}
+		objective = req.Objective
 	}
-	lease, err := s.registry.Acquire(name)
+
+	in, err := s.registry.AcquireInstance(name)
 	if err != nil {
+		if binary {
+			putBuf(raw)
+		}
 		s.writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	defer lease.Release()
-	al := lease.Aligner()
-	if len(objective) != al.SourceUnits() {
+	defer in.release()
+	al := in.Aligner()
+	nObj := len(objective)
+	if binary {
+		nObj = len(raw) / 8
+	}
+	if nObj != al.SourceUnits() {
 		// Validating here keeps malformed requests out of shared
 		// batches: co-batched requests never fail on a stranger's input.
+		if binary {
+			putBuf(raw)
+		}
 		s.writeError(w, http.StatusBadRequest,
-			"objective has "+strconv.Itoa(len(objective))+" values, engine expects "+strconv.Itoa(al.SourceUnits()))
+			"objective has "+strconv.Itoa(nObj)+" values, engine expects "+strconv.Itoa(al.SourceUnits()))
 		return
 	}
 	tParsed := time.Now()
 	s.metrics.parse.observe(tParsed.Sub(t0))
 
+	// Fast path: the generation-keyed result cache. A hit (or a merge
+	// into an identical in-flight solve) is resolved here; only a
+	// singleflight leader falls through to the solve below.
+	var key resultKey
+	var flight *cacheFlight
+	if s.cache != nil {
+		if binary {
+			key = cacheKeyBytes(name, in.Generation(), raw)
+		} else {
+			key = cacheKeyFloats(name, in.Generation(), objective)
+		}
+		for flight == nil {
+			e, f, leader := s.cache.lookup(key)
+			if e != nil {
+				if binary {
+					putBuf(raw)
+				}
+				s.writeCached(w, e, binary, "hit")
+				s.metrics.encode.observe(time.Since(tParsed))
+				return
+			}
+			if leader {
+				flight = f
+				break
+			}
+			// Follower: wait for the leader's answer without taking an
+			// admission slot — N identical misses cost one solve.
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				if binary {
+					putBuf(raw)
+				}
+				s.metrics.cancelled.Add(1)
+				s.writeError(w, solveError(ctx.Err()), ctx.Err().Error())
+				return
+			}
+			if f.err == nil {
+				if binary {
+					putBuf(raw)
+				}
+				s.writeCached(w, f.entry, binary, "merged")
+				s.metrics.encode.observe(time.Since(tParsed))
+				return
+			}
+			if isCtxErr(f.err) {
+				continue // the leader's client went away, not ours; retry
+			}
+			if binary {
+				putBuf(raw)
+			}
+			s.writeError(w, solveError(f.err), f.err.Error())
+			return
+		}
+	}
+
+	if binary {
+		objective, _ = decodeFloats(raw) // length validated above
+		putBuf(raw)
+	}
+
 	if err := s.gate.acquire(ctx); err != nil {
+		if flight != nil {
+			s.cache.abort(key, flight, err)
+		}
 		if errors.Is(err, ErrShed) {
 			s.writeError(w, http.StatusTooManyRequests, "server at capacity")
 		} else {
@@ -292,13 +402,16 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	var res *geoalign.Result
 	batched := 1
 	if s.cfg.MaxBatch > 1 {
-		res, batched, err = s.coal.Submit(ctx, lease.Instance(), objective)
+		res, batched, err = s.coal.Submit(ctx, in, objective)
 	} else {
 		res, err = al.AlignContext(ctx, objective)
 	}
 	s.gate.release()
 	s.metrics.solve.observe(time.Since(tAdmitted))
 	if err != nil {
+		if flight != nil {
+			s.cache.abort(key, flight, err)
+		}
 		if errors.Is(err, context.Canceled) {
 			s.metrics.cancelled.Add(1)
 		}
@@ -307,6 +420,21 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	}
 
 	tSolved := time.Now()
+	if flight != nil {
+		// Encode once into cacheable bytes, publish to followers and the
+		// cache, and answer from the same bytes every later hit reuses.
+		entry, err := s.newCacheEntry(key, name, res, batched)
+		if err != nil {
+			s.cache.abort(key, flight, err)
+			s.writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		s.cache.complete(key, flight, entry)
+		s.writeCached(w, entry, binary, "")
+		s.metrics.encode.observe(time.Since(tSolved))
+		return
+	}
+
 	w.Header().Set("X-Geoalign-Batch", strconv.Itoa(batched))
 	if binary {
 		w.Header().Set("Content-Type", contentTypeBinary)
@@ -322,6 +450,47 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.metrics.encode.observe(time.Since(tSolved))
+	s.metrics.ok.Add(1)
+}
+
+// newCacheEntry encodes a solved result once into both wire formats.
+func (s *Server) newCacheEntry(key resultKey, name string, res *geoalign.Result, batched int) (*cacheEntry, error) {
+	jsonBody, err := marshalJSONBody(alignResponse{
+		Engine:  name,
+		Target:  res.Target,
+		Weights: res.Weights,
+		Batched: batched,
+	})
+	if err != nil {
+		return nil, err
+	}
+	bin := appendBinaryResult(make([]byte, 0, 8+8*(len(res.Target)+len(res.Weights))), res.Target, res.Weights)
+	e := &cacheEntry{
+		key:        key,
+		bin:        bin,
+		json:       jsonBody,
+		batchedStr: strconv.Itoa(batched),
+	}
+	e.size = entrySize(key, e.bin, e.json)
+	return e, nil
+}
+
+// writeCached answers a request from an entry's stored bytes. how tags
+// the X-Geoalign-Cache header ("hit", "merged", or "" for the leader's
+// own freshly solved response). The body bytes are identical to what
+// the uncached encode path would produce.
+func (s *Server) writeCached(w http.ResponseWriter, e *cacheEntry, binary bool, how string) {
+	if how != "" {
+		w.Header().Set("X-Geoalign-Cache", how)
+	}
+	w.Header().Set("X-Geoalign-Batch", e.batchedStr)
+	if binary {
+		w.Header().Set("Content-Type", contentTypeBinary)
+		w.Write(e.bin)
+	} else {
+		w.Header().Set("Content-Type", contentTypeJSON)
+		w.Write(e.json)
+	}
 	s.metrics.ok.Add(1)
 }
 

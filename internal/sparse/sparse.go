@@ -110,8 +110,7 @@ func (m *CSR) sortRowsAndMerge() {
 	write := 0
 	for i := 0; i < m.Rows; i++ {
 		start, end := m.IndPtr[i], m.IndPtr[i+1]
-		row := rowSorter{col: m.ColIdx[start:end], val: m.Val[start:end]}
-		sort.Sort(row)
+		sortRow(m.ColIdx[start:end], m.Val[start:end])
 		outPtr[i] = write
 		for k := start; k < end; k++ {
 			if write > outPtr[i] && outCol[write-1] == m.ColIdx[k] {
@@ -132,16 +131,68 @@ func (m *CSR) sortRowsAndMerge() {
 	m.Val = outVal[:write]
 }
 
-type rowSorter struct {
-	col []int
-	val []float64
+// insertionSortMax is the row length up to which sortRow uses the
+// stable insertion sort. Overlap-matrix rows — one source unit's
+// handful of target intersections — essentially always fit.
+const insertionSortMax = 48
+
+// sortRow orders a row's column indices (carrying values) in place.
+// It replaces the old sort.Sort(rowSorter{...}) call, which boxed an
+// interface value per row and paid indirect Less/Swap calls per
+// comparison — measurable across the millions of rows a nationwide
+// build converts. Short rows use a stable insertion sort; longer rows
+// fall back to an in-place heapsort. Neither allocates.
+//
+// Stability matters for duplicate columns: ToCSR sums duplicates in
+// the order the merge pass encounters them, so a stable sort keeps the
+// floating-point summation order equal to the entries' appearance
+// order. The heapsort path is unstable, but beyond two duplicates per
+// column in a 48+ entry row the summation order was never contractual
+// (two-term sums are order-independent: IEEE addition commutes).
+func sortRow(col []int, val []float64) {
+	if len(col) <= insertionSortMax {
+		for i := 1; i < len(col); i++ {
+			c, v := col[i], val[i]
+			j := i - 1
+			for j >= 0 && col[j] > c {
+				col[j+1], val[j+1] = col[j], val[j]
+				j--
+			}
+			col[j+1], val[j+1] = c, v
+		}
+		return
+	}
+	heapSortRow(col, val)
 }
 
-func (s rowSorter) Len() int           { return len(s.col) }
-func (s rowSorter) Less(i, j int) bool { return s.col[i] < s.col[j] }
-func (s rowSorter) Swap(i, j int) {
-	s.col[i], s.col[j] = s.col[j], s.col[i]
-	s.val[i], s.val[j] = s.val[j], s.val[i]
+func heapSortRow(col []int, val []float64) {
+	n := len(col)
+	for root := n/2 - 1; root >= 0; root-- {
+		siftDownRow(col, val, root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		col[0], col[end] = col[end], col[0]
+		val[0], val[end] = val[end], val[0]
+		siftDownRow(col, val, 0, end)
+	}
+}
+
+func siftDownRow(col []int, val []float64, root, n int) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && col[child+1] > col[child] {
+			child++
+		}
+		if col[root] >= col[child] {
+			return
+		}
+		col[root], col[child] = col[child], col[root]
+		val[root], val[child] = val[child], val[root]
+		root = child
+	}
 }
 
 // NNZ returns the number of stored entries.

@@ -3,6 +3,7 @@ package sparse
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -347,5 +348,146 @@ func TestNewEmptyCSR(t *testing.T) {
 	}
 	if got := m.RowSums(); len(got) != 3 {
 		t.Errorf("RowSums len = %d", len(got))
+	}
+}
+
+// referenceCSR is the specification sortRowsAndMerge is pinned
+// against: per row, stable-sort the entries by column (preserving
+// appearance order among duplicates) and sum duplicates in that order.
+// The old sort.Sort(rowSorter{...}) path and the new insertion path
+// are both stable, so for rows at or under insertionSortMax the CSR
+// output must match this bit for bit; the heapsort path for longer
+// rows is unstable across duplicates, but with at most two entries per
+// (row,col) the two-term sums commute exactly and bit-identity still
+// holds.
+func referenceCSR(rows, cols int, r, c []int, v []float64) *CSR {
+	type trip struct {
+		c   int
+		v   float64
+		ord int
+	}
+	byRow := make([][]trip, rows)
+	for k := range r {
+		byRow[r[k]] = append(byRow[r[k]], trip{c: c[k], v: v[k], ord: k})
+	}
+	out := &CSR{Rows: rows, Cols: cols, IndPtr: make([]int, rows+1)}
+	for i, row := range byRow {
+		sort.SliceStable(row, func(a, b int) bool { return row[a].c < row[b].c })
+		for _, t := range row {
+			n := len(out.ColIdx)
+			if n > out.IndPtr[i] && out.ColIdx[n-1] == t.c {
+				out.Val[n-1] += t.v
+				continue
+			}
+			out.ColIdx = append(out.ColIdx, t.c)
+			out.Val = append(out.Val, t.v)
+		}
+		out.IndPtr[i+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+func csrBitIdentical(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || len(a.ColIdx) != len(b.ColIdx) {
+		return false
+	}
+	for i := range a.IndPtr {
+		if a.IndPtr[i] != b.IndPtr[i] {
+			return false
+		}
+	}
+	for k := range a.ColIdx {
+		if a.ColIdx[k] != b.ColIdx[k] {
+			return false
+		}
+		if math.Float64bits(a.Val[k]) != math.Float64bits(b.Val[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSortRowsAndMergeBitIdentical pins the replacement row sort
+// (insertion + heapsort, no interface boxing) to the stable reference
+// across short rows with arbitrary duplicate multiplicity and long
+// heapsort-path rows with duplicate multiplicity capped at two.
+func TestSortRowsAndMergeBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	t.Run("short-rows-any-multiplicity", func(t *testing.T) {
+		for trial := 0; trial < 200; trial++ {
+			rows, cols := 1+rng.Intn(12), 1+rng.Intn(20)
+			coo := NewCOO(rows, cols)
+			var rr, cc []int
+			var vv []float64
+			// Keep every row at or under the insertion threshold: only the
+			// stable path guarantees bit-identity at arbitrary duplicate
+			// multiplicity.
+			for i := 0; i < rows; i++ {
+				for k := rng.Intn(insertionSortMax + 1); k > 0; k-- {
+					j, v := rng.Intn(cols), rng.NormFloat64()
+					coo.Add(i, j, v)
+					rr, cc, vv = append(rr, i), append(cc, j), append(vv, v)
+				}
+			}
+			got := coo.ToCSR()
+			want := referenceCSR(rows, cols, rr, cc, vv)
+			if !csrBitIdentical(got, want) {
+				t.Fatalf("trial %d: ToCSR diverges from stable reference (%d rows, %d cols, %d nnz)",
+					trial, rows, cols, len(vv))
+			}
+		}
+	})
+	t.Run("long-rows-heapsort-path", func(t *testing.T) {
+		for trial := 0; trial < 50; trial++ {
+			cols := insertionSortMax*4 + rng.Intn(200)
+			coo := NewCOO(2, cols)
+			var rr, cc []int
+			var vv []float64
+			// Row 0 well past the insertion threshold; duplicates appear
+			// at most twice per column so summation order cannot matter.
+			perm := rng.Perm(cols)
+			n := insertionSortMax + 1 + rng.Intn(cols-insertionSortMax-1)
+			for _, j := range perm[:n] {
+				reps := 1 + rng.Intn(2)
+				for rep := 0; rep < reps; rep++ {
+					v := rng.NormFloat64()
+					coo.Add(0, j, v)
+					rr, cc, vv = append(rr, 0), append(cc, j), append(vv, v)
+				}
+			}
+			got := coo.ToCSR()
+			want := referenceCSR(2, cols, rr, cc, vv)
+			if !csrBitIdentical(got, want) {
+				t.Fatalf("trial %d: heapsort path diverges from reference (%d entries)", trial, len(vv))
+			}
+			for k := got.IndPtr[0] + 1; k < got.IndPtr[1]; k++ {
+				if got.ColIdx[k] <= got.ColIdx[k-1] {
+					t.Fatalf("trial %d: columns not strictly increasing after merge", trial)
+				}
+			}
+		}
+	})
+}
+
+// TestSortRowAllocationFree pins the satellite's point: neither sort
+// path allocates (the old rowSorter boxed an interface per row).
+func TestSortRowAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{3, insertionSortMax, insertionSortMax * 5} {
+		colRef := make([]int, n)
+		valRef := make([]float64, n)
+		for i := range colRef {
+			colRef[i], valRef[i] = rng.Intn(1<<20), rng.NormFloat64()
+		}
+		col := make([]int, n)
+		val := make([]float64, n)
+		allocs := testing.AllocsPerRun(20, func() {
+			copy(col, colRef)
+			copy(val, valRef)
+			sortRow(col, val)
+		})
+		if allocs != 0 {
+			t.Errorf("sortRow over %d entries: %.1f allocs/op, want 0", n, allocs)
+		}
 	}
 }
