@@ -121,6 +121,26 @@ func (a *Aligner) Weights(objective []float64) ([]float64, error) {
 	return w, nil
 }
 
+// WeightsResidual runs the weight-learning step and additionally
+// reports the relative fitting residual ‖Aβ−b̂‖/‖b̂‖ of the Eq. 15
+// least-squares problem, computed from the cached normal-equations
+// form without touching the design matrix. A small residual means the
+// references reconstruct the objective well on the source partition —
+// the catalog uses it as an accuracy estimate for ranked join
+// candidates. A zero objective reports residual 0.
+func (a *Aligner) WeightsResidual(objective []float64) ([]float64, float64, error) {
+	w, rel, err := a.engine.LearnWeightsResidual(objective)
+	if err != nil {
+		return nil, 0, mapErr(err)
+	}
+	return w, rel, nil
+}
+
+// PatternNNZ returns the number of nonzero entries in the union
+// sparsity pattern of the reference crosswalks — the exact density of
+// the estimated crosswalks this Aligner produces.
+func (a *Aligner) PatternNNZ() int { return a.engine.PatternNNZ() }
+
 // AlignAll crosswalks a batch of objective attributes, fanning the
 // per-attribute solves across the worker pool. results[i] corresponds
 // to objectives[i]; the output is deterministic and identical to

@@ -18,8 +18,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
-	"time"
 	"testing"
+	"time"
 
 	"geoalign/internal/core"
 	"geoalign/internal/eval"

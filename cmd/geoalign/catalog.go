@@ -1,0 +1,307 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"geoalign/internal/catalog"
+	"geoalign/internal/table"
+)
+
+// geoalign catalog manages the alignment catalog offline: the same
+// joinability index geoalignd serves on /v1/catalog/search, built and
+// queried from CSV files without a server.
+//
+//	geoalign catalog build -out catalog.idx \
+//	    -table steam=steam_by_zip.csv:zip \
+//	    -table population=pop_by_county.csv:county \
+//	    -edge zip2county=xwalk.csv:zip:county
+//	    index aggregate tables (name=file.csv[:unittype]) and crosswalk
+//	    edges (name=xwalk.csv[:srctype:tgttype]) into a sidecar file
+//	geoalign catalog search -index catalog.idx -table steam [-k 10]
+//	geoalign catalog search -index catalog.idx -query other.csv:zip
+//	    rank the indexed tables by how well they can augment the query,
+//	    with the reference chain for each candidate
+//	geoalign catalog search -server http://host:8417 -table steam
+//	    run the same search against a live geoalignd
+//	geoalign catalog info -index catalog.idx
+//	geoalign catalog info -server http://host:8417
+//	    list indexed tables, edges, and catalog stats
+func runCatalog(args []string, stdout, stderr io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: geoalign catalog {build|search|info} ...")
+	}
+	switch args[0] {
+	case "build":
+		return runCatalogBuild(args[1:], stdout, stderr)
+	case "search":
+		return runCatalogSearch(args[1:], stdout, stderr)
+	case "info":
+		return runCatalogInfo(args[1:], stdout, stderr)
+	default:
+		return fmt.Errorf("unknown catalog subcommand %q (want build, search, or info)", args[0])
+	}
+}
+
+// splitSpec cuts "name=rest" and returns rest split on ":" — the
+// shared syntax of -table and -edge specs.
+func splitSpec(spec string) (name string, parts []string, err error) {
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" || rest == "" {
+		return "", nil, fmt.Errorf("bad spec %q, want name=file.csv[:tag...]", spec)
+	}
+	return name, strings.Split(rest, ":"), nil
+}
+
+func runCatalogBuild(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("geoalign catalog build", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out        = fs.String("out", catalog.DefaultSidecarName, "output sidecar path")
+		tableSpecs repeated
+		edgeSpecs  repeated
+	)
+	fs.Var(&tableSpecs, "table", "name=aggregate.csv[:unittype]; repeatable")
+	fs.Var(&edgeSpecs, "edge", "name=xwalk.csv[:srctype:tgttype]; repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(tableSpecs) == 0 && len(edgeSpecs) == 0 {
+		return fmt.Errorf("nothing to index: give -table and/or -edge specs")
+	}
+	cat := catalog.New()
+	for _, spec := range tableSpecs {
+		name, parts, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("-table: %w", err)
+		}
+		if len(parts) > 2 {
+			return fmt.Errorf("-table %q: want name=file.csv[:unittype]", spec)
+		}
+		agg, err := readAggregate(parts[0])
+		if err != nil {
+			return fmt.Errorf("-table %q: %w", name, err)
+		}
+		ts := catalog.TableSpec{
+			Name:      name,
+			Attribute: agg.Attribute,
+			Keys:      agg.Keys,
+			Values:    agg.Values,
+		}
+		if len(parts) == 2 {
+			ts.UnitType = parts[1]
+		}
+		t, err := cat.RegisterTable(ts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "catalog: table %q: %d units, signature %s\n", name, t.Units(), t.Sig)
+	}
+	for _, spec := range edgeSpecs {
+		name, parts, err := splitSpec(spec)
+		if err != nil {
+			return fmt.Errorf("-edge: %w", err)
+		}
+		if len(parts) != 1 && len(parts) != 3 {
+			return fmt.Errorf("-edge %q: want name=xwalk.csv[:srctype:tgttype]", spec)
+		}
+		cw, err := readCrosswalk(parts[0])
+		if err != nil {
+			return fmt.Errorf("-edge %q: %w", name, err)
+		}
+		es := catalog.EdgeSpec{
+			Name:       name,
+			SourceKeys: cw.SourceKeys,
+			TargetKeys: cw.TargetKeys,
+			NNZ:        crosswalkNNZ(cw),
+			References: 1,
+		}
+		if len(parts) == 3 {
+			es.SourceType, es.TargetType = parts[1], parts[2]
+		}
+		e, err := cat.RegisterEdge(es)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "catalog: edge %q: %d -> %d units\n", name, e.SourceUnits(), e.TargetUnits())
+	}
+	if err := cat.Save(*out); err != nil {
+		return err
+	}
+	st := cat.Stats()
+	fmt.Fprintf(stdout, "wrote %s: %d tables, %d edges, %d postings\n", *out, st.Tables, st.Edges, st.Postings)
+	return nil
+}
+
+// crosswalkNNZ counts a crosswalk file's stored entries, the exact
+// density signal for a single-reference edge.
+func crosswalkNNZ(cw *table.Crosswalk) int {
+	return len(cw.DM.ColIdx)
+}
+
+func runCatalogSearch(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("geoalign catalog search", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		index     = fs.String("index", "", "catalog sidecar to search")
+		server    = fs.String("server", "", "geoalignd base URL; search the live catalog instead of a sidecar")
+		tableName = fs.String("table", "", "registered table name to search around")
+		query     = fs.String("query", "", "ad-hoc query: aggregate.csv[:unittype]")
+		k         = fs.Int("k", 10, "max ranked candidates")
+		minScore  = fs.Float64("min-score", 0, "drop candidates scoring below this")
+		system    = fs.String("system", "", "filter candidates to one unit-system kind")
+		asJSON    = fs.Bool("json", false, "emit the raw search result as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*index == "") == (*server == "") {
+		return fmt.Errorf("give exactly one of -index or -server")
+	}
+	if (*tableName == "") == (*query == "") {
+		return fmt.Errorf("give exactly one of -table or -query")
+	}
+	req := catalogSearchBody{Table: *tableName, K: *k, MinScore: *minScore, System: *system}
+	if *query != "" {
+		parts := strings.Split(*query, ":")
+		if len(parts) > 2 {
+			return fmt.Errorf("-query: want aggregate.csv[:unittype]")
+		}
+		agg, err := readAggregate(parts[0])
+		if err != nil {
+			return fmt.Errorf("-query: %w", err)
+		}
+		req.Keys, req.Values = agg.Keys, agg.Values
+		if len(parts) == 2 {
+			req.UnitType = parts[1]
+		}
+	}
+
+	var res catalog.SearchResult
+	if *server != "" {
+		if err := postJSON(strings.TrimRight(*server, "/")+"/v1/catalog/search", req, &res); err != nil {
+			return err
+		}
+	} else {
+		cat, err := catalog.Load(*index)
+		if err != nil {
+			return err
+		}
+		got, err := cat.Search(catalog.Query{
+			Table: req.Table, Keys: req.Keys, Values: req.Values, UnitType: req.UnitType,
+			K: req.K, MinScore: req.MinScore, System: catalog.System(req.System),
+		}, nil)
+		if err != nil {
+			return err
+		}
+		res = *got
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(&res)
+	}
+	fmt.Fprintf(stdout, "query: %d units, signature %s\n", res.Units, res.Signature)
+	if len(res.Candidates) == 0 {
+		fmt.Fprintln(stdout, "no joinable tables found")
+		return nil
+	}
+	for i, c := range res.Candidates {
+		fmt.Fprintf(stdout, "%2d. %-24s score %.3f  est-accuracy %.3f  coverage %.3f  join-on %s\n",
+			i+1, c.Table, c.Score, c.EstAccuracy, c.Coverage, c.JoinOn)
+		for _, h := range c.Chain {
+			fmt.Fprintf(stdout, "      via edge %q (gen %d, coverage %.3f)\n", h.Edge, h.Generation, h.Coverage)
+		}
+	}
+	return nil
+}
+
+// catalogSearchBody mirrors the serve layer's search request JSON.
+type catalogSearchBody struct {
+	Table    string    `json:"table,omitempty"`
+	Keys     []string  `json:"keys,omitempty"`
+	Values   []float64 `json:"values,omitempty"`
+	UnitType string    `json:"unit_type,omitempty"`
+	K        int       `json:"k,omitempty"`
+	MinScore float64   `json:"min_score,omitempty"`
+	System   string    `json:"system,omitempty"`
+}
+
+func postJSON(url string, body, out any) error {
+	var buf strings.Builder
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", strings.NewReader(buf.String()))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, out)
+}
+
+func runCatalogInfo(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("geoalign catalog info", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		index  = fs.String("index", "", "catalog sidecar to describe")
+		server = fs.String("server", "", "geoalignd base URL; describe the live catalog")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*index == "") == (*server == "") {
+		return fmt.Errorf("give exactly one of -index or -server")
+	}
+	if *server != "" {
+		resp, err := http.Get(strings.TrimRight(*server, "/") + "/v1/catalog/tables")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(data)))
+		}
+		var pretty map[string]any
+		if err := json.Unmarshal(data, &pretty); err != nil {
+			return err
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(pretty)
+	}
+	cat, err := catalog.Load(*index)
+	if err != nil {
+		return err
+	}
+	st := cat.Stats()
+	fmt.Fprintf(stdout, "%s: %d tables, %d edges, %d postings\n", *index, st.Tables, st.Edges, st.Postings)
+	for _, t := range cat.Tables() {
+		fmt.Fprintf(stdout, "  table %-24s %-10s %6d units  %s\n", t.Name, t.UnitType, t.Units(), t.Sig)
+	}
+	for _, e := range cat.Edges() {
+		d, known := e.Density()
+		density := "density unknown"
+		if known {
+			density = fmt.Sprintf("density %.4f", d)
+		}
+		fmt.Fprintf(stdout, "  edge  %-24s %6d -> %d units  %s\n", e.Name, e.SourceUnits(), e.TargetUnits(), density)
+	}
+	return nil
+}

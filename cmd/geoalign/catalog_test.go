@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCatalogBuildSearchInfo drives the offline catalog workflow end to
+// end: index two aggregate tables and a crosswalk edge into a sidecar,
+// search around one table, and describe the index.
+func TestCatalogBuildSearchInfo(t *testing.T) {
+	obj, pop, _ := fixture(t)
+	income := writeFile(t, t.TempDir(), "income.csv",
+		"unit,income\nNew York,64894\nWestchester,81946\n")
+	idx := filepath.Join(t.TempDir(), "catalog.idx")
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"catalog", "build", "-out", idx,
+		"-table", "steam=" + obj + ":zip",
+		"-table", "income=" + income + ":county",
+		"-edge", "zip2county=" + pop + ":zip:county"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "2 tables, 1 edges") {
+		t.Fatalf("build output: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	err = run([]string{"catalog", "search", "-index", idx, "-table", "steam"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "income") || !strings.Contains(out, `via edge "zip2county"`) {
+		t.Fatalf("search should chain to income over zip2county: %q", out)
+	}
+
+	// Ad-hoc query by CSV works too and respects -k.
+	stdout.Reset()
+	err = run([]string{"catalog", "search", "-index", idx, "-query", obj + ":zip", "-k", "1"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), " 1. ") || strings.Contains(stdout.String(), " 2. ") {
+		t.Fatalf("-k 1 not honoured: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	err = run([]string{"catalog", "info", "-index", idx}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = stdout.String()
+	for _, want := range []string{"2 tables, 1 edges", "steam", "income", "zip2county", "density"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestCatalogUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, args := range [][]string{
+		{"catalog"},
+		{"catalog", "frobnicate"},
+		{"catalog", "build"},
+		{"catalog", "build", "-table", "noequals"},
+		{"catalog", "search", "-table", "x"}, // neither -index nor -server
+		{"catalog", "search", "-index", "a", "-server", "b", "-table", "x"}, // both
+		{"catalog", "search", "-index", "nope.idx"},                         // neither -table nor -query
+		{"catalog", "search", "-index", "nope.idx", "-table", "x"},          // unreadable index
+		{"catalog", "info"},
+	} {
+		if err := run(args, &out, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -35,6 +35,12 @@
 //	    intersection join — memory bounded by -mem-budget, spilling
 //	    tile buckets to disk as needed — and persist the resulting
 //	    intersection-area engine snapshot; see crosswalk.go
+//	geoalign catalog build -out catalog.idx -table name=agg.csv:zip ...
+//	geoalign catalog search {-index catalog.idx | -server URL} -table name
+//	geoalign catalog info {-index catalog.idx | -server URL}
+//	    build, query, and describe the alignment catalog — the
+//	    joinability index geoalignd serves on /v1/catalog/search; see
+//	    catalog.go
 package main
 
 import (
@@ -70,6 +76,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if len(args) > 0 && args[0] == "crosswalk" {
 		return runCrosswalk(args[1:], stdout, stderr)
+	}
+	if len(args) > 0 && args[0] == "catalog" {
+		return runCatalog(args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("geoalign", flag.ContinueOnError)
 	fs.SetOutput(stderr)

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"geoalign"
+	"geoalign/internal/catalog"
 	"geoalign/internal/serve"
 	"geoalign/internal/sparse"
 	"geoalign/internal/synth"
@@ -163,15 +164,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		metas[name] = meta
 	}
 	if *demo {
-		build := func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error) {
-			al, err := demoEngine(*workers)
-			return al, nil, err
-		}
-		meta, err := registerEngine(reg, "demo", *snapDir, *workers, stderr, build)
+		meta, err := registerEngine(reg, "demo", *snapDir, *workers, stderr, demoEngine(*workers))
 		if err != nil {
 			return fmt.Errorf("demo engine: %w", err)
 		}
 		metas["demo"] = meta
+	}
+
+	// The alignment catalog indexes every registered engine as a
+	// searchable crosswalk edge and serves /v1/catalog/search. With
+	// -snapshot-dir it persists next to the engine snapshots and
+	// survives restarts; without, it lives in memory only.
+	cat := catalog.New()
+	var catalogPersist func(*catalog.Catalog) error
+	if *snapDir != "" {
+		sidecar := filepath.Join(*snapDir, catalog.DefaultSidecarName)
+		if loaded, err := catalog.Load(sidecar); err == nil {
+			cat = loaded
+			st := cat.Stats()
+			fmt.Fprintf(stderr, "geoalignd: catalog: loaded %s (%d tables, %d edges)\n", sidecar, st.Tables, st.Edges)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			// Like an unloadable snapshot: loud line, fresh index, and the
+			// first persist overwrites the bad file.
+			fmt.Fprintf(stderr, "geoalignd: catalog: %v; starting with a fresh index\n", err)
+		}
+		catalogPersist = func(c *catalog.Catalog) error {
+			if err := c.Save(sidecar); err != nil {
+				fmt.Fprintf(stderr, "geoalignd: catalog: persisting %s: %v\n", sidecar, err)
+				return err
+			}
+			return nil
+		}
 	}
 
 	cfg := serve.Config{
@@ -181,6 +204,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		QueueWait:        *queueWait,
 		RequestTimeout:   *reqTimeout,
 		ResultCacheBytes: resultCacheBytes,
+		Catalog:          cat,
+		CatalogPersist:   catalogPersist,
 	}
 	if *snapDir != "" && *snapEvery > 0 {
 		dir := *snapDir
@@ -197,6 +222,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	srv := serve.NewServer(reg, cfg)
+	if catalogPersist != nil {
+		// NewServer seeded the catalog with the registered engines; write
+		// the sidecar once so even a crash before the first mutation
+		// leaves a loadable index.
+		catalogPersist(cat)
+	}
 	publishOnce.Do(func() { expvar.Publish("geoalignd", srv.Metrics().Var()) })
 
 	// Profiling stays off the serving address: -pprof-addr binds its own
@@ -271,7 +302,7 @@ func registerEngine(reg *serve.Registry, name, snapDir string, workers int, stde
 		switch {
 		case err == nil:
 			took := time.Since(start)
-			if rerr := reg.RegisterOwned(name, al, took); rerr != nil {
+			if rerr := reg.RegisterOwnedWithMeta(name, al, took, engineMeta(meta, "snapshot", path)); rerr != nil {
 				al.Close()
 				return nil, rerr
 			}
@@ -290,6 +321,7 @@ func registerEngine(reg *serve.Registry, name, snapDir string, workers int, stde
 		return nil, err
 	}
 	took := time.Since(start)
+	snapPath := ""
 	if snapDir != "" {
 		path := filepath.Join(snapDir, name+".snap")
 		al.PrecomputeSolverCaches()
@@ -297,14 +329,28 @@ func registerEngine(reg *serve.Registry, name, snapDir string, workers int, stde
 			fmt.Fprintf(stderr, "geoalignd: engine %q: persisting snapshot: %v\n", name, werr)
 		} else {
 			fmt.Fprintf(stderr, "geoalignd: engine %q: wrote %s\n", name, path)
+			snapPath = path
 		}
 	}
-	if rerr := reg.RegisterOwned(name, al, took); rerr != nil {
+	if rerr := reg.RegisterOwnedWithMeta(name, al, took, engineMeta(meta, "crosswalks", snapPath)); rerr != nil {
 		return nil, rerr
 	}
 	fmt.Fprintf(stderr, "geoalignd: engine %q: %d sources -> %d targets, %d references (built in %s)\n",
 		name, al.SourceUnits(), al.TargetUnits(), al.References(), took.Round(time.Microsecond))
 	return meta, nil
+}
+
+// engineMeta lifts snapshot metadata into the registry's EngineMeta:
+// unit keys (when the snapshot carried them), provenance, and the
+// backing file. Engines registered with keys become searchable
+// crosswalk edges in the alignment catalog.
+func engineMeta(m *geoalign.SnapshotMeta, provenance, snapPath string) *serve.EngineMeta {
+	em := &serve.EngineMeta{Provenance: provenance, SnapshotPath: snapPath}
+	if m != nil {
+		em.SourceKeys = m.SourceKeys
+		em.TargetKeys = m.TargetKeys
+	}
+	return em
 }
 
 // loadEngine builds a serving engine from reference crosswalk CSVs. The
@@ -346,19 +392,38 @@ func loadEngine(paths []string, workers int) (*geoalign.Aligner, *geoalign.Snaps
 	return al, &geoalign.SnapshotMeta{SourceKeys: srcKeys, TargetKeys: tgtKeys}, nil
 }
 
-// demoEngine registers a synthetic scaling problem so the server can be
-// exercised without data files.
-func demoEngine(workers int) (*geoalign.Aligner, error) {
-	p := synth.ScalingProblem(rand.New(rand.NewSource(42)), 500, 40, 3)
-	refs := make([]geoalign.Reference, len(p.References))
-	for k, r := range p.References {
-		xw, err := publicCrosswalk(r.DM)
-		if err != nil {
-			return nil, err
+// demoEngine builds a synthetic scaling problem so the server can be
+// exercised without data files. The build also fabricates unit keys
+// ("src-0001", "tgt-01"), so the demo engine shows up as a catalog
+// edge and /v1/catalog/search can be tried end to end.
+func demoEngine(workers int) func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error) {
+	return func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error) {
+		const ns, nt = 500, 40
+		p := synth.ScalingProblem(rand.New(rand.NewSource(42)), ns, nt, 3)
+		refs := make([]geoalign.Reference, len(p.References))
+		for k, r := range p.References {
+			xw, err := publicCrosswalk(r.DM)
+			if err != nil {
+				return nil, nil, err
+			}
+			refs[k] = geoalign.Reference{Name: fmt.Sprintf("%s-%d", r.Name, k), Crosswalk: xw}
 		}
-		refs[k] = geoalign.Reference{Name: fmt.Sprintf("%s-%d", r.Name, k), Crosswalk: xw}
+		al, err := newServingAligner(refs, workers)
+		if err != nil {
+			return nil, nil, err
+		}
+		meta := &geoalign.SnapshotMeta{
+			SourceKeys: make([]string, ns),
+			TargetKeys: make([]string, nt),
+		}
+		for i := range meta.SourceKeys {
+			meta.SourceKeys[i] = fmt.Sprintf("src-%04d", i+1)
+		}
+		for j := range meta.TargetKeys {
+			meta.TargetKeys[j] = fmt.Sprintf("tgt-%02d", j+1)
+		}
+		return al, meta, nil
 	}
-	return newServingAligner(refs, workers)
 }
 
 func newServingAligner(refs []geoalign.Reference, workers int) (*geoalign.Aligner, error) {

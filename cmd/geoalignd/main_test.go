@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
@@ -363,12 +364,15 @@ func TestRunDeltaRepersistsSnapshot(t *testing.T) {
 }
 
 func TestDemoEngine(t *testing.T) {
-	al, err := demoEngine(1)
+	al, meta, err := demoEngine(1)()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if al.SourceUnits() != 500 || al.TargetUnits() != 40 || al.References() != 3 {
 		t.Fatalf("demo shape %d/%d/%d", al.SourceUnits(), al.TargetUnits(), al.References())
+	}
+	if meta == nil || len(meta.SourceKeys) != 500 || len(meta.TargetKeys) != 40 {
+		t.Fatalf("demo meta should carry synthetic unit keys, got %+v", meta)
 	}
 	if _, err := al.Align(make([]float64, 500)); err != nil {
 		// An all-zero objective is still a valid (if degenerate) input.
@@ -494,5 +498,158 @@ func TestRunPprofAndResultCache(t *testing.T) {
 		}
 	case <-time.After(20 * time.Second):
 		t.Fatal("run did not exit after context cancellation")
+	}
+}
+
+// TestRunCatalogSidecar boots the daemon with -snapshot-dir, checks the
+// catalog sidecar lands next to the snapshots with the demo engine
+// indexed as an edge, registers a table over HTTP, restarts, and
+// expects the table back — the catalog survives the restart.
+func TestRunCatalogSidecar(t *testing.T) {
+	snapDir := t.TempDir()
+	addrc := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrc <- a }
+	defer func() { onListen = nil }()
+
+	boot := func() (string, context.CancelFunc, chan error) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			var out bytes.Buffer
+			done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-demo", "-snapshot-dir", snapDir}, &out, &out)
+		}()
+		select {
+		case addr := <-addrc:
+			return "http://" + addr.String(), cancel, done
+		case err := <-done:
+			t.Fatalf("run exited early: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never started listening")
+		}
+		panic("unreachable")
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		t.Helper()
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v on shutdown", err)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("run did not exit")
+		}
+	}
+	listTables := func(base string) (tables []string, edges []string) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/catalog/tables")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var listing struct {
+			Tables []struct {
+				Name string `json:"name"`
+			} `json:"tables"`
+			Edges []struct {
+				Name       string `json:"name"`
+				SourceType string `json:"source_type"`
+			} `json:"edges"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+			t.Fatal(err)
+		}
+		for _, tb := range listing.Tables {
+			tables = append(tables, tb.Name)
+		}
+		for _, e := range listing.Edges {
+			edges = append(edges, e.Name)
+		}
+		return tables, edges
+	}
+
+	base, cancel, done := boot()
+	sidecar := filepath.Join(snapDir, "catalog.idx")
+	if _, err := os.Stat(sidecar); err != nil {
+		t.Fatalf("catalog sidecar not written at boot: %v", err)
+	}
+	if _, edges := listTables(base); len(edges) != 1 || edges[0] != "demo" {
+		t.Fatalf("edges = %v, want the demo engine", edges)
+	}
+
+	// Register a table on the demo engine's source units and search it.
+	keys := make([]string, 120)
+	vals := make([]float64, 120)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("src-%04d", i)
+		vals[i] = float64(i)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"name": "steam", "unit_type": "zip", "keys": keys, "values": vals,
+	})
+	resp, err := http.Post(base+"/v1/catalog/tables", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register table: %d %s", resp.StatusCode, raw)
+	}
+	// A second table on the demo engine's target units: the candidate a
+	// search around "steam" should reach through the demo edge.
+	tgtKeys := make([]string, 40)
+	for i := range tgtKeys {
+		tgtKeys[i] = fmt.Sprintf("tgt-%02d", i)
+	}
+	body, _ = json.Marshal(map[string]any{"name": "income", "unit_type": "county", "keys": tgtKeys})
+	resp, err = http.Post(base+"/v1/catalog/tables", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register income: %d %s", resp.StatusCode, raw)
+	}
+	resp, err = http.Get(base + "/v1/catalog/search?table=steam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: %d %s", resp.StatusCode, raw)
+	}
+	var res struct {
+		Candidates []struct {
+			Table string `json:"table"`
+			Chain []struct {
+				Edge string `json:"edge"`
+			} `json:"chain"`
+		} `json:"candidates"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatalf("search over demo edge found nothing: %s", raw)
+	}
+	if res.Candidates[0].Table != "income" ||
+		len(res.Candidates[0].Chain) != 1 || res.Candidates[0].Chain[0].Edge != "demo" {
+		t.Fatalf("top candidate should chain to income over the demo edge: %s", raw)
+	}
+	stop(cancel, done)
+
+	// Restart on the same directory: the registered tables are back.
+	base, cancel, done = boot()
+	defer stop(cancel, done)
+	tables, edges := listTables(base)
+	if len(tables) != 2 || tables[0] != "income" || tables[1] != "steam" {
+		t.Fatalf("tables after restart = %v, want [income steam]", tables)
+	}
+	if len(edges) != 1 || edges[0] != "demo" {
+		t.Fatalf("edges after restart = %v, want [demo]", edges)
 	}
 }

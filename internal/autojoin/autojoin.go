@@ -14,8 +14,8 @@ package autojoin
 import (
 	"fmt"
 	"sort"
-	"strings"
 
+	"geoalign/internal/catalog"
 	"geoalign/internal/core"
 	"geoalign/internal/table"
 )
@@ -90,18 +90,19 @@ func Join(tables []Table, pool []CrosswalkFile, opts Options) (*Joined, error) {
 	// than a behaviour-changing canonicalisation.
 	out := &Joined{UnitType: target, Keys: keys}
 	cols := make([]*Column, len(tables))
-	groups := make(map[string][]int)
-	var order []string
+	groups := make(map[catalog.GroupID][]int)
+	var order []catalog.GroupID
 	for idx, tb := range tables {
 		if tb.UnitType == target {
-			vals, err := reorderLoose(tb.Data, keys)
-			if err != nil {
-				return nil, fmt.Errorf("autojoin: table %q: %w", tb.Data.Attribute, err)
-			}
-			cols[idx] = &Column{Attribute: tb.Data.Attribute, Values: vals}
+			cols[idx] = &Column{Attribute: tb.Data.Attribute, Values: tb.Data.ReorderLoose(keys)}
 			continue
 		}
-		sig := tb.UnitType + "\x00" + strings.Join(tb.Data.Keys, "\x00")
+		// GroupKey is the catalog's order-sensitive identity for
+		// (unit type, key sequence): identical sequences collide into
+		// one group, any reorder or edit separates — the same grouping
+		// the old string-concatenation signature produced, without
+		// holding a second copy of every key list.
+		sig := catalog.GroupKey(tb.UnitType, tb.Data.Keys)
 		if _, ok := groups[sig]; !ok {
 			order = append(order, sig)
 		}
@@ -138,6 +139,17 @@ func realignGroup(tables []Table, members []int, pool []CrosswalkFile, target st
 	}
 	if len(refs) == 0 {
 		return fmt.Errorf("autojoin: no crosswalk from %q to %q for table %q",
+			first.UnitType, target, first.Data.Attribute)
+	}
+	// A crosswalk of the right type pair that shares no units with the
+	// table reorders to an all-zero matrix; realigning through it would
+	// silently emit a zero column. Refuse instead.
+	nnz := 0
+	for _, r := range refs {
+		nnz += len(r.DM.ColIdx)
+	}
+	if nnz == 0 {
+		return fmt.Errorf("autojoin: crosswalks from %q to %q share no units with table %q",
 			first.UnitType, target, first.Data.Attribute)
 	}
 	engine, err := core.NewEngine(refs, core.Options{})
@@ -224,16 +236,4 @@ func targetKeys(tables []Table, pool []CrosswalkFile, target string) []string {
 		}
 	}
 	return keys
-}
-
-// reorderLoose reorders an on-target table to the joined key order with
-// outer-join semantics: units the table does not report are zero.
-func reorderLoose(a *table.Aggregate, keys []string) ([]float64, error) {
-	out := make([]float64, len(keys))
-	for i, k := range keys {
-		if v, ok := a.Value(k); ok {
-			out[i] = v
-		}
-	}
-	return out, nil
 }

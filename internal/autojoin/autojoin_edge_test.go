@@ -1,0 +1,169 @@
+package autojoin
+
+import (
+	"strings"
+	"testing"
+
+	"geoalign/internal/catalog"
+)
+
+// legacyGroupSig is the pre-catalog grouping signature: unit type and
+// key order concatenated with NUL separators. The catalog.GroupKey
+// rewire must partition tables exactly the way this string did.
+func legacyGroupSig(unitType string, keys []string) string {
+	return unitType + "\x00" + strings.Join(keys, "\x00")
+}
+
+// TestGroupingMatchesLegacyBaseline partitions an adversarial table set
+// both ways — hashed GroupID and the old string signature — and checks
+// the partitions are identical, including the traps: permuted keys,
+// duplicated keys, and same keys under different unit types. (The one
+// deliberate divergence, the legacy NUL ambiguity, is pinned at the
+// end.)
+func TestGroupingMatchesLegacyBaseline(t *testing.T) {
+	specs := []struct {
+		unitType string
+		keys     []string
+	}{
+		{"zip", []string{"a", "b", "c"}},
+		{"zip", []string{"a", "b", "c"}},    // identical ⇒ same group
+		{"zip", []string{"c", "b", "a"}},    // permuted ⇒ different group
+		{"county", []string{"a", "b", "c"}}, // other type ⇒ different group
+		{"zip", []string{"a", "b"}},
+		{"zip", []string{"a", "b", "b"}}, // duplicate key ⇒ different order-sensitive identity
+		{"zip", []string{"a", "b c"}},
+		{"zip", []string{"a b", "c"}},
+		{"tract", nil},
+	}
+	byHash := make(map[catalog.GroupID][]int)
+	byString := make(map[string][]int)
+	for i, s := range specs {
+		h := catalog.GroupKey(s.unitType, s.keys)
+		byHash[h] = append(byHash[h], i)
+		l := legacyGroupSig(s.unitType, s.keys)
+		byString[l] = append(byString[l], i)
+	}
+	if len(byHash) != len(byString) {
+		t.Fatalf("group counts differ: hashed %d, legacy %d", len(byHash), len(byString))
+	}
+	// Same partition: every hashed group must appear verbatim among the
+	// legacy groups (membership lists are in input order on both sides).
+	legacy := make(map[string]bool, len(byString))
+	for _, members := range byString {
+		legacy[intsKey(members)] = true
+	}
+	for id, members := range byHash {
+		if !legacy[intsKey(members)] {
+			t.Errorf("hashed group %v = %v has no legacy counterpart", id, members)
+		}
+	}
+
+	// One deliberate divergence: the legacy signature used NUL both as
+	// separator and as data, so {"a\x00b"} collided with {"a","b"}. The
+	// length-prefixed hash keeps them apart — strictly fewer spurious
+	// engine shares, never more.
+	if legacyGroupSig("zip", []string{"a\x00b"}) != legacyGroupSig("zip", []string{"a", "b"}) {
+		t.Fatal("legacy signature no longer has the NUL ambiguity this test documents")
+	}
+	if catalog.GroupKey("zip", []string{"a\x00b"}) == catalog.GroupKey("zip", []string{"a", "b"}) {
+		t.Error("GroupKey inherited the legacy NUL collision")
+	}
+}
+
+func intsKey(xs []int) string {
+	var b strings.Builder
+	for _, x := range xs {
+		b.WriteByte(byte('0' + x%10))
+		b.WriteByte(byte('0' + x/10))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// TestJoinGroupedMatchesSingletons pins that engine sharing is purely
+// an optimisation: joining two same-keyed tables together (one shared
+// engine, batched AlignAll) gives bit-identical columns to joining each
+// alone (its own engine, singleton group).
+func TestJoinGroupedMatchesSingletons(t *testing.T) {
+	tables, pool := fig1Inputs(t)
+	steam := tables[0]
+	gas := Table{UnitType: "zip", Data: mustAgg(t, "gas",
+		[]string{"10001", "10002", "10003"}, []float64{120, 45, 300})}
+
+	grouped, err := Join([]Table{steam, gas, tables[1]}, pool, Options{TargetType: "county"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aloneSteam, err := Join([]Table{steam, tables[1]}, pool, Options{TargetType: "county"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aloneGas, err := Join([]Table{gas, tables[1]}, pool, Options{TargetType: "county"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range grouped.Columns[0].Values {
+		if v != aloneSteam.Columns[0].Values[i] {
+			t.Fatalf("steam[%d]: grouped %v ≠ singleton %v", i, v, aloneSteam.Columns[0].Values[i])
+		}
+	}
+	for i, v := range grouped.Columns[1].Values {
+		if v != aloneGas.Columns[0].Values[i] {
+			t.Fatalf("gas[%d]: grouped %v ≠ singleton %v", i, v, aloneGas.Columns[0].Values[i])
+		}
+	}
+}
+
+// TestJoinReorderedKeysSplitGroups: same key set in a different order
+// must not share an engine, and both orders must still realign to the
+// same (order-independent) answer.
+func TestJoinReorderedKeysSplitGroups(t *testing.T) {
+	tables, pool := fig1Inputs(t)
+	steam := tables[0]
+	rev := Table{UnitType: "zip", Data: mustAgg(t, "steam_rev",
+		[]string{"10003", "10002", "10001"}, []float64{3519, 8100, 5946})}
+	j, err := Join([]Table{steam, rev, tables[1]}, pool, Options{TargetType: "county"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same underlying data, so the realigned columns agree.
+	for i := range j.Columns[0].Values {
+		if d := j.Columns[0].Values[i] - j.Columns[1].Values[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("reordered twin diverged at %d: %v vs %v",
+				i, j.Columns[0].Values[i], j.Columns[1].Values[i])
+		}
+	}
+}
+
+// TestJoinEmptyKeyIntersection: a table whose units never appear in any
+// crosswalk must fail loudly, not emit a silent zero column.
+func TestJoinEmptyKeyIntersection(t *testing.T) {
+	_, pool := fig1Inputs(t)
+	orphan := Table{UnitType: "zip", Data: mustAgg(t, "orphan",
+		[]string{"99901", "99902"}, []float64{1, 2})}
+	county := Table{UnitType: "county", Data: mustAgg(t, "income",
+		[]string{"New York", "Westchester"}, []float64{1, 2})}
+	if _, err := Join([]Table{orphan, county}, pool, Options{TargetType: "county"}); err == nil {
+		t.Fatal("join with zero key overlap against every crosswalk succeeded")
+	}
+}
+
+// TestJoinDuplicateTableNames: two inputs sharing an attribute name
+// stay two distinct columns (columns are positional, not name-keyed).
+func TestJoinDuplicateTableNames(t *testing.T) {
+	a := Table{UnitType: "county", Data: mustAgg(t, "income", []string{"x", "y"}, []float64{1, 2})}
+	b := Table{UnitType: "county", Data: mustAgg(t, "income", []string{"x", "y"}, []float64{30, 40})}
+	j, err := Join([]Table{a, b}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Columns) != 2 {
+		t.Fatalf("columns = %d, want 2", len(j.Columns))
+	}
+	if j.Columns[0].Attribute != "income" || j.Columns[1].Attribute != "income" {
+		t.Fatalf("attributes = %q, %q", j.Columns[0].Attribute, j.Columns[1].Attribute)
+	}
+	if j.Columns[0].Values[0] != 1 || j.Columns[1].Values[0] != 30 {
+		t.Fatalf("duplicate-name columns merged: %+v", j.Columns)
+	}
+}

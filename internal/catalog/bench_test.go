@@ -1,0 +1,116 @@
+package catalog
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchCorpusTables builds the specs for a synthetic 1k-table corpus.
+// Tables are spread over 32 unit types; within a type, tables draw
+// overlapping windows from a shared key universe so the inverted index
+// has real work to do (shared postings, partial coverage, ties).
+func benchCorpusTables(n int) []TableSpec {
+	const types = 32
+	universe := make(map[int][]string, types)
+	for t := 0; t < types; t++ {
+		universe[t] = seqKeys(fmt.Sprintf("u%02d", t), 400)
+	}
+	specs := make([]TableSpec, 0, n)
+	for i := 0; i < n; i++ {
+		ut := i % types
+		keys := universe[ut]
+		// Sliding 200-key window: neighbours overlap by 150 keys.
+		start := (i / types * 50) % (len(keys) - 200)
+		specs = append(specs, TableSpec{
+			Name:      fmt.Sprintf("table-%04d", i),
+			UnitType:  fmt.Sprintf("type-%02d", ut),
+			Attribute: "attr",
+			Keys:      keys[start : start+200],
+		})
+	}
+	return specs
+}
+
+// benchCorpusEdges links consecutive unit types with crosswalk edges so
+// searches exercise the 1-hop and 2-hop chain machinery.
+func benchCorpusEdges() []EdgeSpec {
+	const types = 32
+	edges := make([]EdgeSpec, 0, types-1)
+	for t := 0; t < types-1; t++ {
+		edges = append(edges, EdgeSpec{
+			Name:       fmt.Sprintf("xw-%02d-%02d", t, t+1),
+			Generation: 1,
+			SourceType: fmt.Sprintf("type-%02d", t),
+			TargetType: fmt.Sprintf("type-%02d", t+1),
+			SourceKeys: seqKeys(fmt.Sprintf("u%02d", t), 400),
+			TargetKeys: seqKeys(fmt.Sprintf("u%02d", t+1), 400),
+			NNZ:        1200,
+			References: 2,
+		})
+	}
+	return edges
+}
+
+func benchCatalog(b *testing.B, n int) *Catalog {
+	b.Helper()
+	c := New()
+	for _, spec := range benchCorpusTables(n) {
+		if _, err := c.RegisterTable(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, spec := range benchCorpusEdges() {
+		if _, err := c.RegisterEdge(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkCatalogSearch measures the catalog over a 1000-table corpus:
+// ColdBuild pays full registration plus the first search (which builds
+// the lazy acceleration structures); WarmQuery is the steady-state
+// read-lock-only path that /v1/catalog/search rides.
+func BenchmarkCatalogSearch(b *testing.B) {
+	const corpus = 1000
+	query := Query{Table: "table-0500", K: 10}
+
+	b.Run("ColdBuild", func(b *testing.B) {
+		tables := benchCorpusTables(corpus)
+		edges := benchCorpusEdges()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := New()
+			for _, spec := range tables {
+				if _, err := c.RegisterTable(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, spec := range edges {
+				if _, err := c.RegisterEdge(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := c.Search(query, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("WarmQuery", func(b *testing.B) {
+		c := benchCatalog(b, corpus)
+		res, err := c.Search(query, nil) // prewarm acceleration structures
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Candidates) == 0 {
+			b.Fatal("warm query returned no candidates; corpus is miswired")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Search(query, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

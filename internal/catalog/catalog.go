@@ -1,0 +1,432 @@
+package catalog
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"geoalign/internal/geom"
+)
+
+// System tags the kind of unit system a table is aggregated over. The
+// catalog indexes all of them uniformly by hashed key set; the tag is
+// carried for filtering and display.
+type System string
+
+const (
+	// SystemKeyed is a plain named-unit system with no geometry (the CSV
+	// tables the geoalign CLI consumes).
+	SystemKeyed System = "keyed"
+	// SystemPolygon2D is a 2-D polygon layer (zip codes, counties).
+	SystemPolygon2D System = "polygon2d"
+	// SystemInterval1D is a 1-D interval partition (histogram bins, time
+	// ranges).
+	SystemInterval1D System = "interval1d"
+	// SystemNDBox is an n-dimensional box grid (space–time cubes).
+	SystemNDBox System = "ndbox"
+)
+
+// TableSpec describes an aggregate table being registered.
+type TableSpec struct {
+	// Name is the unique catalog name of the table.
+	Name string
+	// UnitType is the caller's tag for the unit system ("zip",
+	// "county"); tables of equal type are expected to share keys.
+	UnitType string
+	// Attribute names the aggregated attribute (CSV header).
+	Attribute string
+	// System tags the unit-system kind; empty defaults to SystemKeyed.
+	System System
+	// Keys are the unit keys. Required.
+	Keys []string
+	// Values, optional, are the aggregates matching Keys one-to-one.
+	// They enable reference-fit residual scoring during search.
+	Values []float64
+	// Boxes, optional, are per-unit bounding boxes matching Keys; they
+	// feed the spatial summary used for crosswalk-density estimation.
+	Boxes []geom.BBox
+}
+
+// Table is the catalog's indexed form of a registered table.
+type Table struct {
+	Name      string
+	UnitType  string
+	Attribute string
+	System    System
+	Sig       Signature
+
+	// hashes is the ascending unique key-hash set; vals (when present)
+	// holds one value per hash in the same order, first occurrence
+	// winning on duplicate keys.
+	hashes []uint64
+	vals   []float64
+	sum    *BoxSummary
+}
+
+// Units reports the number of distinct unit keys.
+func (t *Table) Units() int { return len(t.hashes) }
+
+// HasValues reports whether per-unit values were registered.
+func (t *Table) HasValues() bool { return t.vals != nil }
+
+// HasBoxes reports whether a spatial summary was registered.
+func (t *Table) HasBoxes() bool { return t.sum != nil }
+
+// EdgeSpec describes a crosswalk edge being registered: an alignment
+// engine (or crosswalk file) connecting two unit-key systems.
+type EdgeSpec struct {
+	// Name is the unique edge name — the registry engine name, or the
+	// crosswalk attribute for file-backed edges.
+	Name string
+	// Generation is the serving registry generation, 0 for static
+	// (file-backed) edges. Re-registering an existing name replaces the
+	// edge, so a SwapOwned hot swap keeps the index current.
+	Generation int
+	// SourceType and TargetType tag the unit systems when known.
+	SourceType, TargetType string
+	// SourceKeys and TargetKeys are the edge's unit-key universes in
+	// engine order — the order a served objective vector must follow.
+	SourceKeys, TargetKeys []string
+	// NNZ is the crosswalk union-pattern nonzero count when known
+	// (0 ⇒ unknown; density falls back to box sampling or neutral).
+	NNZ int
+	// References is the engine's reference-attribute count.
+	References int
+	// SourceBoxes/TargetBoxes optionally sketch the two unit systems.
+	SourceBoxes, TargetBoxes []geom.BBox
+}
+
+// Edge is the catalog's indexed form of a crosswalk edge.
+type Edge struct {
+	Name                   string
+	Generation             int
+	SourceType, TargetType string
+	SrcSig, TgtSig         Signature
+	References             int
+
+	// srcOrder keeps the engine-order source hashes (objective layout);
+	// srcHashes/tgtHashes are the sorted unique sets used for overlap.
+	srcOrder             []uint64
+	srcHashes, tgtHashes []uint64
+	srcSum, tgtSum       *BoxSummary
+
+	// density = nnz/(ns·nt); avgDeg = nnz/min(ns,nt). densityKnown
+	// distinguishes measured (pattern NNZ) or sampled (R-tree estimate)
+	// values from the neutral fallback.
+	density, avgDeg float64
+	densityKnown    bool
+}
+
+// SourceUnits and TargetUnits report the distinct key counts.
+func (e *Edge) SourceUnits() int { return len(e.srcHashes) }
+func (e *Edge) TargetUnits() int { return len(e.tgtHashes) }
+
+// Density reports the edge's crosswalk density and whether it was
+// measured/estimated rather than defaulted.
+func (e *Edge) Density() (float64, bool) { return e.density, e.densityKnown }
+
+// Catalog is the in-memory joinability index. Safe for concurrent use:
+// registrations take the write lock, searches the read lock. The
+// derived search acceleration structures (per-edge table coverage,
+// edge-edge meets) are rebuilt lazily on the first search after a
+// mutation, so a burst of registrations pays one refresh.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	edges  map[string]*Edge
+	// inv is the inverted index: key hash → names of tables containing
+	// the key. Slices ordered by registration for determinism.
+	inv map[uint64][]string
+
+	// adj caches, per edge, every table's coverage against the edge's
+	// two sides; meets caches edge-pair reference overlaps. Guarded by
+	// mu; invalidated (nil) by any mutation.
+	adj   map[string]*edgeAdjacency
+	meets []edgeMeet
+
+	searches atomic.Int64
+	dirty    atomic.Bool
+}
+
+type edgeAdjacency struct {
+	// srcCov/tgtCov: table name → fraction of the table's units present
+	// in the edge side. Only tables with nonzero overlap appear.
+	srcCov, tgtCov map[string]float64
+}
+
+// edgeMeet records that two edges share target-side units: both can
+// realign onto the same reference partition.
+type edgeMeet struct {
+	a, b string
+	// cov is the overlap fraction relative to the smaller target side.
+	cov float64
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*Table),
+		edges:  make(map[string]*Edge),
+		inv:    make(map[uint64][]string),
+	}
+}
+
+// RegisterTable indexes a table, replacing any previous registration
+// under the same name.
+func (c *Catalog) RegisterTable(spec TableSpec) (*Table, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("catalog: table has no name")
+	}
+	if len(spec.Keys) == 0 {
+		return nil, fmt.Errorf("catalog: table %q has no unit keys", spec.Name)
+	}
+	if spec.Values != nil && len(spec.Values) != len(spec.Keys) {
+		return nil, fmt.Errorf("catalog: table %q has %d keys but %d values", spec.Name, len(spec.Keys), len(spec.Values))
+	}
+	if spec.Boxes != nil && len(spec.Boxes) != len(spec.Keys) {
+		return nil, fmt.Errorf("catalog: table %q has %d keys but %d boxes", spec.Name, len(spec.Keys), len(spec.Boxes))
+	}
+	system := spec.System
+	if system == "" {
+		system = SystemKeyed
+	}
+	raw := HashKeys(spec.Keys)
+	hashes := sortedUnique(raw)
+	var vals []float64
+	if spec.Values != nil {
+		byHash := make(map[uint64]float64, len(raw))
+		for i, h := range raw {
+			if _, seen := byHash[h]; !seen {
+				byHash[h] = spec.Values[i]
+			}
+		}
+		vals = make([]float64, len(hashes))
+		for i, h := range hashes {
+			vals[i] = byHash[h]
+		}
+	}
+	t := &Table{
+		Name:      spec.Name,
+		UnitType:  spec.UnitType,
+		Attribute: spec.Attribute,
+		System:    system,
+		Sig:       signatureOfHashes(hashes),
+		hashes:    hashes,
+		vals:      vals,
+		sum:       NewBoxSummary(spec.Boxes),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.tables[spec.Name]; old != nil {
+		c.removePostingsLocked(old)
+	}
+	c.tables[spec.Name] = t
+	for _, h := range hashes {
+		c.inv[h] = append(c.inv[h], t.Name)
+	}
+	c.invalidateLocked()
+	return t, nil
+}
+
+// RemoveTable drops a table from the index; unknown names are a no-op.
+func (c *Catalog) RemoveTable(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old := c.tables[name]; old != nil {
+		c.removePostingsLocked(old)
+		delete(c.tables, name)
+		c.invalidateLocked()
+	}
+}
+
+func (c *Catalog) removePostingsLocked(t *Table) {
+	for _, h := range t.hashes {
+		list := c.inv[h]
+		if i := slices.Index(list, t.Name); i >= 0 {
+			list = slices.Delete(list, i, i+1)
+		}
+		if len(list) == 0 {
+			delete(c.inv, h)
+		} else {
+			c.inv[h] = list
+		}
+	}
+}
+
+// RegisterEdge indexes a crosswalk edge, replacing any previous edge of
+// the same name — the hot-swap path: SwapOwned re-registers the engine
+// under its new generation and searches immediately reflect it.
+func (c *Catalog) RegisterEdge(spec EdgeSpec) (*Edge, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("catalog: edge has no name")
+	}
+	if len(spec.SourceKeys) == 0 || len(spec.TargetKeys) == 0 {
+		return nil, fmt.Errorf("catalog: edge %q must have source and target keys", spec.Name)
+	}
+	srcOrder := HashKeys(spec.SourceKeys)
+	e := &Edge{
+		Name:       spec.Name,
+		Generation: spec.Generation,
+		SourceType: spec.SourceType,
+		TargetType: spec.TargetType,
+		References: spec.References,
+		srcOrder:   srcOrder,
+		srcHashes:  sortedUnique(srcOrder),
+		tgtHashes:  sortedUnique(HashKeys(spec.TargetKeys)),
+		srcSum:     NewBoxSummary(spec.SourceBoxes),
+		tgtSum:     NewBoxSummary(spec.TargetBoxes),
+	}
+	e.SrcSig = signatureOfHashes(e.srcHashes)
+	e.TgtSig = signatureOfHashes(e.tgtHashes)
+	ns, nt := len(e.srcHashes), len(e.tgtHashes)
+	if spec.NNZ > 0 {
+		e.density = float64(spec.NNZ) / (float64(ns) * float64(nt))
+		e.avgDeg = float64(spec.NNZ) / float64(min(ns, nt))
+		e.densityKnown = true
+	} else if d, deg, ok := EstimateDensity(e.srcSum, e.tgtSum); ok {
+		e.density, e.avgDeg, e.densityKnown = d, deg, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.edges[spec.Name] = e
+	c.invalidateLocked()
+	return e, nil
+}
+
+// RemoveEdge drops an edge; unknown names are a no-op. The serving
+// layer calls this when an engine is removed (swap to generation 0).
+func (c *Catalog) RemoveEdge(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.edges[name]; ok {
+		delete(c.edges, name)
+		c.invalidateLocked()
+	}
+}
+
+func (c *Catalog) invalidateLocked() {
+	c.adj = nil
+	c.meets = nil
+	c.dirty.Store(true)
+}
+
+// Table returns the registered table by name, nil when absent.
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[name]
+}
+
+// Edge returns the registered edge by name, nil when absent.
+func (c *Catalog) Edge(name string) *Edge {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.edges[name]
+}
+
+// Tables lists the registered tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Edges lists the registered edges sorted by name.
+func (c *Catalog) Edges() []*Edge {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Edge, 0, len(c.edges))
+	for _, e := range c.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats is the catalog's observability block.
+type Stats struct {
+	Tables   int   `json:"tables"`
+	Edges    int   `json:"edges"`
+	Postings int   `json:"postings"`
+	Searches int64 `json:"searches"`
+}
+
+// Stats snapshots the catalog gauges.
+func (c *Catalog) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, list := range c.inv {
+		n += len(list)
+	}
+	return Stats{
+		Tables:   len(c.tables),
+		Edges:    len(c.edges),
+		Postings: n,
+		Searches: c.searches.Load(),
+	}
+}
+
+// refreshLocked rebuilds the lazy acceleration structures. Caller holds
+// the write lock.
+func (c *Catalog) refreshLocked() {
+	c.adj = make(map[string]*edgeAdjacency, len(c.edges))
+	for name, e := range c.edges {
+		a := &edgeAdjacency{
+			srcCov: c.coverageByTableLocked(e.srcHashes),
+			tgtCov: c.coverageByTableLocked(e.tgtHashes),
+		}
+		c.adj[name] = a
+	}
+	c.meets = c.meets[:0]
+	names := make([]string, 0, len(c.edges))
+	for name := range c.edges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, an := range names {
+		for _, bn := range names[i+1:] {
+			a, b := c.edges[an], c.edges[bn]
+			shared := intersectSorted(a.tgtHashes, b.tgtHashes)
+			if shared == 0 {
+				continue
+			}
+			smaller := min(len(a.tgtHashes), len(b.tgtHashes))
+			c.meets = append(c.meets, edgeMeet{a: an, b: bn, cov: float64(shared) / float64(smaller)})
+		}
+	}
+	c.dirty.Store(false)
+}
+
+// coverageByTableLocked walks the inverted index over a hash set and
+// returns, per table with any overlap, the fraction of the *table's*
+// units present in the set.
+func (c *Catalog) coverageByTableLocked(hashes []uint64) map[string]float64 {
+	counts := make(map[string]int)
+	for _, h := range hashes {
+		for _, name := range c.inv[h] {
+			counts[name]++
+		}
+	}
+	cov := make(map[string]float64, len(counts))
+	for name, n := range counts {
+		if t := c.tables[name]; t != nil && len(t.hashes) > 0 {
+			cov[name] = float64(n) / float64(len(t.hashes))
+		}
+	}
+	return cov
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

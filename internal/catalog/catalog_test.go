@@ -1,0 +1,463 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"geoalign/internal/geom"
+)
+
+// seqKeys fabricates n unit keys with the given prefix.
+func seqKeys(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%04d", prefix, i)
+	}
+	return out
+}
+
+func mustTable(t *testing.T, c *Catalog, spec TableSpec) *Table {
+	t.Helper()
+	tb, err := c.RegisterTable(spec)
+	if err != nil {
+		t.Fatalf("RegisterTable(%q): %v", spec.Name, err)
+	}
+	return tb
+}
+
+func mustEdge(t *testing.T, c *Catalog, spec EdgeSpec) *Edge {
+	t.Helper()
+	e, err := c.RegisterEdge(spec)
+	if err != nil {
+		t.Fatalf("RegisterEdge(%q): %v", spec.Name, err)
+	}
+	return e
+}
+
+func TestRegisterTableValidation(t *testing.T) {
+	c := New()
+	if _, err := c.RegisterTable(TableSpec{Keys: []string{"a"}}); err == nil {
+		t.Error("missing name should fail")
+	}
+	if _, err := c.RegisterTable(TableSpec{Name: "t"}); err == nil {
+		t.Error("missing keys should fail")
+	}
+	if _, err := c.RegisterTable(TableSpec{Name: "t", Keys: []string{"a"}, Values: []float64{1, 2}}); err == nil {
+		t.Error("mismatched values should fail")
+	}
+	if _, err := c.RegisterTable(TableSpec{Name: "t", Keys: []string{"a"}, Boxes: make([]geom.BBox, 2)}); err == nil {
+		t.Error("mismatched boxes should fail")
+	}
+	if _, err := c.RegisterEdge(EdgeSpec{Name: "e", SourceKeys: []string{"a"}}); err == nil {
+		t.Error("edge without target keys should fail")
+	}
+	if _, err := c.RegisterEdge(EdgeSpec{SourceKeys: []string{"a"}, TargetKeys: []string{"b"}}); err == nil {
+		t.Error("edge without name should fail")
+	}
+}
+
+func TestRegisterReplaceAndRemove(t *testing.T) {
+	c := New()
+	mustTable(t, c, TableSpec{Name: "t", UnitType: "zip", Keys: []string{"a", "b"}})
+	if st := c.Stats(); st.Tables != 1 || st.Postings != 2 {
+		t.Fatalf("stats after register: %+v", st)
+	}
+	// Replacing under the same name swaps the postings, not duplicates.
+	mustTable(t, c, TableSpec{Name: "t", UnitType: "zip", Keys: []string{"b", "c", "d"}})
+	if st := c.Stats(); st.Tables != 1 || st.Postings != 3 {
+		t.Fatalf("stats after replace: %+v", st)
+	}
+	c.RemoveTable("t")
+	if st := c.Stats(); st.Tables != 0 || st.Postings != 0 {
+		t.Fatalf("stats after remove: %+v", st)
+	}
+	c.RemoveTable("missing") // no-op
+
+	mustEdge(t, c, EdgeSpec{Name: "e", Generation: 1, SourceKeys: []string{"a"}, TargetKeys: []string{"b"}})
+	if c.Edge("e") == nil || c.Edge("e").Generation != 1 {
+		t.Fatal("edge not registered")
+	}
+	// Re-registering is the hot-swap path: generation moves forward.
+	mustEdge(t, c, EdgeSpec{Name: "e", Generation: 2, SourceKeys: []string{"a"}, TargetKeys: []string{"b"}})
+	if g := c.Edge("e").Generation; g != 2 {
+		t.Fatalf("edge generation after swap = %d, want 2", g)
+	}
+	c.RemoveEdge("e")
+	if c.Edge("e") != nil {
+		t.Fatal("edge not removed")
+	}
+}
+
+func TestTableDuplicateKeysFirstWins(t *testing.T) {
+	c := New()
+	tb := mustTable(t, c, TableSpec{
+		Name: "t", Keys: []string{"a", "b", "a"},
+		Values: []float64{1, 2, 99},
+	})
+	if tb.Units() != 2 {
+		t.Fatalf("units = %d, want 2 (duplicate collapsed)", tb.Units())
+	}
+	// First occurrence wins: "a" keeps value 1.
+	ha := KeyHash("a")
+	for i, h := range tb.hashes {
+		if h == ha && tb.vals[i] != 1 {
+			t.Fatalf("duplicate key value = %v, want first occurrence 1", tb.vals[i])
+		}
+	}
+}
+
+func TestSearchDirectJoin(t *testing.T) {
+	c := New()
+	mustTable(t, c, TableSpec{Name: "query", UnitType: "zip", Keys: seqKeys("z", 100)})
+	mustTable(t, c, TableSpec{Name: "full", UnitType: "zip", Attribute: "pop", Keys: seqKeys("z", 100)})
+	mustTable(t, c, TableSpec{Name: "half", UnitType: "zip", Keys: seqKeys("z", 50)})
+	mustTable(t, c, TableSpec{Name: "disjoint", UnitType: "county", Keys: seqKeys("c", 30)})
+
+	res, err := c.Search(Query{Table: "query"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != 100 || res.Table != "query" {
+		t.Fatalf("resolved query: %+v", res)
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates = %d, want 2 (full, half): %+v", len(res.Candidates), res.Candidates)
+	}
+	top := res.Candidates[0]
+	if top.Table != "full" || top.Score != 1 || top.Coverage != 1 || top.SharedUnits != 100 {
+		t.Fatalf("top candidate: %+v", top)
+	}
+	if top.JoinOn != "query" || len(top.Chain) != 0 || top.Attribute != "pop" {
+		t.Fatalf("top candidate metadata: %+v", top)
+	}
+	second := res.Candidates[1]
+	if second.Table != "half" || second.Coverage != 0.5 {
+		t.Fatalf("second candidate: %+v", second)
+	}
+	// The query table itself never appears as its own candidate.
+	for _, cand := range res.Candidates {
+		if cand.Table == "query" {
+			t.Fatal("query table returned as candidate")
+		}
+	}
+}
+
+func TestSearchAdHocKeys(t *testing.T) {
+	c := New()
+	mustTable(t, c, TableSpec{Name: "pop", UnitType: "zip", Keys: seqKeys("z", 10)})
+	res, err := c.Search(Query{Keys: seqKeys("z", 5), UnitType: "zip"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 1 || res.Candidates[0].Table != "pop" || res.Candidates[0].Coverage != 1 {
+		t.Fatalf("ad-hoc search: %+v", res.Candidates)
+	}
+	if _, err := c.Search(Query{}, nil); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, err := c.Search(Query{Table: "missing"}, nil); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := c.Search(Query{Keys: []string{"a"}, Values: []float64{1, 2}}, nil); err == nil {
+		t.Error("mismatched query values should fail")
+	}
+}
+
+func TestSearchOneHopChain(t *testing.T) {
+	c := New()
+	zips := seqKeys("z", 100)
+	counties := seqKeys("c", 20)
+	mustTable(t, c, TableSpec{Name: "steam", UnitType: "zip", Keys: zips})
+	mustTable(t, c, TableSpec{Name: "income", UnitType: "county", Keys: counties})
+	mustEdge(t, c, EdgeSpec{
+		Name: "zip2county", Generation: 3, SourceType: "zip", TargetType: "county",
+		SourceKeys: zips, TargetKeys: counties, NNZ: 300, References: 2,
+	})
+
+	// steam (zip) can reach income (county) by realigning forward.
+	res, err := c.Search(Query{Table: "steam"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *Candidate
+	for i := range res.Candidates {
+		if res.Candidates[i].Table == "income" {
+			hit = &res.Candidates[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("income not found via chain: %+v", res.Candidates)
+	}
+	if len(hit.Chain) != 1 || hit.Chain[0].Edge != "zip2county" || !hit.Chain[0].Forward {
+		t.Fatalf("chain: %+v", hit.Chain)
+	}
+	if hit.Chain[0].Generation != 3 {
+		t.Fatalf("chain generation = %d, want 3", hit.Chain[0].Generation)
+	}
+	if hit.JoinOn != "candidate" {
+		t.Fatalf("join_on = %q, want candidate (query moves onto income's units)", hit.JoinOn)
+	}
+	if hit.Score <= 0 || hit.Score >= 1 {
+		t.Fatalf("chain score = %v, want in (0,1)", hit.Score)
+	}
+
+	// And the reverse question: income (county) finds steam (zip), with
+	// steam realigning forward onto income's county units.
+	res2, err := c.Search(Query{Table: "income"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit2 *Candidate
+	for i := range res2.Candidates {
+		if res2.Candidates[i].Table == "steam" {
+			hit2 = &res2.Candidates[i]
+		}
+	}
+	if hit2 == nil {
+		t.Fatalf("steam not found from county side: %+v", res2.Candidates)
+	}
+	if hit2.JoinOn != "query" || len(hit2.Chain) != 1 || !hit2.Chain[0].Forward {
+		t.Fatalf("reverse-direction candidate: %+v", hit2)
+	}
+}
+
+func TestSearchTwoHopChain(t *testing.T) {
+	c := New()
+	zips := seqKeys("z", 60)
+	tracts := seqKeys("t", 40)
+	counties := seqKeys("c", 10)
+	mustTable(t, c, TableSpec{Name: "steam", UnitType: "zip", Keys: zips})
+	mustTable(t, c, TableSpec{Name: "transit", UnitType: "tract", Keys: tracts})
+	// Both zip and tract realign onto the same county reference
+	// partition; there is no direct zip↔tract edge.
+	mustEdge(t, c, EdgeSpec{
+		Name: "zip2county", SourceType: "zip", TargetType: "county",
+		SourceKeys: zips, TargetKeys: counties, NNZ: 120,
+	})
+	mustEdge(t, c, EdgeSpec{
+		Name: "tract2county", SourceType: "tract", TargetType: "county",
+		SourceKeys: tracts, TargetKeys: counties, NNZ: 80,
+	})
+
+	res, err := c.Search(Query{Table: "steam"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *Candidate
+	for i := range res.Candidates {
+		if res.Candidates[i].Table == "transit" {
+			hit = &res.Candidates[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("transit not reachable through the shared county partition: %+v", res.Candidates)
+	}
+	if len(hit.Chain) != 2 {
+		t.Fatalf("chain length = %d, want 2: %+v", len(hit.Chain), hit.Chain)
+	}
+	if hit.Chain[0].Edge != "zip2county" || hit.Chain[1].Edge != "tract2county" {
+		t.Fatalf("chain edges: %+v", hit.Chain)
+	}
+	if hit.JoinOn != "reference" {
+		t.Fatalf("join_on = %q, want reference", hit.JoinOn)
+	}
+}
+
+func TestSearchRankingPrefersDirectAndFewerHops(t *testing.T) {
+	c := New()
+	zips := seqKeys("z", 50)
+	counties := seqKeys("c", 10)
+	mustTable(t, c, TableSpec{Name: "query", UnitType: "zip", Keys: zips})
+	// direct: shares all keys. chained: reachable only through an edge.
+	mustTable(t, c, TableSpec{Name: "direct", UnitType: "zip", Keys: zips})
+	mustTable(t, c, TableSpec{Name: "chained", UnitType: "county", Keys: counties})
+	mustEdge(t, c, EdgeSpec{
+		Name: "z2c", SourceKeys: zips, TargetKeys: counties, NNZ: 100,
+	})
+	res, err := c.Search(Query{Table: "query"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) < 2 || res.Candidates[0].Table != "direct" {
+		t.Fatalf("direct join should rank first: %+v", res.Candidates)
+	}
+	if res.Candidates[0].Score <= res.Candidates[1].Score {
+		t.Fatalf("direct score %v should beat chain score %v",
+			res.Candidates[0].Score, res.Candidates[1].Score)
+	}
+}
+
+func TestSearchFiltersAndK(t *testing.T) {
+	c := New()
+	mustTable(t, c, TableSpec{Name: "query", UnitType: "zip", Keys: seqKeys("z", 10)})
+	for i := 0; i < 5; i++ {
+		mustTable(t, c, TableSpec{
+			Name: fmt.Sprintf("cand-%d", i), UnitType: "zip",
+			Keys: seqKeys("z", 2*(i+1)), System: SystemPolygon2D,
+		})
+	}
+	res, err := c.Search(Query{Table: "query", K: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("K=2 returned %d candidates", len(res.Candidates))
+	}
+	res, err = c.Search(Query{Table: "query", MinScore: 1.1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 0 {
+		t.Fatalf("MinScore=1.1 returned %d candidates", len(res.Candidates))
+	}
+	res, err = c.Search(Query{Table: "query", System: SystemInterval1D}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 0 {
+		t.Fatalf("System filter returned %d candidates", len(res.Candidates))
+	}
+	res, err = c.Search(Query{Table: "query", System: SystemPolygon2D, K: 100}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 5 {
+		t.Fatalf("System=polygon2d returned %d candidates, want 5", len(res.Candidates))
+	}
+}
+
+func TestSearchResidualProberSharpensScore(t *testing.T) {
+	c := New()
+	zips := seqKeys("z", 20)
+	counties := seqKeys("c", 5)
+	vals := make([]float64, len(zips))
+	for i := range vals {
+		vals[i] = float64(i + 1)
+	}
+	mustTable(t, c, TableSpec{Name: "steam", UnitType: "zip", Keys: zips, Values: vals})
+	mustTable(t, c, TableSpec{Name: "income", UnitType: "county", Keys: counties})
+	mustEdge(t, c, EdgeSpec{
+		Name: "z2c", Generation: 7, SourceKeys: zips, TargetKeys: counties, NNZ: 40,
+	})
+
+	find := func(res *SearchResult) *Candidate {
+		for i := range res.Candidates {
+			if res.Candidates[i].Table == "income" {
+				return &res.Candidates[i]
+			}
+		}
+		return nil
+	}
+
+	var probedEdge string
+	var probedGen int
+	var probedObjective []float64
+	perfect := func(edge string, gen int, objective []float64) (float64, bool) {
+		probedEdge, probedGen = edge, gen
+		probedObjective = append([]float64(nil), objective...)
+		return 0, true // perfect reference fit
+	}
+	resPerfect, err := c.Search(Query{Table: "steam"}, perfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probedEdge != "z2c" || probedGen != 7 {
+		t.Fatalf("prober saw edge %q gen %d", probedEdge, probedGen)
+	}
+	if len(probedObjective) != len(zips) {
+		t.Fatalf("objective laid out over %d units, want %d", len(probedObjective), len(zips))
+	}
+	// The objective must follow the edge's engine order, which here is
+	// the registration key order: vals[i] at position i.
+	for i, v := range probedObjective {
+		if v != vals[i] {
+			t.Fatalf("objective[%d] = %v, want %v (engine order)", i, v, vals[i])
+		}
+	}
+	hitPerfect := find(resPerfect)
+
+	poor := func(edge string, gen int, objective []float64) (float64, bool) {
+		return 3.0, true // references barely explain the objective
+	}
+	resPoor, err := c.Search(Query{Table: "steam"}, poor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitPoor := find(resPoor)
+	if hitPerfect == nil || hitPoor == nil {
+		t.Fatal("income candidate missing")
+	}
+	if hitPerfect.Score <= hitPoor.Score {
+		t.Fatalf("perfect-fit score %v should beat poor-fit score %v", hitPerfect.Score, hitPoor.Score)
+	}
+	if hitPerfect.FitResidual != 0 || hitPoor.FitResidual != 3 {
+		t.Fatalf("residuals not echoed: %v, %v", hitPerfect.FitResidual, hitPoor.FitResidual)
+	}
+
+	// Without values, the prober is never consulted.
+	mustTable(t, c, TableSpec{Name: "novals", UnitType: "zip", Keys: zips})
+	called := false
+	spy := func(string, int, []float64) (float64, bool) { called = true; return 0, true }
+	if _, err := c.Search(Query{Table: "novals"}, spy); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("prober called for a table without values")
+	}
+}
+
+func TestSearchConcurrentWithMutation(t *testing.T) {
+	c := New()
+	zips := seqKeys("z", 50)
+	counties := seqKeys("c", 10)
+	mustTable(t, c, TableSpec{Name: "query", UnitType: "zip", Keys: zips})
+	mustTable(t, c, TableSpec{Name: "income", UnitType: "county", Keys: counties})
+	mustEdge(t, c, EdgeSpec{Name: "z2c", Generation: 1, SourceKeys: zips, TargetKeys: counties, NNZ: 100})
+
+	stop := make(chan struct{})
+	var swapper sync.WaitGroup
+	// Swapper: re-registers the edge under rising generations, and
+	// churns a side table in and out.
+	swapper.Add(1)
+	go func() {
+		defer swapper.Done()
+		for gen := 2; ; gen++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mustEdge(t, c, EdgeSpec{Name: "z2c", Generation: gen, SourceKeys: zips, TargetKeys: counties, NNZ: 100})
+			if gen%2 == 0 {
+				mustTable(t, c, TableSpec{Name: "churn", UnitType: "zip", Keys: zips[:10]})
+			} else {
+				c.RemoveTable("churn")
+			}
+		}
+	}()
+	// Searchers: every observed result must be internally consistent.
+	var searchers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		searchers.Add(1)
+		go func() {
+			defer searchers.Done()
+			for i := 0; i < 200; i++ {
+				res, err := c.Search(Query{Table: "query"}, nil)
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				for _, cand := range res.Candidates {
+					if cand.Score < 0 || cand.Score > 1 {
+						t.Errorf("score out of range: %+v", cand)
+						return
+					}
+				}
+			}
+		}()
+	}
+	searchers.Wait()
+	close(stop)
+	swapper.Wait()
+}

@@ -1,0 +1,414 @@
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Query asks which catalog tables can augment a table. Either Table
+// (the name of a registered table) or Keys must be set.
+type Query struct {
+	// Table names a registered table to search around.
+	Table string
+	// Keys searches around an unregistered key list (with optional
+	// Values for residual scoring). Ignored when Table is set.
+	Keys   []string
+	Values []float64
+	// UnitType optionally tags the ad-hoc key list.
+	UnitType string
+
+	// K caps the number of ranked candidates (0 ⇒ 10).
+	K int
+	// MinScore drops candidates scoring below it.
+	MinScore float64
+	// System filters candidates to one unit-system kind ("" ⇒ all).
+	System System
+}
+
+// Hop is one step of a reference chain: realigning across one
+// crosswalk edge.
+type Hop struct {
+	// Edge names the engine/crosswalk to realign through.
+	Edge string `json:"edge"`
+	// Generation echoes the registry generation of the edge so clients
+	// can tell which engine revision the plan refers to.
+	Generation int `json:"generation,omitempty"`
+	// Forward reports traversal direction: true realigns the moving
+	// table from the edge's source units onto its target units; false
+	// is the transposed traversal (an engine for it may need building).
+	Forward bool `json:"forward"`
+	// Coverage is the fraction of the moving table's units with support
+	// in the edge's input side.
+	Coverage float64 `json:"coverage"`
+	// Density is the edge's crosswalk density signal (0 when unknown).
+	Density float64 `json:"density,omitempty"`
+}
+
+// Candidate is one ranked augmentation suggestion.
+type Candidate struct {
+	// Table is the candidate's catalog name.
+	Table string `json:"table"`
+	// UnitType/Attribute/System echo the candidate's registration.
+	UnitType  string `json:"unit_type,omitempty"`
+	Attribute string `json:"attribute,omitempty"`
+	System    System `json:"system"`
+	// Units is the candidate's distinct-key count.
+	Units int `json:"units"`
+
+	// Score is the ranking signal in [0,1]; candidates sort by it.
+	Score float64 `json:"score"`
+	// EstAccuracy estimates the accuracy of the suggested augmentation:
+	// for direct joins the key coverage (matched units are exact); for
+	// chains the coverage/density product, sharpened by the reference-
+	// fit residual when an engine and query values were available.
+	EstAccuracy float64 `json:"est_accuracy"`
+	// Coverage is the fraction of the query's units the plan covers.
+	Coverage float64 `json:"coverage"`
+	// SharedUnits is the direct key overlap with the query (0 for
+	// chain-only candidates).
+	SharedUnits int `json:"shared_units,omitempty"`
+	// UnitRatio is candidate units / query units.
+	UnitRatio float64 `json:"unit_ratio"`
+	// Chain is the reference chain: empty for a direct key join, one
+	// hop for a shared crosswalk edge, two hops when the join meets on
+	// a shared reference partition.
+	Chain []Hop `json:"chain,omitempty"`
+	// JoinOn says which unit system the augmented rows land on:
+	// "query", "candidate", or "reference".
+	JoinOn string `json:"join_on"`
+	// FitResidual is the engine's relative reference-fit residual for
+	// the query objective, when it was computed (<0 ⇒ not available).
+	FitResidual float64 `json:"fit_residual,omitempty"`
+}
+
+// SearchResult is a search answer: the resolved query plus ranked
+// candidates.
+type SearchResult struct {
+	Table      string      `json:"table,omitempty"`
+	UnitType   string      `json:"unit_type,omitempty"`
+	Units      int         `json:"units"`
+	Signature  string      `json:"signature"`
+	Candidates []Candidate `json:"candidates"`
+}
+
+// ResidualProber estimates how well an edge's engine references fit an
+// objective laid out in the edge's source-key order, returning the
+// relative residual of the weight-learning solve. The serving layer
+// wires this to a leased engine's cached Gram system; absent (nil) the
+// accuracy estimate falls back to pure overlap statistics.
+type ResidualProber func(edgeName string, generation int, objective []float64) (rel float64, ok bool)
+
+// scoring constants — a documented heuristic, not a learned model: the
+// point is a stable, monotone ranking signal from cheap statistics.
+const (
+	// hopPenalty discounts each extra realignment step.
+	hopPenalty = 0.9
+	// neutralDensityQ is the density quality used when an edge's
+	// density is unknown.
+	neutralDensityQ = 0.5
+	defaultK        = 10
+)
+
+// densityQuality maps an edge's average crosswalk degree into (0,1):
+// 0 degree ⇒ 0, one partner per unit ⇒ 0.5, dense many-to-many ⇒ →1.
+// A denser crosswalk gives the realignment more intersections to
+// redistribute over, which is what drives GeoAlign accuracy.
+func densityQuality(e *Edge) float64 {
+	if !e.densityKnown {
+		return neutralDensityQ
+	}
+	return e.avgDeg / (1 + e.avgDeg)
+}
+
+// Search ranks the catalog's tables by how well they can augment the
+// query, with the reference chain for each. The index acceleration
+// structures are refreshed lazily when dirty, so the first search
+// after a registration burst pays the rebuild and warm searches are
+// read-lock only.
+func (c *Catalog) Search(q Query, prober ResidualProber) (*SearchResult, error) {
+	if c.dirty.Load() {
+		c.mu.Lock()
+		if c.dirty.Load() {
+			c.refreshLocked()
+		}
+		c.mu.Unlock()
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.searches.Add(1)
+
+	var (
+		qName, qType string
+		qHashes      []uint64
+		qVals        []float64
+	)
+	if q.Table != "" {
+		t := c.tables[q.Table]
+		if t == nil {
+			return nil, fmt.Errorf("catalog: unknown table %q", q.Table)
+		}
+		qName, qType, qHashes, qVals = t.Name, t.UnitType, t.hashes, t.vals
+	} else {
+		if len(q.Keys) == 0 {
+			return nil, fmt.Errorf("catalog: query names no table and has no keys")
+		}
+		raw := HashKeys(q.Keys)
+		qHashes = sortedUnique(raw)
+		qType = q.UnitType
+		if q.Values != nil {
+			if len(q.Values) != len(q.Keys) {
+				return nil, fmt.Errorf("catalog: query has %d keys but %d values", len(q.Keys), len(q.Values))
+			}
+			byHash := make(map[uint64]float64, len(raw))
+			for i, h := range raw {
+				if _, seen := byHash[h]; !seen {
+					byHash[h] = q.Values[i]
+				}
+			}
+			qVals = make([]float64, len(qHashes))
+			for i, h := range qHashes {
+				qVals[i] = byHash[h]
+			}
+		}
+	}
+	nq := len(qHashes)
+	if nq == 0 {
+		return nil, fmt.Errorf("catalog: query has no units")
+	}
+
+	// Direct overlap: one inverted-index walk gives the shared-unit
+	// count against every table at once.
+	shared := make(map[string]int)
+	for _, h := range qHashes {
+		for _, name := range c.inv[h] {
+			shared[name]++
+		}
+	}
+
+	// Query-side edge coverage: fraction of the query's units each edge
+	// side supports. Small edge count × sorted-merge keeps this cheap.
+	type edgeCov struct{ src, tgt float64 }
+	qEdge := make(map[string]edgeCov, len(c.edges))
+	for name, e := range c.edges {
+		qEdge[name] = edgeCov{
+			src: float64(intersectSorted(qHashes, e.srcHashes)) / float64(nq),
+			tgt: float64(intersectSorted(qHashes, e.tgtHashes)) / float64(nq),
+		}
+	}
+
+	// Residual probing, once per edge the query enters forward: lay the
+	// query's values out in the edge's engine source order and ask the
+	// prober for the reference-fit residual.
+	residuals := make(map[string]float64)
+	if prober != nil && qVals != nil {
+		for name, e := range c.edges {
+			if qEdge[name].src == 0 {
+				continue
+			}
+			objective := make([]float64, len(e.srcOrder))
+			for i, h := range e.srcOrder {
+				if j, ok := findHash(qHashes, h); ok {
+					objective[i] = qVals[j]
+				}
+			}
+			if rel, ok := prober(e.Name, e.Generation, objective); ok {
+				residuals[name] = rel
+			}
+		}
+	}
+
+	// Assemble the best plan per candidate table: direct beats chains
+	// at equal coverage; chains are tried in increasing length.
+	best := make(map[string]*Candidate)
+	consider := func(cand *Candidate) {
+		if cur := best[cand.Table]; cur == nil || cand.Score > cur.Score {
+			best[cand.Table] = cand
+		}
+	}
+
+	// Direct key joins.
+	for name, n := range shared {
+		if name == qName {
+			continue
+		}
+		t := c.tables[name]
+		if t == nil {
+			continue
+		}
+		cov := float64(n) / float64(nq)
+		consider(&Candidate{
+			Table: name, UnitType: t.UnitType, Attribute: t.Attribute, System: t.System,
+			Units: t.Units(), Score: cov, EstAccuracy: cov, Coverage: cov,
+			SharedUnits: n, UnitRatio: float64(t.Units()) / float64(nq),
+			JoinOn: "query", FitResidual: -1,
+		})
+	}
+
+	// One-hop chains: query enters an edge on one side, candidate sits
+	// on the other. Forward = query realigns src→tgt onto candidate
+	// units; the reverse traversal realigns the candidate onto the
+	// query's units.
+	for name, e := range c.edges {
+		adj := c.adj[name]
+		if adj == nil {
+			continue
+		}
+		cov := qEdge[name]
+		fit := fitFactor(residuals, name)
+		if cov.src > 0 {
+			hopQ := cov.src * densityQuality(e) * hopPenalty * fit
+			for cand, tcov := range adj.tgtCov {
+				if cand == qName {
+					continue
+				}
+				c.considerHop(consider, cand, hopQ*tcov, cov.src*tcov, Hop{
+					Edge: name, Generation: e.Generation, Forward: true,
+					Coverage: cov.src, Density: e.density,
+				}, "candidate", residualOr(residuals, name), nq)
+			}
+		}
+		if cov.tgt > 0 {
+			// The candidate realigns forward onto the query's units: the
+			// candidate overlaps the edge's source side and the query its
+			// target side. No residual is probed — the objective would be
+			// the candidate's values, which the plan only materialises at
+			// execution time.
+			for cand, scov := range adj.srcCov {
+				if cand == qName {
+					continue
+				}
+				hopQ := scov * densityQuality(e) * hopPenalty
+				c.considerHop(consider, cand, hopQ*cov.tgt, cov.tgt*scov, Hop{
+					Edge: name, Generation: e.Generation, Forward: true,
+					Coverage: scov, Density: e.density,
+				}, "query", -1, nq)
+			}
+		}
+	}
+
+	// Two-hop transitive chains through a shared reference partition:
+	// query realigns via edge A onto A's targets, candidate realigns
+	// via edge B onto B's targets, and the two target sides overlap —
+	// both land on the shared reference units.
+	for _, m := range c.meets {
+		for _, dir := range [2][2]string{{m.a, m.b}, {m.b, m.a}} {
+			ae, be := c.edges[dir[0]], c.edges[dir[1]]
+			if ae == nil || be == nil {
+				continue
+			}
+			covA := qEdge[dir[0]].src
+			if covA == 0 {
+				continue
+			}
+			adjB := c.adj[dir[1]]
+			if adjB == nil {
+				continue
+			}
+			fit := fitFactor(residuals, dir[0])
+			base := covA * densityQuality(ae) * hopPenalty * fit * m.cov
+			for cand, scov := range adjB.srcCov {
+				if cand == qName {
+					continue
+				}
+				score := base * scov * densityQuality(be) * hopPenalty
+				c.considerChain(consider, cand, score, covA*m.cov*scov, []Hop{
+					{Edge: dir[0], Generation: ae.Generation, Forward: true, Coverage: covA, Density: ae.density},
+					{Edge: dir[1], Generation: be.Generation, Forward: true, Coverage: scov, Density: be.density},
+				}, "reference", residualOr(residuals, dir[0]), nq)
+			}
+		}
+	}
+
+	out := make([]Candidate, 0, len(best))
+	for _, cand := range best {
+		if q.System != "" && cand.System != q.System {
+			continue
+		}
+		if cand.Score < q.MinScore {
+			continue
+		}
+		out = append(out, *cand)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Table < out[j].Table
+	})
+	k := q.K
+	if k <= 0 {
+		k = defaultK
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return &SearchResult{
+		Table: qName, UnitType: qType, Units: nq,
+		Signature:  signatureOfHashes(qHashes).String(),
+		Candidates: out,
+	}, nil
+}
+
+// considerHop fills in candidate metadata for a one-hop plan.
+func (c *Catalog) considerHop(consider func(*Candidate), cand string, score, coverage float64, hop Hop, joinOn string, residual float64, nq int) {
+	c.considerChain(consider, cand, score, coverage, []Hop{hop}, joinOn, residual, nq)
+}
+
+func (c *Catalog) considerChain(consider func(*Candidate), cand string, score, coverage float64, chain []Hop, joinOn string, residual float64, nq int) {
+	t := c.tables[cand]
+	if t == nil || score <= 0 {
+		return
+	}
+	consider(&Candidate{
+		Table: cand, UnitType: t.UnitType, Attribute: t.Attribute, System: t.System,
+		Units: t.Units(), Score: clamp01(score), EstAccuracy: clamp01(score),
+		Coverage: clamp01(coverage), UnitRatio: float64(t.Units()) / float64(nq),
+		Chain: chain, JoinOn: joinOn, FitResidual: residual,
+	})
+}
+
+// fitFactor sharpens a chain score with the engine's reference-fit
+// residual when one was probed: a perfect fit keeps the overlap score,
+// a poor fit decays it smoothly.
+func fitFactor(residuals map[string]float64, edge string) float64 {
+	rel, ok := residuals[edge]
+	if !ok {
+		return 1
+	}
+	return 1 / (1 + rel)
+}
+
+func residualOr(residuals map[string]float64, edge string) float64 {
+	if rel, ok := residuals[edge]; ok {
+		return rel
+	}
+	return -1
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// findHash binary-searches an ascending unique hash list.
+func findHash(sorted []uint64, h uint64) (int, bool) {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(sorted) && sorted[lo] == h {
+		return lo, true
+	}
+	return 0, false
+}

@@ -1,0 +1,165 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKeyHashDeterministicAndDistinct(t *testing.T) {
+	if KeyHash("a") != KeyHash("a") {
+		t.Fatal("KeyHash is not deterministic")
+	}
+	keys := []string{"", "a", "b", "ab", "ba", "a\x00", "\x00a", "zip-90210", "zip-90211"}
+	seen := make(map[uint64]string)
+	for _, k := range keys {
+		h := KeyHash(k)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("KeyHash collision: %q and %q both hash to %#x", prev, k, h)
+		}
+		seen[h] = k
+	}
+}
+
+func TestSignatureSetSemantics(t *testing.T) {
+	base := NewSignature([]string{"a", "b", "c"})
+	if got := NewSignature([]string{"c", "a", "b"}); got != base {
+		t.Fatalf("permutation changed signature: %v vs %v", got, base)
+	}
+	if got := NewSignature([]string{"a", "a", "b", "c", "c"}); got != base {
+		t.Fatalf("duplicates changed signature: %v vs %v", got, base)
+	}
+	if got := NewSignature([]string{"a", "b"}); got == base {
+		t.Fatal("subset collided with superset")
+	}
+	// The classic concatenation trap: {"ab"} vs {"a","b"}.
+	if NewSignature([]string{"ab"}) == NewSignature([]string{"a", "b"}) {
+		t.Fatal(`{"ab"} collided with {"a","b"}`)
+	}
+	if !(Signature{}).IsZero() {
+		t.Fatal("zero signature should report IsZero")
+	}
+	if base.IsZero() {
+		t.Fatal("nonzero signature reported IsZero")
+	}
+}
+
+func TestSignatureStringRoundTrip(t *testing.T) {
+	for _, keys := range [][]string{
+		{"a"}, {"a", "b", "c"}, {"zip-1", "zip-2"}, {""},
+	} {
+		sig := NewSignature(keys)
+		got, err := ParseSignature(sig.String())
+		if err != nil {
+			t.Fatalf("ParseSignature(%q): %v", sig.String(), err)
+		}
+		if got != sig {
+			t.Fatalf("round trip %q: got %v want %v", sig.String(), got, sig)
+		}
+	}
+	for _, bad := range []string{"", "gs1:", "gs1:1:2", "gs2:1:2:3", "gs1:x:0:0", "gs1:1:zz:0", "gs1:1:0:zz", "gs1:1:0:0:0"} {
+		if _, err := ParseSignature(bad); err == nil {
+			t.Errorf("ParseSignature(%q) should fail", bad)
+		}
+	}
+}
+
+func TestOrderedDigestOrderSensitive(t *testing.T) {
+	ab := OrderedDigest([]string{"a", "b"})
+	if ba := OrderedDigest([]string{"b", "a"}); ba == ab {
+		t.Fatal("OrderedDigest should be order-sensitive")
+	}
+	if again := OrderedDigest([]string{"a", "b"}); again != ab {
+		t.Fatal("OrderedDigest is not deterministic")
+	}
+	if dup := OrderedDigest([]string{"a", "b", "b"}); dup == ab {
+		t.Fatal("OrderedDigest should be duplicate-sensitive")
+	}
+}
+
+func TestGroupKey(t *testing.T) {
+	a := GroupKey("zip", []string{"1", "2"})
+	if b := GroupKey("zip", []string{"1", "2"}); b != a {
+		t.Fatal("equal inputs should collide into one group")
+	}
+	if b := GroupKey("county", []string{"1", "2"}); b == a {
+		t.Fatal("different unit types should separate groups")
+	}
+	if b := GroupKey("zip", []string{"2", "1"}); b == a {
+		t.Fatal("reordered keys should separate groups")
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	a := sortedUnique(HashKeys([]string{"a", "b", "c", "d"}))
+	b := sortedUnique(HashKeys([]string{"b", "d", "e"}))
+	if got := intersectSorted(a, b); got != 2 {
+		t.Fatalf("intersect = %d, want 2", got)
+	}
+	if got := intersectSorted(a, nil); got != 0 {
+		t.Fatalf("intersect with empty = %d, want 0", got)
+	}
+}
+
+// FuzzSignature pins the canonical wire form: decode∘encode is the
+// identity on every signature the hasher can produce, and the set
+// semantics hold for adversarial key lists (permutations and
+// duplications never change the signature; appending a genuinely new
+// key always does).
+func FuzzSignature(f *testing.F) {
+	f.Add("a,b,c")
+	f.Add("")
+	f.Add("ab,a b,ba")
+	f.Add("k,kk,kkk,\x00,\x00\x00")
+	f.Add(strings.Repeat("x,", 300))
+	f.Fuzz(func(t *testing.T, csv string) {
+		keys := strings.Split(csv, ",")
+		sig := NewSignature(keys)
+
+		// decode∘encode identity on the canonical form.
+		parsed, err := ParseSignature(sig.String())
+		if err != nil {
+			t.Fatalf("ParseSignature(%q): %v", sig.String(), err)
+		}
+		if parsed != sig {
+			t.Fatalf("round trip %q: got %+v want %+v", sig.String(), parsed, sig)
+		}
+
+		// Permutation invariance: reverse the list.
+		rev := make([]string, len(keys))
+		for i, k := range keys {
+			rev[len(keys)-1-i] = k
+		}
+		if got := NewSignature(rev); got != sig {
+			t.Fatalf("reversal changed signature: %+v vs %+v", got, sig)
+		}
+
+		// Duplication invariance: doubling the list is a no-op.
+		if got := NewSignature(append(append([]string(nil), keys...), keys...)); got != sig {
+			t.Fatalf("duplication changed signature: %+v vs %+v", got, sig)
+		}
+
+		// Adding a fresh key must change the signature (the fuzzer would
+		// need a 128-bit collision to break this).
+		fresh := csv + "\x01fresh\x02"
+		present := false
+		for _, k := range keys {
+			if k == fresh {
+				present = true
+			}
+		}
+		if !present {
+			if got := NewSignature(append(append([]string(nil), keys...), fresh)); got == sig {
+				t.Fatalf("adding %q did not change the signature", fresh)
+			}
+		}
+
+		// Count tracks the distinct key set exactly.
+		distinct := make(map[string]bool, len(keys))
+		for _, k := range keys {
+			distinct[k] = true
+		}
+		if int(sig.Count) != len(distinct) {
+			t.Fatalf("Count = %d, distinct keys = %d", sig.Count, len(distinct))
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package catalog
+
+import (
+	"math"
+	"math/bits"
+
+	"geoalign/internal/geom"
+	"geoalign/internal/rtree"
+)
+
+// summary constants. Samples are deterministic (evenly strided), so a
+// summary built twice from the same boxes is identical — persistence
+// round-trips and index rebuilds agree bit-for-bit.
+const (
+	// maxSampleBoxes caps the per-table box sample retained for R-tree
+	// density estimation.
+	maxSampleBoxes = 256
+	// gridDim is the occupancy grid resolution (gridDim² cells packed
+	// into one uint64 bitmask).
+	gridDim = 8
+)
+
+// BoxSummary is the spatial sketch of a 2-D table's unit system: the
+// overall bounds, an 8×8 occupancy bitmask over those bounds, and a
+// deterministic sample of unit bounding boxes. It is what the catalog
+// keeps instead of geometry — enough to estimate crosswalk density
+// between two unit systems by R-tree bbox sampling, at a few KB per
+// table.
+type BoxSummary struct {
+	Bounds geom.BBox
+	Grid   uint64
+	Sample []geom.BBox
+	Units  int
+}
+
+// NewBoxSummary sketches a unit-box list. nil input returns nil.
+func NewBoxSummary(boxes []geom.BBox) *BoxSummary {
+	if len(boxes) == 0 {
+		return nil
+	}
+	s := &BoxSummary{Bounds: geom.EmptyBBox(), Units: len(boxes)}
+	for _, b := range boxes {
+		s.Bounds = s.Bounds.Union(b)
+	}
+	for _, b := range boxes {
+		s.Grid |= gridMask(s.Bounds, b)
+	}
+	stride := (len(boxes) + maxSampleBoxes - 1) / maxSampleBoxes
+	for i := 0; i < len(boxes); i += stride {
+		s.Sample = append(s.Sample, boxes[i])
+	}
+	return s
+}
+
+// gridMask returns the bits of the gridDim×gridDim occupancy grid over
+// bounds that box touches.
+func gridMask(bounds, box geom.BBox) uint64 {
+	w := bounds.MaxX - bounds.MinX
+	h := bounds.MaxY - bounds.MinY
+	if w <= 0 || h <= 0 {
+		return 1
+	}
+	cell := func(v, lo, span float64) int {
+		c := int(float64(gridDim) * (v - lo) / span)
+		if c < 0 {
+			c = 0
+		}
+		if c >= gridDim {
+			c = gridDim - 1
+		}
+		return c
+	}
+	x0, x1 := cell(box.MinX, bounds.MinX, w), cell(box.MaxX, bounds.MinX, w)
+	y0, y1 := cell(box.MinY, bounds.MinY, h), cell(box.MaxY, bounds.MinY, h)
+	var m uint64
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			m |= 1 << uint(y*gridDim+x)
+		}
+	}
+	return m
+}
+
+// OccupiedCells reports how many grid cells the summary's units touch.
+func (s *BoxSummary) OccupiedCells() int { return bits.OnesCount64(s.Grid) }
+
+// overlapFraction estimates the fraction of s's occupied area that
+// falls inside other's bounds: occupied grid cells whose rectangle
+// intersects the bounds intersection, over all occupied cells.
+func (s *BoxSummary) overlapFraction(other *BoxSummary) float64 {
+	occ := s.OccupiedCells()
+	if occ == 0 {
+		return 0
+	}
+	inter := intersectBBox(s.Bounds, other.Bounds)
+	if inter.IsEmpty() {
+		return 0
+	}
+	w := (s.Bounds.MaxX - s.Bounds.MinX) / gridDim
+	h := (s.Bounds.MaxY - s.Bounds.MinY) / gridDim
+	hit := 0
+	for y := 0; y < gridDim; y++ {
+		for x := 0; x < gridDim; x++ {
+			if s.Grid&(1<<uint(y*gridDim+x)) == 0 {
+				continue
+			}
+			cellBox := geom.BBox{
+				MinX: s.Bounds.MinX + float64(x)*w, MaxX: s.Bounds.MinX + float64(x+1)*w,
+				MinY: s.Bounds.MinY + float64(y)*h, MaxY: s.Bounds.MinY + float64(y+1)*h,
+			}
+			if cellBox.Intersects(inter) {
+				hit++
+			}
+		}
+	}
+	return float64(hit) / float64(occ)
+}
+
+func intersectBBox(a, b geom.BBox) geom.BBox {
+	out := geom.BBox{
+		MinX: math.Max(a.MinX, b.MinX), MaxX: math.Min(a.MaxX, b.MaxX),
+		MinY: math.Max(a.MinY, b.MinY), MaxY: math.Min(a.MaxY, b.MaxY),
+	}
+	if out.MinX > out.MaxX || out.MinY > out.MaxY {
+		return geom.EmptyBBox()
+	}
+	return out
+}
+
+// EstimateDensity estimates the crosswalk density between two unit
+// systems from their box summaries: an R-tree over one side's sampled
+// unit boxes is probed with the other side's samples, and the mean
+// intersection count per probe extrapolates to estimated nonzeros over
+// the full nA×nB pair space. Returns density = estNNZ/(nA·nB) and the
+// estimated average degree (intersecting partners per unit of the
+// smaller side). Either summary nil ⇒ (0, 0, false).
+func EstimateDensity(a, b *BoxSummary) (density, avgDeg float64, ok bool) {
+	if a == nil || b == nil || len(a.Sample) == 0 || len(b.Sample) == 0 {
+		return 0, 0, false
+	}
+	// Index the larger sample, probe with the smaller: fewer probes over
+	// a better-amortised tree.
+	idx, probe := a, b
+	if len(b.Sample) > len(a.Sample) {
+		idx, probe = b, a
+	}
+	entries := make([]rtree.Entry, len(idx.Sample))
+	for i, box := range idx.Sample {
+		entries[i] = rtree.Entry{Box: box, ID: i}
+	}
+	tree := rtree.New(entries)
+	hits := 0
+	for _, box := range probe.Sample {
+		hits += tree.SearchCount(box)
+	}
+	// hits/|probe.Sample| intersections per probe unit against
+	// |idx.Sample| indexed units scales to the full index side by
+	// idx.Units/|idx.Sample|.
+	perProbe := float64(hits) / float64(len(probe.Sample)) * float64(idx.Units) / float64(len(idx.Sample))
+	estNNZ := perProbe * float64(probe.Units)
+	density = estNNZ / (float64(a.Units) * float64(b.Units))
+	minUnits := a.Units
+	if b.Units < minUnits {
+		minUnits = b.Units
+	}
+	avgDeg = estNNZ / float64(minUnits)
+	return density, avgDeg, true
+}

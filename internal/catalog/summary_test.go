@@ -1,0 +1,107 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"geoalign/internal/geom"
+)
+
+// gridBoxes tiles an n×n unit grid over [0,n)×[0,n).
+func gridBoxes(n int) []geom.BBox {
+	out := make([]geom.BBox, 0, n*n)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			out = append(out, geom.BBox{
+				MinX: float64(x), MinY: float64(y),
+				MaxX: float64(x + 1), MaxY: float64(y + 1),
+			})
+		}
+	}
+	return out
+}
+
+func TestNewBoxSummary(t *testing.T) {
+	if NewBoxSummary(nil) != nil {
+		t.Fatal("nil boxes should give nil summary")
+	}
+	boxes := gridBoxes(10)
+	s := NewBoxSummary(boxes)
+	if s.Units != 100 {
+		t.Fatalf("units = %d", s.Units)
+	}
+	if s.Bounds.MinX != 0 || s.Bounds.MaxX != 10 {
+		t.Fatalf("bounds = %+v", s.Bounds)
+	}
+	// A full grid occupies every cell.
+	if s.OccupiedCells() != gridDim*gridDim {
+		t.Fatalf("occupied = %d, want %d", s.OccupiedCells(), gridDim*gridDim)
+	}
+	if len(s.Sample) == 0 || len(s.Sample) > maxSampleBoxes {
+		t.Fatalf("sample size = %d", len(s.Sample))
+	}
+	// Determinism: same boxes, identical summary.
+	s2 := NewBoxSummary(boxes)
+	if s2.Grid != s.Grid || len(s2.Sample) != len(s.Sample) {
+		t.Fatal("summary not deterministic")
+	}
+
+	// Large inputs stay within the sample cap.
+	big := NewBoxSummary(gridBoxes(40)) // 1600 boxes
+	if len(big.Sample) > maxSampleBoxes {
+		t.Fatalf("sample exceeds cap: %d", len(big.Sample))
+	}
+}
+
+func TestEstimateDensity(t *testing.T) {
+	if _, _, ok := EstimateDensity(nil, nil); ok {
+		t.Fatal("nil summaries should not estimate")
+	}
+	// Two identical 10×10 grids: every unit intersects its twin plus
+	// edge-adjacent neighbours (closed boxes touch), so avgDeg is a few
+	// and density around avgDeg/100.
+	a := NewBoxSummary(gridBoxes(10))
+	b := NewBoxSummary(gridBoxes(10))
+	density, avgDeg, ok := EstimateDensity(a, b)
+	if !ok {
+		t.Fatal("estimate failed on overlapping grids")
+	}
+	if density <= 0 || avgDeg <= 0 {
+		t.Fatalf("density %v avgDeg %v", density, avgDeg)
+	}
+	if avgDeg < 1 || avgDeg > 10 {
+		t.Fatalf("avgDeg %v implausible for aligned unit grids", avgDeg)
+	}
+
+	// Disjoint layers: no intersections at all.
+	far := make([]geom.BBox, 16)
+	for i := range far {
+		far[i] = geom.BBox{MinX: 1000 + float64(i), MinY: 1000, MaxX: 1001 + float64(i), MaxY: 1001}
+	}
+	density, avgDeg, ok = EstimateDensity(a, NewBoxSummary(far))
+	if !ok {
+		t.Fatal("estimate should still report ok for disjoint layers")
+	}
+	if density != 0 || avgDeg != 0 {
+		t.Fatalf("disjoint layers: density %v avgDeg %v, want 0, 0", density, avgDeg)
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	a := NewBoxSummary(gridBoxes(10)) // covers [0,10]²
+	if f := a.overlapFraction(a); f != 1 {
+		t.Fatalf("self overlap = %v, want 1", f)
+	}
+	right := NewBoxSummary([]geom.BBox{{MinX: 5, MinY: 0, MaxX: 15, MaxY: 10}})
+	f := a.overlapFraction(right)
+	if f <= 0 || f > 1 {
+		t.Fatalf("half overlap = %v", f)
+	}
+	if math.Abs(f-0.5) > 0.2 {
+		t.Fatalf("half overlap = %v, want ≈0.5 at grid resolution", f)
+	}
+	none := NewBoxSummary([]geom.BBox{{MinX: 100, MinY: 100, MaxX: 101, MaxY: 101}})
+	if f := a.overlapFraction(none); f != 0 {
+		t.Fatalf("disjoint overlap = %v, want 0", f)
+	}
+}

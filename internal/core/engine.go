@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -312,6 +313,55 @@ func (e *Engine) LearnWeights(objective []float64) ([]float64, error) {
 	defer e.scratch.Put(s)
 	return e.learnWeights(objective, nil, s, nil)
 }
+
+// LearnWeightsResidual is LearnWeights plus the relative residual
+// ‖Aβ − b̂‖₂/‖b̂‖₂ of the weight-learning least-squares system in
+// normalised space (b̂ = maxNormalise(objective)). The residual comes
+// from the cached Gram system via the identity
+// r² = b̂ᵀb̂ − 2βᵀc + βᵀGβ with c = Aᵀb̂, so it costs one O(ns·k)
+// reduction and a k×k quadratic form — no extra design-matrix pass.
+// The alignment catalog uses it as the reference-fit half of its
+// accuracy estimate: a small residual means the engine's references
+// explain the objective's source-level distribution well.
+func (e *Engine) LearnWeightsResidual(objective []float64) ([]float64, float64, error) {
+	if err := e.checkObjective(objective); err != nil {
+		return nil, 0, err
+	}
+	s := e.scratch.Get().(*engineScratch)
+	defer e.scratch.Put(s)
+	w, err := e.learnWeights(objective, nil, s, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	// learnWeights leaves b̂ in s.b.
+	var bb float64
+	for _, v := range s.b {
+		bb += v * v
+	}
+	if bb == 0 {
+		return w, 0, nil
+	}
+	k := len(e.refs)
+	c := make([]float64, k)
+	e.gram.ApplyTInto(c, s.b)
+	g := e.gram.Gram()
+	r2 := bb
+	for i := 0; i < k; i++ {
+		r2 -= 2 * w[i] * c[i]
+		for j := 0; j < k; j++ {
+			r2 += w[i] * g.At(i, j) * w[j]
+		}
+	}
+	if r2 < 0 {
+		r2 = 0 // cancellation noise near a perfect fit
+	}
+	return w, math.Sqrt(r2) / math.Sqrt(bb), nil
+}
+
+// PatternNNZ reports the nonzero count of the references' union
+// sparsity pattern — the crosswalk density numerator the alignment
+// catalog records per engine edge.
+func (e *Engine) PatternNNZ() int { return len(e.pat.ColIdx) }
 
 // Align crosswalks one objective attribute. Safe for concurrent use.
 func (e *Engine) Align(objective []float64) (*Result, error) {

@@ -170,6 +170,35 @@ func search(nd *node, q geom.BBox, dst []int) []int {
 	return dst
 }
 
+// SearchCount reports how many entries intersect query without
+// materialising their IDs — the allocation-free probe the catalog's
+// crosswalk-density sampler runs in a tight loop.
+func (t *Tree) SearchCount(query geom.BBox) int {
+	if t.root == nil {
+		return 0
+	}
+	return searchCount(t.root, query)
+}
+
+func searchCount(nd *node, q geom.BBox) int {
+	if !nd.box.Intersects(q) {
+		return 0
+	}
+	n := 0
+	if nd.children == nil {
+		for _, e := range nd.entries {
+			if e.Box.Intersects(q) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, c := range nd.children {
+		n += searchCount(c, q)
+	}
+	return n
+}
+
 // Visit calls fn for every entry whose box intersects query; returning
 // false from fn stops the traversal early.
 func (t *Tree) Visit(query geom.BBox, fn func(Entry) bool) {

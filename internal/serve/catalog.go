@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"geoalign/internal/catalog"
+)
+
+// Catalog wiring: when Config.Catalog is set, the server exposes the
+// alignment catalog over HTTP and keeps it synchronised with the
+// engine registry. Every registered engine whose EngineMeta carries
+// unit keys becomes a searchable crosswalk edge; RegisterOwnedWithMeta
+// and SwapOwnedWithMeta keep the edge's generation current through hot
+// swaps, and Remove drops it. Search accuracy estimates are sharpened
+// by probing the live engines' cached Gram systems for reference-fit
+// residuals (Aligner.WeightsResidual) — no design-matrix pass, so a
+// probe costs microseconds per edge.
+
+// syncCatalog seeds catalog edges from the engines already registered
+// and hooks future swaps. Call once, at server construction, before
+// traffic.
+func (s *Server) syncCatalog() {
+	cat := s.cfg.Catalog
+	for _, info := range s.registry.List() {
+		s.syncEngineEdge(info.Name, info.Generation)
+	}
+	s.registry.OnSwap(func(name string, newGen int) {
+		if newGen == 0 {
+			cat.RemoveEdge(name)
+		} else {
+			s.syncEngineEdge(name, newGen)
+		}
+		s.persistCatalog()
+	})
+}
+
+// syncEngineEdge (re-)indexes one live engine as a catalog edge. An
+// engine without key metadata cannot be indexed and is skipped — it
+// still serves alignments, it just does not participate in search.
+func (s *Server) syncEngineEdge(name string, gen int) {
+	in, err := s.registry.AcquireInstance(name)
+	if err != nil {
+		return
+	}
+	defer in.release()
+	m := in.Meta()
+	if m == nil || len(m.SourceKeys) == 0 || len(m.TargetKeys) == 0 {
+		return
+	}
+	al := in.Aligner()
+	_, err = s.cfg.Catalog.RegisterEdge(catalog.EdgeSpec{
+		Name:       name,
+		Generation: gen,
+		SourceType: m.SourceType,
+		TargetType: m.TargetType,
+		SourceKeys: m.SourceKeys,
+		TargetKeys: m.TargetKeys,
+		NNZ:        al.PatternNNZ(),
+		References: al.References(),
+	})
+	if err == nil {
+		s.metrics.catalogEdges.Add(1)
+	}
+}
+
+// residualProber adapts the registry to catalog.ResidualProber: lease
+// the edge's engine, verify the generation still matches (a swap
+// between index refresh and probe must not attribute a stale fit), and
+// run the cached-Gram residual solve.
+func (s *Server) residualProber(edgeName string, generation int, objective []float64) (float64, bool) {
+	in, err := s.registry.AcquireInstance(edgeName)
+	if err != nil {
+		return 0, false
+	}
+	defer in.release()
+	if in.Generation() != generation {
+		return 0, false
+	}
+	al := in.Aligner()
+	if len(objective) != al.SourceUnits() {
+		return 0, false
+	}
+	_, rel, err := al.WeightsResidual(objective)
+	if err != nil {
+		return 0, false
+	}
+	return rel, true
+}
+
+// persistCatalog writes the index sidecar through the configured hook,
+// when there is one. Failures are counted, not fatal: the catalog
+// stays live in memory and the next mutation retries.
+func (s *Server) persistCatalog() {
+	if s.cfg.CatalogPersist == nil {
+		return
+	}
+	if err := s.cfg.CatalogPersist(s.cfg.Catalog); err != nil {
+		s.metrics.catalogPersistErrors.Add(1)
+	} else {
+		s.metrics.catalogPersists.Add(1)
+	}
+}
+
+// catalogSearchRequest is the POST /v1/catalog/search body. GET
+// supports the table-query subset via query parameters.
+type catalogSearchRequest struct {
+	// Table names a registered table to search around, or:
+	Table string `json:"table,omitempty"`
+	// Keys (and optional Values) describe an ad-hoc table.
+	Keys     []string  `json:"keys,omitempty"`
+	Values   []float64 `json:"values,omitempty"`
+	UnitType string    `json:"unit_type,omitempty"`
+
+	K        int     `json:"k,omitempty"`
+	MinScore float64 `json:"min_score,omitempty"`
+	System   string  `json:"system,omitempty"`
+}
+
+func (s *Server) handleCatalogSearch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.catalogSearches.Add(1)
+	var req catalogSearchRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		req.Table = q.Get("table")
+		req.System = q.Get("system")
+		if v := q.Get("k"); v != "" {
+			k, err := strconv.Atoi(v)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "bad k: "+err.Error())
+				return
+			}
+			req.K = k
+		}
+		if v := q.Get("min_score"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "bad min_score: "+err.Error())
+				return
+			}
+			req.MinScore = ms
+		}
+	} else if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<26)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	res, err := s.cfg.Catalog.Search(catalog.Query{
+		Table:    req.Table,
+		Keys:     req.Keys,
+		Values:   req.Values,
+		UnitType: req.UnitType,
+		K:        req.K,
+		MinScore: req.MinScore,
+		System:   catalog.System(req.System),
+	}, s.residualProber)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+	s.metrics.ok.Add(1)
+}
+
+// catalogTableInfo is one table in the GET /v1/catalog/tables listing.
+type catalogTableInfo struct {
+	Name      string `json:"name"`
+	UnitType  string `json:"unit_type,omitempty"`
+	Attribute string `json:"attribute,omitempty"`
+	System    string `json:"system"`
+	Units     int    `json:"units"`
+	Signature string `json:"signature"`
+	HasValues bool   `json:"has_values"`
+	HasBoxes  bool   `json:"has_boxes"`
+}
+
+// catalogEdgeInfo is one edge in the listing.
+type catalogEdgeInfo struct {
+	Name        string  `json:"name"`
+	Generation  int     `json:"generation,omitempty"`
+	SourceType  string  `json:"source_type,omitempty"`
+	TargetType  string  `json:"target_type,omitempty"`
+	SourceUnits int     `json:"source_units"`
+	TargetUnits int     `json:"target_units"`
+	References  int     `json:"references"`
+	Density     float64 `json:"density,omitempty"`
+}
+
+func (s *Server) handleCatalogTables(w http.ResponseWriter, r *http.Request) {
+	cat := s.cfg.Catalog
+	tables := cat.Tables()
+	edges := cat.Edges()
+	ti := make([]catalogTableInfo, len(tables))
+	for i, t := range tables {
+		ti[i] = catalogTableInfo{
+			Name:      t.Name,
+			UnitType:  t.UnitType,
+			Attribute: t.Attribute,
+			System:    string(t.System),
+			Units:     t.Units(),
+			Signature: t.Sig.String(),
+			HasValues: t.HasValues(),
+			HasBoxes:  t.HasBoxes(),
+		}
+	}
+	ei := make([]catalogEdgeInfo, len(edges))
+	for i, e := range edges {
+		d, _ := e.Density()
+		ei[i] = catalogEdgeInfo{
+			Name:        e.Name,
+			Generation:  e.Generation,
+			SourceType:  e.SourceType,
+			TargetType:  e.TargetType,
+			SourceUnits: e.SourceUnits(),
+			TargetUnits: e.TargetUnits(),
+			References:  e.References,
+			Density:     d,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tables": ti,
+		"edges":  ei,
+		"stats":  cat.Stats(),
+	})
+	s.metrics.ok.Add(1)
+}
+
+// catalogRegisterRequest is the POST /v1/catalog/tables body: register
+// (or replace) one searchable table.
+type catalogRegisterRequest struct {
+	Name      string    `json:"name"`
+	UnitType  string    `json:"unit_type,omitempty"`
+	Attribute string    `json:"attribute,omitempty"`
+	System    string    `json:"system,omitempty"`
+	Keys      []string  `json:"keys"`
+	Values    []float64 `json:"values,omitempty"`
+}
+
+func (s *Server) handleCatalogRegister(w http.ResponseWriter, r *http.Request) {
+	var req catalogRegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<26)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	t, err := s.cfg.Catalog.RegisterTable(catalog.TableSpec{
+		Name:      req.Name,
+		UnitType:  req.UnitType,
+		Attribute: req.Attribute,
+		System:    catalog.System(req.System),
+		Keys:      req.Keys,
+		Values:    req.Values,
+	})
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.metrics.catalogTables.Add(1)
+	s.persistCatalog()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":      t.Name,
+		"units":     t.Units(),
+		"signature": t.Sig.String(),
+	})
+	s.metrics.ok.Add(1)
+}

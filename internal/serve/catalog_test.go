@@ -1,0 +1,381 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"geoalign/internal/catalog"
+)
+
+func unitKeys(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s-%04d", prefix, i)
+	}
+	return out
+}
+
+// newCatalogServer stands up a server whose one engine ("zip2county",
+// 40 source × 8 target units) carries full key metadata, so it seeds a
+// catalog edge at construction. persists counts CatalogPersist calls.
+func newCatalogServer(tb testing.TB) (*Server, *Registry, *catalog.Catalog, *httptest.Server, *atomic.Int64) {
+	tb.Helper()
+	al := testAligner(tb, 11, 40, 8, 3)
+	reg := NewRegistry()
+	meta := &EngineMeta{
+		SourceType: "zip", TargetType: "county",
+		SourceKeys: unitKeys("z", 40), TargetKeys: unitKeys("c", 8),
+		Provenance: "crosswalks",
+	}
+	if err := reg.RegisterOwnedWithMeta("zip2county", al, 0, meta); err != nil {
+		tb.Fatal(err)
+	}
+	cat := catalog.New()
+	var persists atomic.Int64
+	cfg := Config{
+		Catalog: cat,
+		CatalogPersist: func(*catalog.Catalog) error {
+			persists.Add(1)
+			return nil
+		},
+	}
+	s := NewServer(reg, cfg)
+	hts := httptest.NewServer(s.Handler())
+	tb.Cleanup(func() {
+		hts.Close()
+		s.Shutdown()
+	})
+	return s, reg, cat, hts, &persists
+}
+
+func postCatalogJSON(tb testing.TB, url string, body any) (*http.Response, []byte) {
+	tb.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	resp, err := http.Post(url, contentTypeJSON, bytes.NewReader(raw))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestCatalogSyncSeedsEdge(t *testing.T) {
+	_, _, cat, _, _ := newCatalogServer(t)
+	e := cat.Edge("zip2county")
+	if e == nil {
+		t.Fatal("engine with key metadata was not indexed as a catalog edge")
+	}
+	if e.Generation != 1 {
+		t.Fatalf("edge generation = %d, want 1", e.Generation)
+	}
+	if e.SourceUnits() != 40 || e.TargetUnits() != 8 {
+		t.Fatalf("edge units = %d×%d, want 40×8", e.SourceUnits(), e.TargetUnits())
+	}
+	if e.SourceType != "zip" || e.TargetType != "county" {
+		t.Fatalf("edge types = %q→%q", e.SourceType, e.TargetType)
+	}
+}
+
+func TestCatalogSyncSkipsMetalessEngine(t *testing.T) {
+	al := testAligner(t, 12, 20, 5, 2)
+	reg := NewRegistry()
+	if err := reg.Register("bare", al); err != nil {
+		t.Fatal(err)
+	}
+	cat := catalog.New()
+	s := NewServer(reg, Config{Catalog: cat})
+	defer s.Shutdown()
+	if cat.Edge("bare") != nil {
+		t.Fatal("engine without metadata must not become an edge")
+	}
+	if st := cat.Stats(); st.Edges != 0 {
+		t.Fatalf("stats.Edges = %d, want 0", st.Edges)
+	}
+}
+
+func TestCatalogSearchEndToEnd(t *testing.T) {
+	_, _, _, hts, persists := newCatalogServer(t)
+
+	// Register two tables over HTTP: one on zip units overlapping the
+	// engine's source side, one on county units at the far end of the
+	// edge. Each POST persists the sidecar.
+	before := persists.Load()
+	zipVals := make([]float64, 30)
+	for i := range zipVals {
+		zipVals[i] = float64(i)
+	}
+	resp, body := postCatalogJSON(t, hts.URL+"/v1/catalog/tables", catalogRegisterRequest{
+		Name: "steam", UnitType: "zip", Attribute: "steam_use",
+		Keys: unitKeys("z", 40)[:30], Values: zipVals,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register steam: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postCatalogJSON(t, hts.URL+"/v1/catalog/tables", catalogRegisterRequest{
+		Name: "income", UnitType: "county", Keys: unitKeys("c", 8),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register income: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postCatalogJSON(t, hts.URL+"/v1/catalog/tables", catalogRegisterRequest{
+		Name: "solar", UnitType: "zip", Keys: unitKeys("z", 40)[10:40],
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register solar: %d %s", resp.StatusCode, body)
+	}
+	if got := persists.Load(); got != before+3 {
+		t.Fatalf("persists = %d, want %d (one per table register)", got, before+3)
+	}
+
+	// GET search around the registered zip table: the sibling zip table
+	// joins directly, the county table chains through the live engine.
+	httpResp, err := http.Get(hts.URL + "/v1/catalog/search?table=steam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", httpResp.StatusCode)
+	}
+	var res catalog.SearchResult
+	if err := json.NewDecoder(httpResp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Units != 30 {
+		t.Fatalf("resolved query units = %d, want 30", res.Units)
+	}
+	found := map[string]catalog.Candidate{}
+	for i, c := range res.Candidates {
+		found[c.Table] = c
+		if i > 0 && c.Score > res.Candidates[i-1].Score {
+			t.Fatalf("candidates not sorted by score at %d", i)
+		}
+	}
+	direct, ok := found["solar"]
+	if !ok {
+		t.Fatalf("direct zip candidate missing; got %+v", res.Candidates)
+	}
+	if len(direct.Chain) != 0 || direct.SharedUnits != 20 {
+		t.Fatalf("direct candidate = %+v, want empty chain and 20 shared units", direct)
+	}
+	chained, ok := found["income"]
+	if !ok {
+		t.Fatalf("chained county candidate missing; got %+v", res.Candidates)
+	}
+	if len(chained.Chain) != 1 || chained.Chain[0].Edge != "zip2county" {
+		t.Fatalf("chained candidate = %+v, want 1 hop over zip2county", chained)
+	}
+	if chained.Chain[0].Generation != 1 {
+		t.Fatalf("chain generation = %d, want 1", chained.Chain[0].Generation)
+	}
+	// The query carried values, the edge's engine is live, and the
+	// generations match: the residual prober must have run.
+	if chained.FitResidual == 0 {
+		t.Fatal("chained candidate has no fit residual despite live engine and query values")
+	}
+
+	// POST with an ad-hoc key list (no registration needed).
+	resp, body = postCatalogJSON(t, hts.URL+"/v1/catalog/search", catalogSearchRequest{
+		Keys: unitKeys("z", 40)[:10], UnitType: "zip", K: 5,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ad-hoc search: %d %s", resp.StatusCode, body)
+	}
+	var adhoc catalog.SearchResult
+	if err := json.Unmarshal(body, &adhoc); err != nil {
+		t.Fatal(err)
+	}
+	if len(adhoc.Candidates) == 0 || len(adhoc.Candidates) > 5 {
+		t.Fatalf("ad-hoc candidates = %d, want 1..5", len(adhoc.Candidates))
+	}
+
+	// Bad requests surface as 400s, not 500s.
+	resp, _ = postCatalogJSON(t, hts.URL+"/v1/catalog/search", catalogSearchRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty query: %d, want 400", resp.StatusCode)
+	}
+	httpResp, err = http.Get(hts.URL + "/v1/catalog/search?table=steam&k=zap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, httpResp.Body)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad k: %d, want 400", httpResp.StatusCode)
+	}
+
+	// The listing endpoint reflects everything registered so far.
+	httpResp, err = http.Get(hts.URL + "/v1/catalog/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var listing struct {
+		Tables []catalogTableInfo `json:"tables"`
+		Edges  []catalogEdgeInfo  `json:"edges"`
+		Stats  catalog.Stats      `json:"stats"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Tables) != 3 || len(listing.Edges) != 1 {
+		t.Fatalf("listing has %d tables, %d edges; want 3, 1", len(listing.Tables), len(listing.Edges))
+	}
+	if listing.Stats.Searches == 0 {
+		t.Fatal("stats.Searches not counted")
+	}
+}
+
+func TestCatalogSwapAndRemoveTrackGenerations(t *testing.T) {
+	_, reg, cat, _, persists := newCatalogServer(t)
+	before := persists.Load()
+
+	// A swap with nil meta inherits the displaced engine's keys — the
+	// delta-swap case — and the edge follows to the new generation.
+	al2 := testAligner(t, 21, 40, 8, 3)
+	old := reg.SwapOwnedWithMeta("zip2county", al2, 0, nil)
+	if old == nil {
+		t.Fatal("swap did not displace the seeded engine")
+	}
+	<-old.Drained()
+	e := cat.Edge("zip2county")
+	if e == nil || e.Generation != 2 {
+		t.Fatalf("edge after swap = %+v, want generation 2", e)
+	}
+	if got := persists.Load(); got != before+1 {
+		t.Fatalf("persists after swap = %d, want %d", got, before+1)
+	}
+
+	// Removing the engine removes the edge.
+	if in := reg.Remove("zip2county"); in != nil {
+		<-in.Drained()
+	}
+	if cat.Edge("zip2county") != nil {
+		t.Fatal("edge survived engine removal")
+	}
+	if got := persists.Load(); got != before+2 {
+		t.Fatalf("persists after remove = %d, want %d", got, before+2)
+	}
+}
+
+// TestEnginesMetadata pins the /v1/engines additions: unit-system tag,
+// key counts, and provenance from the registration metadata.
+func TestEnginesMetadata(t *testing.T) {
+	_, _, _, hts, _ := newCatalogServer(t)
+	resp, err := http.Get(hts.URL + "/v1/engines")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Engines []EngineInfo `json:"engines"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Engines) != 1 {
+		t.Fatalf("engines = %d, want 1", len(out.Engines))
+	}
+	info := out.Engines[0]
+	if info.UnitSystem != "zip→county" {
+		t.Fatalf("unit_system = %q, want zip→county", info.UnitSystem)
+	}
+	if info.SourceKeyCount != 40 || info.TargetKeyCount != 8 {
+		t.Fatalf("key counts = %d/%d, want 40/8", info.SourceKeyCount, info.TargetKeyCount)
+	}
+	if info.Provenance != "crosswalks" {
+		t.Fatalf("provenance = %q", info.Provenance)
+	}
+}
+
+// TestCatalogRoutesAbsentWithoutCatalog: a server built without a
+// catalog does not mount the endpoints.
+func TestCatalogRoutesAbsentWithoutCatalog(t *testing.T) {
+	al := testAligner(t, 31, 20, 5, 2)
+	_, hts := newTestServer(t, al, Config{})
+	resp, err := http.Get(hts.URL + "/v1/catalog/search?table=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("catalog route on catalog-less server: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestCatalogMetricsSection: /metrics exposes the catalog counters.
+func TestCatalogMetricsSection(t *testing.T) {
+	_, _, _, hts, _ := newCatalogServer(t)
+	if _, err := http.Get(hts.URL + "/v1/catalog/search?table=nope"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	sec, ok := m["catalog"]
+	if !ok {
+		t.Fatalf("metrics missing catalog section: %v", m)
+	}
+	var catSec map[string]any
+	if err := json.Unmarshal(sec, &catSec); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"tables", "edges", "searches", "edges_indexed", "persists"} {
+		if _, ok := catSec[k]; !ok {
+			t.Errorf("catalog metrics missing %q: %v", k, catSec)
+		}
+	}
+}
+
+// residualProber is exercised through Search above; this pins its
+// generation guard directly: a stale generation must refuse to probe.
+func TestResidualProberGenerationGuard(t *testing.T) {
+	s, reg, _, _, _ := newCatalogServer(t)
+	obj := make([]float64, 40)
+	for i := range obj {
+		obj[i] = float64(i + 1)
+	}
+	if _, ok := s.residualProber("zip2county", 1, obj); !ok {
+		t.Fatal("prober refused a live generation")
+	}
+	if _, ok := s.residualProber("zip2county", 99, obj); ok {
+		t.Fatal("prober accepted a mismatched generation")
+	}
+	if _, ok := s.residualProber("zip2county", 1, obj[:5]); ok {
+		t.Fatal("prober accepted a mis-sized objective")
+	}
+	if _, ok := s.residualProber("ghost", 1, obj); ok {
+		t.Fatal("prober accepted an unknown engine")
+	}
+	// After a swap the old generation is refused, the new one accepted.
+	al2 := testAligner(t, 41, 40, 8, 3)
+	if old := reg.SwapOwnedWithMeta("zip2county", al2, 0, nil); old != nil {
+		<-old.Drained()
+	}
+	if _, ok := s.residualProber("zip2county", 1, obj); ok {
+		t.Fatal("prober accepted the retired generation after swap")
+	}
+	if _, ok := s.residualProber("zip2county", 2, obj); !ok {
+		t.Fatal("prober refused the live generation after swap")
+	}
+}

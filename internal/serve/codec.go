@@ -122,7 +122,7 @@ func appendBinaryResult(dst []byte, target, weights []float64) []byte {
 // encodeBinaryResult writes the binary response framing for one aligned
 // attribute through a pooled scratch buffer.
 func encodeBinaryResult(w io.Writer, target, weights []float64) error {
-	buf := appendBinaryResult(getBuf(8+8*(len(target)+len(weights)))[:0], target, weights)
+	buf := appendBinaryResult(getBuf(8 + 8*(len(target)+len(weights)))[:0], target, weights)
 	_, err := w.Write(buf)
 	putBuf(buf)
 	return err

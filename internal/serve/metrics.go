@@ -4,6 +4,8 @@ import (
 	"expvar"
 	"sync/atomic"
 	"time"
+
+	"geoalign/internal/catalog"
 )
 
 // batchBuckets are the inclusive upper bounds of the coalesced batch
@@ -74,13 +76,20 @@ type Metrics struct {
 	cacheBytes         atomic.Int64 // gauge: current budget charge across shards
 	cacheEntries       atomic.Int64 // gauge: current entry count
 
+	catalogSearches      atomic.Int64 // /v1/catalog/search requests received
+	catalogTables        atomic.Int64 // tables registered over HTTP
+	catalogEdges         atomic.Int64 // engine edges (re-)indexed into the catalog
+	catalogPersists      atomic.Int64 // sidecar writes completed
+	catalogPersistErrors atomic.Int64 // sidecar writes failed
+
 	parse  stageLatency
 	queue  stageLatency
 	solve  stageLatency
 	encode stageLatency
 
-	queueDepth func() int            // set by the server; admission slots in use
-	engines    func() SnapshotTotals // set by the server; registry engine gauges
+	queueDepth   func() int            // set by the server; admission slots in use
+	engines      func() SnapshotTotals // set by the server; registry engine gauges
+	catalogStats func() catalog.Stats  // set when a catalog is configured
 }
 
 func newMetrics() *Metrics {
@@ -193,6 +202,20 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 	if m.queueDepth != nil {
 		out["queue_depth"] = m.queueDepth()
+	}
+	if m.catalogStats != nil {
+		st := m.catalogStats()
+		out["catalog"] = map[string]any{
+			"tables":            st.Tables,
+			"edges":             st.Edges,
+			"postings":          st.Postings,
+			"searches":          m.catalogSearches.Load(),
+			"index_searches":    st.Searches,
+			"tables_registered": m.catalogTables.Load(),
+			"edges_indexed":     m.catalogEdges.Load(),
+			"persists":          m.catalogPersists.Load(),
+			"persist_errors":    m.catalogPersistErrors.Load(),
+		}
 	}
 	if m.engines != nil {
 		t := m.engines()

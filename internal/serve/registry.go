@@ -15,6 +15,37 @@ import (
 // engine. The HTTP layer maps it to 404.
 var ErrUnknownEngine = errors.New("serve: unknown engine")
 
+// EngineMeta carries the provenance a registrant knows about an engine
+// beyond what the aligner itself can report: the unit systems it
+// crosses, the unit keys in engine order (the SnapshotMeta that
+// travelled with the snapshot), and where it came from. The serving
+// layer surfaces it on /v1/engines and feeds it to the alignment
+// catalog so registered engines become searchable crosswalk edges.
+type EngineMeta struct {
+	// SourceType/TargetType tag the unit systems the engine crosses
+	// ("zip", "county"); empty when unknown.
+	SourceType string
+	TargetType string
+	// SourceKeys/TargetKeys are the unit keys in engine order — the
+	// SnapshotMeta provenance. Nil when the registrant has no keys (the
+	// engine still serves, but cannot be indexed as a catalog edge).
+	SourceKeys []string
+	TargetKeys []string
+	// Provenance says how the engine was constructed: "snapshot",
+	// "crosswalks", "delta", or a registrant-defined tag.
+	Provenance string
+	// SnapshotPath is the backing snapshot file, when there is one.
+	SnapshotPath string
+}
+
+// unitSystem renders the meta's "src→tgt" tag, "" when untyped.
+func (m *EngineMeta) unitSystem() string {
+	if m == nil || (m.SourceType == "" && m.TargetType == "") {
+		return ""
+	}
+	return m.SourceType + "→" + m.TargetType
+}
+
 // EngineInfo describes one registered engine, as reported by
 // GET /v1/engines.
 type EngineInfo struct {
@@ -35,6 +66,19 @@ type EngineInfo struct {
 	// (snapshot load or crosswalk build), when the registrant reported
 	// it.
 	LoadMillis float64 `json:"load_millis,omitempty"`
+	// UnitSystem is the "source→target" unit-type tag from the engine's
+	// registration metadata, empty when the registrant did not say.
+	UnitSystem string `json:"unit_system,omitempty"`
+	// SourceKeyCount/TargetKeyCount report how many unit keys the
+	// registration metadata carried (the SnapshotMeta provenance); 0
+	// when keys were not provided.
+	SourceKeyCount int `json:"source_key_count,omitempty"`
+	TargetKeyCount int `json:"target_key_count,omitempty"`
+	// Provenance says how the engine was constructed ("snapshot",
+	// "crosswalks", "delta"), from the registration metadata.
+	Provenance string `json:"provenance,omitempty"`
+	// SnapshotPath is the backing snapshot file path, when reported.
+	SnapshotPath string `json:"snapshot_path,omitempty"`
 }
 
 // Instance is one generation of a named engine. The coalescer keys its
@@ -52,6 +96,7 @@ type Instance struct {
 	// mapping stay valid until the last lease lets go.
 	owned    bool
 	loadTime time.Duration
+	meta     *EngineMeta // immutable after registration; nil when unreported
 
 	active  atomic.Int64
 	retired atomic.Bool
@@ -64,6 +109,11 @@ func (in *Instance) Aligner() *geoalign.Aligner { return in.aligner }
 
 // Name returns the registry name the instance was registered under.
 func (in *Instance) Name() string { return in.name }
+
+// Meta returns the engine metadata reported at registration, nil when
+// the registrant provided none. The returned value is shared and must
+// not be mutated.
+func (in *Instance) Meta() *EngineMeta { return in.meta }
 
 // Generation returns the instance's generation number under its name:
 // 1 for the first registration, incremented by every Swap. Delta
@@ -153,7 +203,7 @@ func (r *Registry) newInstance(name string, al *geoalign.Aligner) *Instance {
 // Register adds a new named engine. It fails if the name is taken; use
 // Swap to replace a live engine.
 func (r *Registry) Register(name string, al *geoalign.Aligner) error {
-	return r.register(name, al, false, 0)
+	return r.register(name, al, false, 0, nil)
 }
 
 // RegisterOwned is Register for engines whose resources the registry
@@ -163,10 +213,18 @@ func (r *Registry) Register(name string, al *geoalign.Aligner) error {
 // (how long the snapshot load or build took) is surfaced in EngineInfo
 // and the metrics endpoint; pass 0 if unknown.
 func (r *Registry) RegisterOwned(name string, al *geoalign.Aligner, loadTime time.Duration) error {
-	return r.register(name, al, true, loadTime)
+	return r.register(name, al, true, loadTime, nil)
 }
 
-func (r *Registry) register(name string, al *geoalign.Aligner, owned bool, loadTime time.Duration) error {
+// RegisterOwnedWithMeta is RegisterOwned carrying engine metadata:
+// unit-system tags, the SnapshotMeta unit keys, and provenance. The
+// metadata shows up on /v1/engines and lets the serving layer index
+// the engine as a searchable catalog edge.
+func (r *Registry) RegisterOwnedWithMeta(name string, al *geoalign.Aligner, loadTime time.Duration, meta *EngineMeta) error {
+	return r.register(name, al, true, loadTime, meta)
+}
+
+func (r *Registry) register(name string, al *geoalign.Aligner, owned bool, loadTime time.Duration, meta *EngineMeta) error {
 	if al == nil {
 		return fmt.Errorf("serve: register %q: nil aligner", name)
 	}
@@ -176,7 +234,7 @@ func (r *Registry) register(name string, al *geoalign.Aligner, owned bool, loadT
 		return fmt.Errorf("serve: engine %q already registered", name)
 	}
 	in := r.newInstance(name, al)
-	in.owned, in.loadTime = owned, loadTime
+	in.owned, in.loadTime, in.meta = owned, loadTime, meta
 	r.engines[name] = in
 	return nil
 }
@@ -187,20 +245,30 @@ func (r *Registry) register(name string, al *geoalign.Aligner, owned bool, loadT
 // the old instance was registered owned, its aligner is closed (the
 // snapshot unmapped) only after that drain completes.
 func (r *Registry) Swap(name string, al *geoalign.Aligner) *Instance {
-	return r.swap(name, al, false, 0)
+	return r.swap(name, al, false, 0, nil)
 }
 
 // SwapOwned is Swap with registry ownership of the new engine's
 // resources, mirroring RegisterOwned.
 func (r *Registry) SwapOwned(name string, al *geoalign.Aligner, loadTime time.Duration) *Instance {
-	return r.swap(name, al, true, loadTime)
+	return r.swap(name, al, true, loadTime, nil)
 }
 
-func (r *Registry) swap(name string, al *geoalign.Aligner, owned bool, loadTime time.Duration) *Instance {
+// SwapOwnedWithMeta is SwapOwned carrying replacement metadata. Pass
+// nil meta to inherit the displaced instance's metadata — the common
+// delta-swap case, where the unit systems and keys are unchanged.
+func (r *Registry) SwapOwnedWithMeta(name string, al *geoalign.Aligner, loadTime time.Duration, meta *EngineMeta) *Instance {
+	return r.swap(name, al, true, loadTime, meta)
+}
+
+func (r *Registry) swap(name string, al *geoalign.Aligner, owned bool, loadTime time.Duration, meta *EngineMeta) *Instance {
 	r.mu.Lock()
 	old := r.engines[name]
 	in := r.newInstance(name, al)
-	in.owned, in.loadTime = owned, loadTime
+	in.owned, in.loadTime, in.meta = owned, loadTime, meta
+	if in.meta == nil && old != nil {
+		in.meta = old.meta
+	}
 	r.engines[name] = in
 	if old != nil {
 		old.retire()
@@ -299,7 +367,7 @@ func (r *Registry) List() []EngineInfo {
 	out := make([]EngineInfo, 0, len(r.engines))
 	for _, in := range r.engines {
 		st := in.aligner.Stats()
-		out = append(out, EngineInfo{
+		info := EngineInfo{
 			Name:            in.name,
 			SourceUnits:     in.aligner.SourceUnits(),
 			TargetUnits:     in.aligner.TargetUnits(),
@@ -310,7 +378,15 @@ func (r *Registry) List() []EngineInfo {
 			MappedBytes:     st.MappedBytes,
 			PrecomputeBytes: st.PrecomputeBytes,
 			LoadMillis:      float64(in.loadTime) / float64(time.Millisecond),
-		})
+		}
+		if m := in.meta; m != nil {
+			info.UnitSystem = m.unitSystem()
+			info.SourceKeyCount = len(m.SourceKeys)
+			info.TargetKeyCount = len(m.TargetKeys)
+			info.Provenance = m.Provenance
+			info.SnapshotPath = m.SnapshotPath
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"geoalign"
+	"geoalign/internal/catalog"
 )
 
 // Config tunes a Server. The zero value gives the defaults noted on
@@ -68,6 +69,17 @@ type Config struct {
 	// Aligner.WriteSnapshot with the engine's boot-time metadata; nil
 	// disables re-persistence regardless of SnapshotEvery.
 	SnapshotPersist func(name string, al *geoalign.Aligner) error
+	// Catalog, if set, mounts the alignment-catalog routes
+	// (/v1/catalog/search, /v1/catalog/tables) over this index and
+	// keeps it synchronised with the engine registry: engines whose
+	// registration metadata carries unit keys are indexed as crosswalk
+	// edges, hot swaps update their generation, removals drop them.
+	Catalog *catalog.Catalog
+	// CatalogPersist writes the catalog's on-disk sidecar after each
+	// mutation (table registration, engine swap). The geoalignd binary
+	// wires this to Catalog.Save next to -snapshot-dir; nil disables
+	// persistence.
+	CatalogPersist func(*catalog.Catalog) error
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +153,14 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/engines/{name}/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Catalog != nil {
+		m.catalogStats = cfg.Catalog.Stats
+		s.mux.HandleFunc("GET /v1/catalog/search", s.handleCatalogSearch)
+		s.mux.HandleFunc("POST /v1/catalog/search", s.handleCatalogSearch)
+		s.mux.HandleFunc("GET /v1/catalog/tables", s.handleCatalogTables)
+		s.mux.HandleFunc("POST /v1/catalog/tables", s.handleCatalogRegister)
+		s.syncCatalog()
+	}
 	return s
 }
 

@@ -92,6 +92,20 @@ func (a *Aggregate) Reorder(keys []string) ([]float64, error) {
 	return out, nil
 }
 
+// ReorderLoose reorders the values into the order of the given keys
+// with outer-join semantics: units the table does not report come out
+// zero, and extra table keys are dropped. This is how autojoin and the
+// catalog place partially-overlapping tables onto one unit indexing.
+func (a *Aggregate) ReorderLoose(keys []string) []float64 {
+	out := make([]float64, len(keys))
+	for i, k := range keys {
+		if v, ok := a.Value(k); ok {
+			out[i] = v
+		}
+	}
+	return out
+}
+
 // WriteCSV emits the table as CSV with a header row [unit, attribute].
 func (a *Aggregate) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
