@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"geoalign/internal/catalog"
+	"geoalign/internal/cliflag"
 	"geoalign/internal/table"
 )
 
@@ -62,8 +63,8 @@ func runCatalogBuild(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		out        = fs.String("out", catalog.DefaultSidecarName, "output sidecar path")
-		tableSpecs repeated
-		edgeSpecs  repeated
+		tableSpecs cliflag.Repeated
+		edgeSpecs  cliflag.Repeated
 	)
 	fs.Var(&tableSpecs, "table", "name=aggregate.csv[:unittype]; repeatable")
 	fs.Var(&edgeSpecs, "edge", "name=xwalk.csv[:srctype:tgttype]; repeatable")

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"geoalign"
+	"geoalign/internal/cliflag"
 	"geoalign/internal/geom"
 	"geoalign/internal/partition"
 	"geoalign/internal/shapefile"
@@ -86,35 +87,6 @@ func collectNames(base, nameField string) ([]string, error) {
 	return names, nil
 }
 
-// parseBytes parses a human-readable byte size: a plain integer, or an
-// integer with a K/M/G suffix (optionally followed by B or iB), binary
-// multiples in all cases.
-func parseBytes(s string) (int64, error) {
-	t := strings.TrimSpace(s)
-	if t == "" {
-		return 0, nil
-	}
-	upper := strings.ToUpper(t)
-	shift := 0
-	for suf, sh := range map[string]int{"K": 10, "M": 20, "G": 30} {
-		for _, full := range []string{suf + "IB", suf + "B", suf} {
-			if strings.HasSuffix(upper, full) {
-				upper = strings.TrimSuffix(upper, full)
-				shift = sh
-				break
-			}
-		}
-		if shift != 0 {
-			break
-		}
-	}
-	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("bad byte size %q (want e.g. 512MiB, 2GiB, 1048576)", s)
-	}
-	return n << shift, nil
-}
-
 // parseTiles parses the -tiles flag: "" or "auto" for budget-driven
 // sizing, "N" for an N×N grid, "CxR" for an explicit grid.
 func parseTiles(s string) (cols, rows int, err error) {
@@ -166,7 +138,7 @@ func runCrosswalkBuild(args []string, stderr io.Writer) error {
 	if *outPath == "" {
 		return fmt.Errorf("missing -out")
 	}
-	budget, err := parseBytes(*memFlag)
+	budget, err := cliflag.ParseBytes(*memFlag)
 	if err != nil {
 		return err
 	}

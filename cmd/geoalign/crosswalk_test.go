@@ -167,35 +167,6 @@ func TestCrosswalkBuildValidation(t *testing.T) {
 	}
 }
 
-func TestParseBytes(t *testing.T) {
-	cases := []struct {
-		in   string
-		want int64
-		ok   bool
-	}{
-		{"", 0, true},
-		{"1024", 1024, true},
-		{"64KiB", 64 << 10, true},
-		{"512MiB", 512 << 20, true},
-		{"2GiB", 2 << 30, true},
-		{"128kb", 128 << 10, true},
-		{"7m", 7 << 20, true},
-		{" 1 GiB ", 1 << 30, true},
-		{"-5", 0, false},
-		{"MiB", 0, false},
-		{"12TiB", 0, false},
-	}
-	for _, c := range cases {
-		got, err := parseBytes(c.in)
-		if c.ok && (err != nil || got != c.want) {
-			t.Errorf("parseBytes(%q) = %d, %v; want %d", c.in, got, err, c.want)
-		}
-		if !c.ok && err == nil {
-			t.Errorf("parseBytes(%q) succeeded with %d, want error", c.in, got)
-		}
-	}
-}
-
 func TestParseTiles(t *testing.T) {
 	for _, c := range []struct {
 		in         string

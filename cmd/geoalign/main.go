@@ -48,17 +48,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"geoalign"
+	"geoalign/internal/cliflag"
 	"geoalign/internal/core"
 	"geoalign/internal/table"
 )
-
-type repeated []string
-
-func (r *repeated) String() string     { return strings.Join(*r, ",") }
-func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
@@ -84,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		objectivePath = fs.String("objective", "", "objective aggregate CSV (unit,value)")
-		refPaths      repeated
+		refPaths      cliflag.Repeated
 		method        = fs.String("method", "geoalign", "geoalign | dasymetric | areal")
 		outPath       = fs.String("out", "-", "output CSV path, - for stdout")
 		showWeights   = fs.Bool("weights", false, "print learned reference weights to stderr")
@@ -245,15 +240,17 @@ func unionSources(xwalks []*table.Crosswalk) []string {
 
 func runSnapshot(args []string, stdout, stderr io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: geoalign snapshot build|info ...")
+		return fmt.Errorf("usage: geoalign snapshot build|info|gc ...")
 	}
 	switch args[0] {
 	case "build":
 		return runSnapshotBuild(args[1:], stderr)
 	case "info":
 		return runSnapshotInfo(args[1:], stdout, stderr)
+	case "gc":
+		return runSnapshotGC(args[1:], stdout, stderr)
 	default:
-		return fmt.Errorf("unknown snapshot subcommand %q (want build or info)", args[0])
+		return fmt.Errorf("unknown snapshot subcommand %q (want build, info, or gc)", args[0])
 	}
 }
 
@@ -265,7 +262,7 @@ func runSnapshot(args []string, stdout, stderr io.Writer) error {
 func runSnapshotBuild(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("geoalign snapshot build", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	var refPaths repeated
+	var refPaths cliflag.Repeated
 	outPath := fs.String("out", "", "output snapshot path (required)")
 	fs.Var(&refPaths, "ref", "reference crosswalk CSV (source,target,value); repeatable")
 	if err := fs.Parse(args); err != nil {

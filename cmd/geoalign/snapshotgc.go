@@ -1,0 +1,91 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"geoalign/internal/cluster/blobstore"
+)
+
+// runSnapshotGC sweeps a replica's content-addressed blob store,
+// removing every snapshot blob the current manifest does not name:
+//
+//	geoalign snapshot gc -blob-dir /var/geoalign/blobs \
+//	    {-manifest manifest.json | -server http://replica:8417} [-dry-run]
+//
+// The keep set comes from a manifest file or from a live replica's
+// /v1/cluster/manifest. Blobs are immutable and re-fetchable by digest,
+// so sweeping an over-eager blob costs a re-pull, never data loss —
+// but -dry-run prints what would go without touching anything.
+func runSnapshotGC(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("geoalign snapshot gc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		blobDir      = fs.String("blob-dir", "", "blob store directory to sweep (required)")
+		manifestPath = fs.String("manifest", "", "manifest JSON file naming the blobs to keep")
+		serverURL    = fs.String("server", "", "replica base URL; keep set fetched from its /v1/cluster/manifest")
+		dryRun       = fs.Bool("dry-run", false, "report sweepable blobs without removing them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *blobDir == "" {
+		return fmt.Errorf("missing -blob-dir")
+	}
+	if (*manifestPath == "") == (*serverURL == "") {
+		return fmt.Errorf("give exactly one of -manifest or -server")
+	}
+
+	var m *blobstore.Manifest
+	var err error
+	if *manifestPath != "" {
+		m, err = blobstore.ReadManifest(*manifestPath)
+	} else {
+		m, err = fetchManifest(*serverURL)
+	}
+	if err != nil {
+		return err
+	}
+
+	store, err := blobstore.Open(*blobDir)
+	if err != nil {
+		return err
+	}
+	swept, err := store.GC(m.Digests(), *dryRun)
+	if err != nil {
+		return err
+	}
+	verb := "swept"
+	if *dryRun {
+		verb = "would sweep"
+	}
+	var bytesFreed int64
+	for _, b := range swept {
+		bytesFreed += b.Size
+		fmt.Fprintf(stdout, "%s %s (%d bytes)\n", verb, b.Digest, b.Size)
+	}
+	fmt.Fprintf(stdout, "%s %d blobs, %d bytes; %d kept by manifest\n",
+		verb, len(swept), bytesFreed, len(m.Engines))
+	return nil
+}
+
+// fetchManifest pulls the keep set from a live replica.
+func fetchManifest(base string) (*blobstore.Manifest, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(base + "/v1/cluster/manifest")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fetching manifest: %s", resp.Status)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return nil, err
+	}
+	return blobstore.DecodeManifest(raw)
+}

@@ -46,7 +46,6 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"strconv"
 	"strings"
 	"sync"
 	"syscall"
@@ -54,16 +53,13 @@ import (
 
 	"geoalign"
 	"geoalign/internal/catalog"
+	"geoalign/internal/cliflag"
+	"geoalign/internal/cluster/blobstore"
 	"geoalign/internal/serve"
 	"geoalign/internal/sparse"
 	"geoalign/internal/synth"
 	"geoalign/internal/table"
 )
-
-type repeated []string
-
-func (r *repeated) String() string     { return strings.Join(*r, ",") }
-func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 
 // publishOnce guards the process-wide expvar name (Publish panics on
 // duplicates; tests invoke run more than once).
@@ -75,35 +71,6 @@ var (
 	onListen      func(net.Addr)
 	onPprofListen func(net.Addr)
 )
-
-// parseBytes accepts plain byte counts or binary-suffixed sizes
-// (512MiB, 2G, 64KB — K/M/G with optional B/iB, all binary multiples),
-// mirroring the geoalign CLI's -mem flag. Empty means 0.
-func parseBytes(s string) (int64, error) {
-	t := strings.TrimSpace(s)
-	if t == "" {
-		return 0, nil
-	}
-	upper := strings.ToUpper(t)
-	shift := 0
-	for suf, sh := range map[string]int{"K": 10, "M": 20, "G": 30} {
-		for _, full := range []string{suf + "IB", suf + "B", suf} {
-			if strings.HasSuffix(upper, full) {
-				upper = strings.TrimSuffix(upper, full)
-				shift = sh
-				break
-			}
-		}
-		if shift != 0 {
-			break
-		}
-	}
-	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
-	if err != nil || n < 0 {
-		return 0, fmt.Errorf("bad byte size %q (want e.g. 512MiB, 2GiB, 1048576)", s)
-	}
-	return n << shift, nil
-}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -119,7 +86,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		addr        = fs.String("addr", ":8417", "listen address")
-		engineSpecs repeated
+		engineSpecs cliflag.Repeated
 		demo        = fs.Bool("demo", false, "register a synthetic \"demo\" engine (500 sources, 40 targets, 3 references)")
 		maxBatch    = fs.Int("max-batch", 32, "max requests per coalesced batch; <=1 disables coalescing")
 		maxWait     = fs.Duration("max-wait", 2*time.Millisecond, "coalescing window: how long the first request waits for followers")
@@ -131,17 +98,37 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		snapEvery   = fs.Int("snapshot-every", 0, "re-persist an engine's snapshot after every N applied deltas (needs -snapshot-dir; 0 = never)")
 		cacheBytes  = fs.String("result-cache-bytes", "", "align result cache budget (e.g. 256MiB); repeated objectives answer from stored bytes, hot swaps invalidate; empty or 0 disables")
 		pprofAddr   = fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); empty disables")
+		blobDir     = fs.String("blob-dir", "", "content-addressed snapshot blob store directory; enables the cluster endpoints (/v1/blobs, /v1/cluster/manifest) and publishes boot engines by digest")
+		manifestSrc = fs.String("manifest", "", "boot manifest (file path or http URL): engines pulled by digest, mapped, and registered before listening (needs -blob-dir)")
 	)
+	var fetchFrom cliflag.Repeated
 	fs.Var(&engineSpecs, "engine", "name=xwalk1.csv[,xwalk2.csv...]; repeatable")
+	fs.Var(&fetchFrom, "fetch-from", "peer replica base URL to pull missing blobs from; repeatable (needs -blob-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if len(engineSpecs) == 0 && !*demo {
-		return fmt.Errorf("no engines: give at least one -engine spec or -demo")
+	if len(engineSpecs) == 0 && !*demo && *manifestSrc == "" {
+		return fmt.Errorf("no engines: give at least one -engine spec, -demo, or -manifest")
 	}
-	resultCacheBytes, err := parseBytes(*cacheBytes)
+	if *blobDir == "" && (*manifestSrc != "" || len(fetchFrom) > 0) {
+		return fmt.Errorf("-manifest and -fetch-from need -blob-dir")
+	}
+	resultCacheBytes, err := cliflag.ParseBytes(*cacheBytes)
 	if err != nil {
 		return fmt.Errorf("-result-cache-bytes: %w", err)
+	}
+
+	var blobs *blobstore.Store
+	if *blobDir != "" {
+		blobs, err = blobstore.Open(*blobDir)
+		if err != nil {
+			return fmt.Errorf("-blob-dir: %w", err)
+		}
+	}
+	if *snapDir != "" {
+		if err := os.MkdirAll(*snapDir, 0o755); err != nil {
+			return fmt.Errorf("-snapshot-dir: %w", err)
+		}
 	}
 
 	reg := serve.NewRegistry()
@@ -157,14 +144,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		build := func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error) {
 			return loadEngine(strings.Split(paths, ","), *workers)
 		}
-		meta, err := registerEngine(reg, name, *snapDir, *workers, stderr, build)
+		meta, err := registerEngine(reg, name, *snapDir, *workers, blobs, stderr, build)
 		if err != nil {
 			return fmt.Errorf("engine %q: %w", name, err)
 		}
 		metas[name] = meta
 	}
 	if *demo {
-		meta, err := registerEngine(reg, "demo", *snapDir, *workers, stderr, demoEngine(*workers))
+		meta, err := registerEngine(reg, "demo", *snapDir, *workers, blobs, stderr, demoEngine(*workers))
 		if err != nil {
 			return fmt.Errorf("demo engine: %w", err)
 		}
@@ -206,6 +193,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		ResultCacheBytes: resultCacheBytes,
 		Catalog:          cat,
 		CatalogPersist:   catalogPersist,
+		Blobs:            blobs,
+		BlobOrigins:      fetchFrom,
 	}
 	if *snapDir != "" && *snapEvery > 0 {
 		dir := *snapDir
@@ -229,6 +218,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		catalogPersist(cat)
 	}
 	publishOnce.Do(func() { expvar.Publish("geoalignd", srv.Metrics().Var()) })
+
+	// Warm-up protocol: converge onto the boot manifest — pull each
+	// digest (no-op when the blob is cached locally), mmap, register —
+	// strictly before listening, so the first health probe a router
+	// sends already sees every manifest engine warm. This is what makes
+	// scale-out cost the snapshot load, never the build.
+	if *manifestSrc != "" {
+		m, err := loadManifest(ctx, *manifestSrc)
+		if err != nil {
+			return fmt.Errorf("-manifest %s: %w", *manifestSrc, err)
+		}
+		start := time.Now()
+		if err := srv.ApplyManifest(ctx, m, fetchFrom); err != nil {
+			return fmt.Errorf("-manifest %s: %w", *manifestSrc, err)
+		}
+		fmt.Fprintf(stderr, "geoalignd: manifest: %d engines warm in %s\n",
+			len(m.Engines), time.Since(start).Round(time.Microsecond))
+	}
 
 	// Profiling stays off the serving address: -pprof-addr binds its own
 	// listener (typically loopback-only) with just the pprof handlers, so
@@ -293,7 +300,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 // /metrics cold-start gauge either way. The returned metadata (unit
 // keys from the snapshot or the build) feeds delta-triggered
 // re-persists.
-func registerEngine(reg *serve.Registry, name, snapDir string, workers int, stderr io.Writer,
+func registerEngine(reg *serve.Registry, name, snapDir string, workers int, blobs *blobstore.Store, stderr io.Writer,
 	build func() (*geoalign.Aligner, *geoalign.SnapshotMeta, error)) (*geoalign.SnapshotMeta, error) {
 	start := time.Now()
 	if snapDir != "" {
@@ -302,7 +309,9 @@ func registerEngine(reg *serve.Registry, name, snapDir string, workers int, stde
 		switch {
 		case err == nil:
 			took := time.Since(start)
-			if rerr := reg.RegisterOwnedWithMeta(name, al, took, engineMeta(meta, "snapshot", path)); rerr != nil {
+			em := engineMeta(meta, "snapshot", path)
+			em.SnapshotDigest = publishBlob(blobs, name, path, stderr)
+			if rerr := reg.RegisterOwnedWithMeta(name, al, took, em); rerr != nil {
 				al.Close()
 				return nil, rerr
 			}
@@ -332,12 +341,58 @@ func registerEngine(reg *serve.Registry, name, snapDir string, workers int, stde
 			snapPath = path
 		}
 	}
-	if rerr := reg.RegisterOwnedWithMeta(name, al, took, engineMeta(meta, "crosswalks", snapPath)); rerr != nil {
+	em := engineMeta(meta, "crosswalks", snapPath)
+	if snapPath != "" {
+		em.SnapshotDigest = publishBlob(blobs, name, snapPath, stderr)
+	}
+	if rerr := reg.RegisterOwnedWithMeta(name, al, took, em); rerr != nil {
 		return nil, rerr
 	}
 	fmt.Fprintf(stderr, "geoalignd: engine %q: %d sources -> %d targets, %d references (built in %s)\n",
 		name, al.SourceUnits(), al.TargetUnits(), al.References(), took.Round(time.Microsecond))
 	return meta, nil
+}
+
+// publishBlob gives an engine snapshot a content address in the blob
+// store so peer replicas can pull it by digest. Publication is
+// best-effort at boot: a failure leaves the engine serving locally but
+// undistributable, reported on stderr. Returns "" when no store is
+// configured or the put fails.
+func publishBlob(blobs *blobstore.Store, name, path string, stderr io.Writer) string {
+	if blobs == nil {
+		return ""
+	}
+	digest, _, err := blobs.PutFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "geoalignd: engine %q: publishing blob: %v\n", name, err)
+		return ""
+	}
+	return digest
+}
+
+// loadManifest reads a boot manifest from a local file or an http(s)
+// URL (typically a peer replica's /v1/cluster/manifest).
+func loadManifest(ctx context.Context, src string) (*blobstore.Manifest, error) {
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, src, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("fetching manifest: %s", resp.Status)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+		if err != nil {
+			return nil, err
+		}
+		return blobstore.DecodeManifest(raw)
+	}
+	return blobstore.ReadManifest(src)
 }
 
 // engineMeta lifts snapshot metadata into the registry's EngineMeta:

@@ -85,7 +85,7 @@ func TestRegisterEngineSnapshotDir(t *testing.T) {
 
 	var log bytes.Buffer
 	reg := serve.NewRegistry()
-	if _, err := registerEngine(reg, "pop", snapDir, 1, &log, build); err != nil {
+	if _, err := registerEngine(reg, "pop", snapDir, 1, nil, &log, build); err != nil {
 		t.Fatal(err)
 	}
 	snapPath := filepath.Join(snapDir, "pop.snap")
@@ -98,7 +98,7 @@ func TestRegisterEngineSnapshotDir(t *testing.T) {
 
 	log.Reset()
 	reg2 := serve.NewRegistry()
-	if _, err := registerEngine(reg2, "pop", snapDir, 1, &log, build); err != nil {
+	if _, err := registerEngine(reg2, "pop", snapDir, 1, nil, &log, build); err != nil {
 		t.Fatal(err)
 	}
 	info := reg2.List()[0]
@@ -139,7 +139,7 @@ func TestRegisterEngineSnapshotDir(t *testing.T) {
 	}
 	log.Reset()
 	reg3 := serve.NewRegistry()
-	if _, err := registerEngine(reg3, "pop", snapDir, 1, &log, build); err != nil {
+	if _, err := registerEngine(reg3, "pop", snapDir, 1, nil, &log, build); err != nil {
 		t.Fatal(err)
 	}
 	if reg3.List()[0].FromSnapshot {
@@ -149,7 +149,7 @@ func TestRegisterEngineSnapshotDir(t *testing.T) {
 		t.Fatalf("log: %q", log.String())
 	}
 	reg4 := serve.NewRegistry()
-	if _, err := registerEngine(reg4, "pop", snapDir, 1, &log, build); err != nil {
+	if _, err := registerEngine(reg4, "pop", snapDir, 1, nil, &log, build); err != nil {
 		t.Fatal(err)
 	}
 	if !reg4.List()[0].FromSnapshot {
@@ -377,31 +377,6 @@ func TestDemoEngine(t *testing.T) {
 	if _, err := al.Align(make([]float64, 500)); err != nil {
 		// An all-zero objective is still a valid (if degenerate) input.
 		t.Fatalf("demo align: %v", err)
-	}
-}
-
-func TestParseBytes(t *testing.T) {
-	cases := map[string]int64{
-		"":        0,
-		"0":       0,
-		"1048576": 1 << 20,
-		"64K":     64 << 10,
-		"64KB":    64 << 10,
-		"64KiB":   64 << 10,
-		"256MiB":  256 << 20,
-		"2G":      2 << 30,
-		" 512mb ": 512 << 20,
-	}
-	for in, want := range cases {
-		got, err := parseBytes(in)
-		if err != nil || got != want {
-			t.Errorf("parseBytes(%q) = %d, %v; want %d", in, got, err, want)
-		}
-	}
-	for _, in := range []string{"x", "-1", "12Q", "1.5G"} {
-		if _, err := parseBytes(in); err == nil {
-			t.Errorf("parseBytes(%q) accepted", in)
-		}
 	}
 }
 
@@ -651,5 +626,124 @@ func TestRunCatalogSidecar(t *testing.T) {
 	}
 	if len(edges) != 1 || edges[0] != "demo" {
 		t.Fatalf("edges after restart = %v, want [demo]", edges)
+	}
+}
+
+// TestRunClusterScaleOut is the binary-level warm-up protocol test:
+// replica A boots the demo engine with a blob store (publishing its
+// snapshot by digest), then replica B boots from A's live manifest with
+// nothing but an empty blob directory — pulling the digest, mapping it,
+// and registering the engine before it starts listening. B must then
+// serve the demo engine bit-identically to A.
+func TestRunClusterScaleOut(t *testing.T) {
+	snapDir, blobA, blobB := t.TempDir(), t.TempDir(), t.TempDir()
+	addrc := make(chan net.Addr, 2)
+	onListen = func(a net.Addr) { addrc <- a }
+	defer func() { onListen = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	doneA := make(chan error, 1)
+	go func() {
+		var out bytes.Buffer
+		doneA <- run(ctx, []string{"-addr", "127.0.0.1:0", "-demo",
+			"-snapshot-dir", snapDir, "-blob-dir", blobA}, &out, &out)
+	}()
+	var addrA net.Addr
+	select {
+	case addrA = <-addrc:
+	case err := <-doneA:
+		t.Fatalf("replica A exited early: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("replica A never started listening")
+	}
+	baseA := "http://" + addrA.String()
+
+	// A's manifest names the demo engine by digest.
+	resp, err := http.Get(baseA + "/v1/cluster/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifest struct {
+		Engines map[string]struct {
+			Digest string `json:"digest"`
+		} `json:"engines"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&manifest); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if manifest.Engines["demo"].Digest == "" {
+		t.Fatalf("replica A published no digest: %+v", manifest)
+	}
+
+	// Replica B: no -demo, no -snapshot-dir — only A's manifest.
+	doneB := make(chan error, 1)
+	var outB bytes.Buffer
+	go func() {
+		doneB <- run(ctx, []string{"-addr", "127.0.0.1:0",
+			"-blob-dir", blobB,
+			"-manifest", baseA + "/v1/cluster/manifest",
+			"-fetch-from", baseA}, &outB, &outB)
+	}()
+	var addrB net.Addr
+	select {
+	case addrB = <-addrc:
+	case err := <-doneB:
+		t.Fatalf("replica B exited early: %v\n%s", err, outB.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("replica B never started listening")
+	}
+	baseB := "http://" + addrB.String()
+
+	// onListen fired after the manifest apply, so B is warm already.
+	if !strings.Contains(outB.String(), "engines warm in") {
+		t.Fatalf("replica B log missing warm-up line: %q", outB.String())
+	}
+
+	objective := make([]float64, 500)
+	for i := range objective {
+		objective[i] = float64(i%17) + 2
+	}
+	align := func(base string) []float64 {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{"engine": "demo", "objective": objective})
+		resp, err := http.Post(base+"/v1/align", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("align on %s: %d: %s", base, resp.StatusCode, raw)
+		}
+		var out struct {
+			Target []float64 `json:"target"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Target
+	}
+	fromA, fromB := align(baseA), align(baseB)
+	if len(fromA) == 0 || len(fromA) != len(fromB) {
+		t.Fatalf("target lengths: A=%d B=%d", len(fromA), len(fromB))
+	}
+	for i := range fromA {
+		if fromA[i] != fromB[i] {
+			t.Fatalf("target[%d]: A %v != B %v (scale-out replica not bit-identical)", i, fromA[i], fromB[i])
+		}
+	}
+
+	cancel()
+	for _, done := range []chan error{doneA, doneB} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("replica did not exit after cancellation")
+		}
 	}
 }

@@ -1,0 +1,110 @@
+// Command geoalignrouter fronts a fleet of geoalignd replicas with a
+// consistent-hash shard router: requests route by engine name over a
+// bounded-load ring, bodies pass through untouched (the binary align
+// codec is never re-encoded), and replica health is probed continuously
+// with outlier ejection and automatic rebalance.
+//
+//	geoalignrouter -addr :8400 \
+//	    -replica http://10.0.0.7:8417 -replica http://10.0.0.8:8417
+//
+// Proxied endpoints: POST /v1/align, POST /v1/align/batch,
+// POST /v1/engines/{name}/delta (each routed to the engine's shard
+// owner, with transparent failover to ring successors on connection
+// errors; replica responses — including 429 + Retry-After shed
+// responses — pass through verbatim, plus an X-Geoalign-Shard header
+// naming the serving replica). GET /v1/engines aggregates every
+// replica's listing; GET /v1/cluster/manifest merges the fleet's
+// engine→digest view; POST /v1/cluster/manifest broadcasts a rollout
+// to all healthy replicas. GET /healthz reports the cluster view and
+// GET /metrics the router's own counters.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"geoalign/internal/cliflag"
+	"geoalign/internal/cluster"
+)
+
+// onListen, when set by tests, receives the bound address before the
+// router starts accepting.
+var onListen func(net.Addr)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "geoalignrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("geoalignrouter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr          = fs.String("addr", ":8400", "listen address")
+		vnodes        = fs.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per replica on the hash ring")
+		loadFactor    = fs.Float64("load-factor", cluster.DefaultLoadFactor, "bounded-load spill factor; <=1 disables spill")
+		probeInterval = fs.Duration("probe-interval", 2*time.Second, "replica health-probe cadence")
+		probeTimeout  = fs.Duration("probe-timeout", time.Second, "per-probe timeout")
+		failAfter     = fs.Int("fail-after", 2, "consecutive probe failures before a replica is ejected from the ring")
+	)
+	var replicas cliflag.Repeated
+	fs.Var(&replicas, "replica", "geoalignd base URL (e.g. http://host:8417); repeatable, at least one required")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Replicas:      replicas,
+		VNodes:        *vnodes,
+		LoadFactor:    *loadFactor,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailAfter:     *failAfter,
+	})
+	if err != nil {
+		return err
+	}
+	// First probe runs before we accept traffic, so a replica that is
+	// already down never takes the first requests.
+	rt.ProbeOnce(ctx)
+	rt.Start()
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	fmt.Fprintf(stderr, "geoalignrouter: listening on %s, %s\n", ln.Addr(), rt.Ring().Describe())
+
+	hs := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stderr, "geoalignrouter: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	err = hs.Shutdown(shutCtx)
+	if serveErr := <-errc; serveErr != nil && serveErr != http.ErrServerClosed {
+		return serveErr
+	}
+	return err
+}

@@ -1,0 +1,53 @@
+// Package cliflag holds the small flag-parsing helpers the geoalign
+// binaries share: human-readable byte sizes and repeatable string
+// flags. Extracted so geoalign, geoalignd and geoalignrouter parse
+// identical syntax instead of drifting copies.
+package cliflag
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBytes parses a human-readable byte size: a plain integer, or an
+// integer with a K/M/G suffix (optionally followed by B or iB), binary
+// multiples in all cases. Empty (and all-whitespace) input means 0.
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(t)
+	shift := 0
+	for suf, sh := range map[string]int{"K": 10, "M": 20, "G": 30} {
+		for _, full := range []string{suf + "IB", suf + "B", suf} {
+			if strings.HasSuffix(upper, full) {
+				upper = strings.TrimSuffix(upper, full)
+				shift = sh
+				break
+			}
+		}
+		if shift != 0 {
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 512MiB, 2GiB, 1048576)", s)
+	}
+	if shift > 0 && n > (1<<62)>>shift {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return n << shift, nil
+}
+
+// Repeated is a flag.Value collecting every occurrence of a repeatable
+// string flag, in order.
+type Repeated []string
+
+// String renders the collected values; flag.Value.
+func (r *Repeated) String() string { return strings.Join(*r, ",") }
+
+// Set appends one occurrence; flag.Value.
+func (r *Repeated) Set(v string) error { *r = append(*r, v); return nil }

@@ -1,0 +1,60 @@
+package cliflag
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"   ", 0, false},
+		{"0", 0, false},
+		{"1048576", 1 << 20, false},
+		{"64KB", 64 << 10, false},
+		{"64KiB", 64 << 10, false},
+		{"64k", 64 << 10, false},
+		{"512MiB", 512 << 20, false},
+		{"512M", 512 << 20, false},
+		{"2G", 2 << 30, false},
+		{"2GiB", 2 << 30, false},
+		{" 2 GiB not", 0, true},
+		{"-1", 0, true},
+		{"1.5G", 0, true},
+		{"xyz", 0, true},
+		{"8589934592G", 0, true}, // overflows int64 after the shift
+	}
+	for _, c := range cases {
+		got, err := ParseBytes(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseBytes(%q) = %d, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseBytes(%q) = %d, %v; want %d", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestRepeated(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	var r Repeated
+	fs.Var(&r, "x", "")
+	if err := fs.Parse([]string{"-x", "a", "-x", "b=c"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || r[0] != "a" || r[1] != "b=c" {
+		t.Fatalf("Repeated = %v", r)
+	}
+	if r.String() != "a,b=c" {
+		t.Fatalf("String = %q", r.String())
+	}
+}

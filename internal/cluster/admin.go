@@ -1,0 +1,307 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"geoalign/internal/cluster/blobstore"
+)
+
+// This file holds the router's fleet-wide control-plane endpoints:
+// aggregated engine listing, manifest read/broadcast, cluster health,
+// and router metrics. The data plane (align/batch/delta proxying)
+// lives in router.go.
+
+// fanOut runs fn against every healthy replica concurrently and
+// returns the per-replica results keyed by replica ID.
+func (rt *Router) fanOut(ctx context.Context, fn func(ctx context.Context, id string) (any, error)) map[string]fanResult {
+	rt.mu.Lock()
+	ids := make([]string, 0, len(rt.replicas))
+	for id, st := range rt.replicas {
+		if st.healthy {
+			ids = append(ids, id)
+		}
+	}
+	rt.mu.Unlock()
+
+	out := make(map[string]fanResult, len(ids))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			v, err := fn(ctx, id)
+			mu.Lock()
+			out[id] = fanResult{Value: v, Err: err}
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	return out
+}
+
+type fanResult struct {
+	Value any
+	Err   error
+}
+
+// getJSON fetches one replica endpoint into out.
+func (rt *Router) getJSON(ctx context.Context, id, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, id+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		return fmt.Errorf("%s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// handleEngines aggregates every healthy replica's /v1/engines view
+// into one cluster-wide listing: engine entries annotated with the
+// replica that reported them and the engine's current ring owner.
+func (rt *Router) handleEngines(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	results := rt.fanOut(ctx, func(ctx context.Context, id string) (any, error) {
+		var body struct {
+			Engines []map[string]any `json:"engines"`
+		}
+		if err := rt.getJSON(ctx, id, "/v1/engines", &body); err != nil {
+			return nil, err
+		}
+		return body.Engines, nil
+	})
+
+	var engines []map[string]any
+	errs := map[string]string{}
+	for id, res := range results {
+		if res.Err != nil {
+			errs[id] = res.Err.Error()
+			continue
+		}
+		for _, e := range res.Value.([]map[string]any) {
+			e["replica"] = id
+			if name, _ := e["name"].(string); name != "" {
+				if owner, ok := rt.ring.Owner(name); ok {
+					e["shard_owner"] = owner
+				}
+			}
+			engines = append(engines, e)
+		}
+	}
+	sort.Slice(engines, func(i, j int) bool {
+		ni, _ := engines[i]["name"].(string)
+		nj, _ := engines[j]["name"].(string)
+		if ni != nj {
+			return ni < nj
+		}
+		ri, _ := engines[i]["replica"].(string)
+		rj, _ := engines[j]["replica"].(string)
+		return ri < rj
+	})
+	out := map[string]any{"engines": engines}
+	if len(errs) > 0 {
+		out["replica_errors"] = errs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleManifestGet returns the fleet's converged manifest: the union
+// of replica manifests, taking the highest generation per engine, with
+// any cross-replica digest disagreement surfaced explicitly so a
+// half-rolled-out fleet is visible rather than papered over.
+func (rt *Router) handleManifestGet(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+	defer cancel()
+	results := rt.fanOut(ctx, func(ctx context.Context, id string) (any, error) {
+		var m blobstore.Manifest
+		if err := rt.getJSON(ctx, id, "/v1/cluster/manifest", &m); err != nil {
+			return nil, err
+		}
+		return m, nil
+	})
+
+	merged := map[string]blobstore.ManifestEntry{}
+	digests := map[string]map[string]bool{} // engine -> digest set
+	errs := map[string]string{}
+	for id, res := range results {
+		if res.Err != nil {
+			errs[id] = res.Err.Error()
+			continue
+		}
+		for name, e := range res.Value.(blobstore.Manifest).Engines {
+			if cur, ok := merged[name]; !ok || e.Generation > cur.Generation {
+				merged[name] = e
+			}
+			if digests[name] == nil {
+				digests[name] = map[string]bool{}
+			}
+			digests[name][e.Digest] = true
+		}
+	}
+	var diverged []string
+	for name, set := range digests {
+		if len(set) > 1 {
+			diverged = append(diverged, name)
+		}
+	}
+	sort.Strings(diverged)
+	out := map[string]any{"engines": merged}
+	if len(diverged) > 0 {
+		out["diverged"] = diverged
+	}
+	if len(errs) > 0 {
+		out["replica_errors"] = errs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleManifestBroadcast forwards a manifest apply to every healthy
+// replica, fanning the same body out in parallel. This is the
+// fleet-wide rollout primitive: publish a snapshot to the blob store,
+// POST the new manifest here once, and every replica pulls the digest
+// and hot-swaps behind its generational registry with zero downtime.
+// Responds 200 only when every replica converged; 502 otherwise, with
+// per-replica detail either way.
+func (rt *Router) handleManifestBroadcast(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 5*time.Minute)
+	defer cancel()
+	results := rt.fanOut(ctx, func(ctx context.Context, id string) (any, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, id+"/v1/cluster/manifest", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var detail json.RawMessage
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<22)).Decode(&detail); err != nil {
+			detail = nil
+		}
+		if resp.StatusCode != http.StatusOK {
+			return detail, fmt.Errorf("manifest apply: %s", resp.Status)
+		}
+		return detail, nil
+	})
+
+	status := http.StatusOK
+	replicas := make(map[string]any, len(results))
+	for id, res := range results {
+		entry := map[string]any{}
+		if res.Value != nil {
+			entry["result"] = res.Value
+		}
+		if res.Err != nil {
+			entry["error"] = res.Err.Error()
+			status = http.StatusBadGateway
+		}
+		replicas[id] = entry
+	}
+	if len(results) == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"replicas": replicas})
+}
+
+// handleHealth reports the router's cluster view: per-replica health,
+// probe state, and ring membership. Status is "ok" while at least one
+// replica is in the ring, "degraded" when some are ejected, and the
+// response is 503 "down" when none are serviceable.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	type replicaView struct {
+		ID            string  `json:"id"`
+		Healthy       bool    `json:"healthy"`
+		ConsecFails   int     `json:"consecutive_failures,omitempty"`
+		LastError     string  `json:"last_error,omitempty"`
+		LastProbeMS   float64 `json:"last_probe_ms,omitempty"`
+		Engines       int64   `json:"engines"`
+		Proxied       int64   `json:"proxied"`
+		ProxyErrors   int64   `json:"proxy_errors,omitempty"`
+		RingInflight  int64   `json:"ring_inflight"`
+		LastProbeUnix int64   `json:"last_probe_unix,omitempty"`
+	}
+	views := make([]replicaView, 0, len(rt.replicas))
+	healthy := 0
+	for _, st := range rt.replicas {
+		v := replicaView{
+			ID:           st.id,
+			Healthy:      st.healthy,
+			ConsecFails:  st.consecFails,
+			LastError:    st.lastErr,
+			LastProbeMS:  st.probeMillis,
+			Engines:      st.engineCount,
+			Proxied:      st.proxied.Load(),
+			ProxyErrors:  st.proxyErrors.Load(),
+			RingInflight: rt.ring.Inflight(st.id),
+		}
+		if !st.lastProbe.IsZero() {
+			v.LastProbeUnix = st.lastProbe.Unix()
+		}
+		views = append(views, v)
+		if st.healthy {
+			healthy++
+		}
+	}
+	total := len(rt.replicas)
+	rt.mu.Unlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].ID < views[j].ID })
+
+	status, code := "ok", http.StatusOK
+	switch {
+	case healthy == 0:
+		status, code = "down", http.StatusServiceUnavailable
+	case healthy < total:
+		status = "degraded"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
+		"replicas": views,
+		"ring":     rt.ring.Describe(),
+	})
+}
+
+// handleMetrics reports the router's own counters.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := &rt.metrics
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":     m.requests.Load(),
+		"proxied":      m.proxied.Load(),
+		"retries":      m.retries.Load(),
+		"shed":         m.shed.Load(),
+		"no_replica":   m.noReplica.Load(),
+		"proxy_errors": m.proxyErrors.Load(),
+		"probes":       m.probes.Load(),
+		"ejections":    m.ejections.Load(),
+		"readmits":     m.readmits.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

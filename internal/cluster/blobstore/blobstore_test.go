@@ -1,0 +1,274 @@
+package blobstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"geoalign/internal/snapshot"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(filepath.Join(t.TempDir(), "blobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutRoundTrip(t *testing.T) {
+	s := newStore(t)
+	data := []byte("snapshot payload bytes")
+	want := snapshot.Digest(data)
+
+	digest, size, err := s.Put(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != want || size != int64(len(data)) {
+		t.Fatalf("Put = %s/%d, want %s/%d", digest, size, want, len(data))
+	}
+	if !s.Has(digest) {
+		t.Fatal("Has after Put = false")
+	}
+	if n, err := s.Stat(digest); err != nil || n != int64(len(data)) {
+		t.Fatalf("Stat = %d, %v", n, err)
+	}
+
+	f, err := s.Open(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(f)
+	f.Close()
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Open read back %q, want %q", got, data)
+	}
+
+	// Re-putting identical content is a no-op with the same address.
+	d2, _, err := s.Put(bytes.NewReader(data))
+	if err != nil || d2 != digest {
+		t.Fatalf("second Put = %s, %v", d2, err)
+	}
+
+	// No temp files linger.
+	entries, _ := os.ReadDir(s.Dir())
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".put-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestPutExpectedRejectsMismatch(t *testing.T) {
+	s := newStore(t)
+	want := snapshot.Digest([]byte("the real bytes"))
+	if _, err := s.PutExpected(bytes.NewReader([]byte("tampered bytes")), want); err == nil {
+		t.Fatal("PutExpected accepted mismatched content")
+	}
+	if s.Has(want) {
+		t.Fatal("mismatched content published under the expected digest")
+	}
+	if blobs, _ := s.List(); len(blobs) != 0 {
+		t.Fatalf("store not empty after rejected put: %v", blobs)
+	}
+}
+
+func TestPathRejectsHostileDigest(t *testing.T) {
+	s := newStore(t)
+	for _, d := range []string{
+		"sha256:../../etc/passwd",
+		"sha256:" + strings.Repeat("zz", 32),
+		"../escape",
+		"",
+	} {
+		if _, err := s.Path(d); err == nil {
+			t.Errorf("Path(%q) accepted", d)
+		}
+	}
+}
+
+func TestListAndGC(t *testing.T) {
+	s := newStore(t)
+	var digests []string
+	for _, payload := range []string{"blob a", "blob b", "blob c"} {
+		d, _, err := s.Put(strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+	// A foreign file must be invisible to List and GC.
+	if err := os.WriteFile(filepath.Join(s.Dir(), "notes.txt"), []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	blobs, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobs) != 3 {
+		t.Fatalf("List = %d blobs, want 3", len(blobs))
+	}
+
+	keep := map[string]bool{digests[0]: true}
+
+	// Dry run reports without removing.
+	swept, err := s.GC(keep, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != 2 {
+		t.Fatalf("dry-run GC swept %d, want 2", len(swept))
+	}
+	for _, d := range digests {
+		if !s.Has(d) {
+			t.Fatalf("dry-run GC removed %s", d)
+		}
+	}
+
+	// Real run removes exactly the unreferenced blobs.
+	swept, err = s.GC(keep, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != 2 {
+		t.Fatalf("GC swept %d, want 2", len(swept))
+	}
+	if !s.Has(digests[0]) || s.Has(digests[1]) || s.Has(digests[2]) {
+		t.Fatal("GC removed the wrong blobs")
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), "notes.txt")); err != nil {
+		t.Fatal("GC touched a foreign file")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	d := snapshot.Digest([]byte("engine"))
+	m := &Manifest{Engines: map[string]ManifestEntry{
+		"zip2county": {Digest: d, Generation: 3},
+		"demo":       {Digest: d},
+	}}
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Engines) != 2 || got.Engines["zip2county"].Digest != d || got.Engines["zip2county"].Generation != 3 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if names := got.Names(); len(names) != 2 || names[0] != "demo" || names[1] != "zip2county" {
+		t.Fatalf("Names = %v", names)
+	}
+	if !got.Digests()[d] {
+		t.Fatal("Digests missing the referenced digest")
+	}
+
+	if _, err := DecodeManifest([]byte(`{"engines":{"x":{"digest":"bogus"}}}`)); err == nil {
+		t.Fatal("DecodeManifest accepted a bogus digest")
+	}
+	if _, err := DecodeManifest([]byte(`{"engines":{"":{"digest":"` + d + `"}}}`)); err == nil {
+		t.Fatal("DecodeManifest accepted an empty engine name")
+	}
+}
+
+func TestServeBlobAndFetcher(t *testing.T) {
+	origin := newStore(t)
+	data := bytes.Repeat([]byte("snapshot section bytes "), 1000)
+	digest, _, err := origin.Put(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+BlobPathPrefix+"{digest}", func(w http.ResponseWriter, r *http.Request) {
+		origin.ServeBlob(w, r, r.PathValue("digest"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	local := newStore(t)
+	f := &Fetcher{Store: local, Origins: []string{"http://127.0.0.1:1", ts.URL}}
+
+	fetched, _, err := f.Ensure(context.Background(), digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fetched {
+		t.Fatal("Ensure reported cached for an absent blob")
+	}
+	if !local.Has(digest) {
+		t.Fatal("blob not in local store after Ensure")
+	}
+	rd, _ := local.Open(digest)
+	got, _ := io.ReadAll(rd)
+	rd.Close()
+	if !bytes.Equal(got, data) {
+		t.Fatal("fetched bytes differ from origin")
+	}
+
+	// Second Ensure is the cached path: no fetch, fast.
+	fetched, took, err := f.Ensure(context.Background(), digest)
+	if err != nil || fetched {
+		t.Fatalf("cached Ensure = fetched=%v, %v", fetched, err)
+	}
+	_ = took
+
+	// An unknown digest 404s through to an error.
+	missing := snapshot.Digest([]byte("never published"))
+	if _, _, err := f.Ensure(context.Background(), missing); err == nil {
+		t.Fatal("Ensure of an unpublished digest succeeded")
+	}
+
+	// Bad digest in the URL is a 400, not a file probe.
+	resp, err := http.Get(ts.URL + BlobPathPrefix + "sha256:nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad digest status = %d", resp.StatusCode)
+	}
+}
+
+func TestFetcherRejectsCorruptOrigin(t *testing.T) {
+	// An origin that serves wrong bytes for a digest must not be able
+	// to poison the local store.
+	data := []byte("authentic")
+	digest := snapshot.Digest(data)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "forged content")
+	}))
+	defer ts.Close()
+
+	local := newStore(t)
+	f := &Fetcher{Store: local, Origins: []string{ts.URL}}
+	if _, _, err := f.Ensure(context.Background(), digest); err == nil {
+		t.Fatal("Ensure accepted forged content")
+	}
+	if local.Has(digest) {
+		t.Fatal("forged content published locally")
+	}
+}
+
+func TestOpenUnknown(t *testing.T) {
+	s := newStore(t)
+	d := snapshot.Digest([]byte("ghost"))
+	if _, err := s.Open(d); !errors.Is(err, ErrUnknownBlob) {
+		t.Fatalf("Open unknown = %v", err)
+	}
+	if err := s.Remove(d); !errors.Is(err, ErrUnknownBlob) {
+		t.Fatalf("Remove unknown = %v", err)
+	}
+}

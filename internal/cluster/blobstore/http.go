@@ -1,0 +1,126 @@
+package blobstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"time"
+
+	"geoalign/internal/snapshot"
+)
+
+// HTTP distribution. Each replica mounts ServeBlob under
+// GET /v1/blobs/{digest}; a Fetcher pulls missing digests from one or
+// more origins into the local store, verifying content on the way in.
+// When replicas share the store directory instead (one NFS/EBS mount),
+// Ensure finds every blob already present and the HTTP path is never
+// exercised — the shared-dir "backend" is the degenerate fetch.
+
+// BlobPathPrefix is the URL prefix blobs are served under.
+const BlobPathPrefix = "/v1/blobs/"
+
+// ServeBlob answers GET /v1/blobs/{digest} from the store. It serves
+// with http.ServeContent (so Range and HEAD work, and the kernel can
+// sendfile the mmap-able bytes) and marks the response immutable —
+// content-addressed bytes never change.
+func (s *Store) ServeBlob(w http.ResponseWriter, r *http.Request, digest string) {
+	d, err := snapshot.ParseDigest(digest)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f, err := s.Open(d)
+	if err != nil {
+		if errors.Is(err, ErrUnknownBlob) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+		} else {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	w.Header().Set("X-Geoalign-Digest", d)
+	http.ServeContent(w, r, "", st.ModTime(), f)
+}
+
+// Fetcher pulls blobs from origin replicas into a local store.
+type Fetcher struct {
+	// Store receives fetched blobs.
+	Store *Store
+	// Origins are base URLs (e.g. "http://replica-a:8417") tried in
+	// order until one serves the digest.
+	Origins []string
+	// Client issues the fetches; http.DefaultClient when nil.
+	Client *http.Client
+}
+
+// blobURL joins an origin base URL with a digest's fetch path.
+func blobURL(origin, digest string) (string, error) {
+	u, err := url.Parse(origin)
+	if err != nil {
+		return "", fmt.Errorf("blobstore: origin %q: %w", origin, err)
+	}
+	return u.JoinPath(BlobPathPrefix, digest).String(), nil
+}
+
+// Ensure makes the digest present in the local store, fetching from
+// the origins if needed. It reports whether a network fetch happened
+// and how long the whole call took; an already-present blob returns in
+// microseconds, which is what makes scale-out from a warm store cheap.
+func (f *Fetcher) Ensure(ctx context.Context, digest string) (fetched bool, took time.Duration, err error) {
+	start := time.Now()
+	d, err := snapshot.ParseDigest(digest)
+	if err != nil {
+		return false, time.Since(start), err
+	}
+	if f.Store.Has(d) {
+		return false, time.Since(start), nil
+	}
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var lastErr error
+	for _, origin := range f.Origins {
+		u, err := blobURL(origin, d)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("blobstore: %s: %s", u, resp.Status)
+			continue
+		}
+		_, err = f.Store.PutExpected(resp.Body, d)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return true, time.Since(start), nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("blobstore: no origins configured for %s", d)
+	}
+	return false, time.Since(start), lastErr
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func keysFor(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("engine-%04d", i)
+	}
+	return keys
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	r := NewRing(0, 0)
+	r.SetNodes([]string{"b", "a", "c", "a"}) // dup + unsorted input
+	if got := r.Nodes(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Nodes = %v", got)
+	}
+	for _, k := range keysFor(100) {
+		o1, ok1 := r.Owner(k)
+		o2, ok2 := r.Owner(k)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("Owner(%q) unstable: %q/%v vs %q/%v", k, o1, ok1, o2, ok2)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(16, DefaultLoadFactor)
+	if _, ok := r.Owner("x"); ok {
+		t.Fatal("empty ring produced an owner")
+	}
+	r.SetNodes([]string{"only"})
+	if o, ok := r.Owner("x"); !ok || o != "only" {
+		t.Fatalf("single-node Owner = %q/%v", o, ok)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(DefaultVNodes, 0)
+	nodes := []string{"r0", "r1", "r2", "r3"}
+	r.SetNodes(nodes)
+	counts := map[string]int{}
+	keys := keysFor(4000)
+	for _, k := range keys {
+		o, _ := r.Owner(k)
+		counts[o]++
+	}
+	want := float64(len(keys)) / float64(len(nodes))
+	for _, n := range nodes {
+		if dev := math.Abs(float64(counts[n])-want) / want; dev > 0.35 {
+			t.Errorf("node %s owns %d keys, want ~%.0f (dev %.2f)", n, counts[n], want, dev)
+		}
+	}
+}
+
+func TestRingMinimalDisruption(t *testing.T) {
+	// Removing one of four replicas must move only the removed node's
+	// keys; every surviving assignment stays put.
+	r := NewRing(DefaultVNodes, 0)
+	r.SetNodes([]string{"r0", "r1", "r2", "r3"})
+	keys := keysFor(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k], _ = r.Owner(k)
+	}
+	r.SetNodes([]string{"r0", "r1", "r3"})
+	moved := 0
+	for _, k := range keys {
+		after, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("no owner for %q after removal", k)
+		}
+		if after == "r2" {
+			t.Fatalf("key %q still assigned to removed replica", k)
+		}
+		if before[k] != "r2" && after != before[k] {
+			t.Errorf("key %q moved %s -> %s though its owner survived", k, before[k], after)
+		}
+		if before[k] == "r2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed replica owned no keys; balance test is vacuous")
+	}
+}
+
+func TestRingBoundedLoadSpill(t *testing.T) {
+	r := NewRing(DefaultVNodes, DefaultLoadFactor)
+	r.SetNodes([]string{"r0", "r1"})
+
+	key := "hot-engine"
+	primary, _ := r.Owner(key)
+	other := "r0"
+	if primary == "r0" {
+		other = "r1"
+	}
+
+	// Unloaded: primary owns.
+	if o, _ := r.Owner(key); o != primary {
+		t.Fatalf("unloaded Owner = %s, want %s", o, primary)
+	}
+
+	// Light, balanced load must not spill: one in-flight request on the
+	// primary with bound ceil(1.25*(1+1)/2)=2 still admits it.
+	rel := r.Acquire(primary)
+	if o, _ := r.Owner(key); o != primary {
+		t.Fatalf("lightly loaded Owner = %s, want primary %s", o, primary)
+	}
+	rel()
+
+	// Pile in-flight load on the primary only; the bound trips and the
+	// key spills to the other replica.
+	var rels []func()
+	for i := 0; i < 16; i++ {
+		rels = append(rels, r.Acquire(primary))
+	}
+	if o, _ := r.Owner(key); o != other {
+		t.Fatalf("overloaded Owner = %s, want spill to %s", o, other)
+	}
+	for _, f := range rels {
+		f()
+	}
+	// Load released: back to the primary.
+	if o, _ := r.Owner(key); o != primary {
+		t.Fatalf("post-release Owner = %s, want %s", o, primary)
+	}
+}
+
+func TestRingAcquireCarriesAcrossSetNodes(t *testing.T) {
+	r := NewRing(16, DefaultLoadFactor)
+	r.SetNodes([]string{"a", "b"})
+	rel := r.Acquire("a")
+	r.SetNodes([]string{"a", "b", "c"})
+	if got := r.Inflight("a"); got != 1 {
+		t.Fatalf("Inflight(a) after rebuild = %d, want 1", got)
+	}
+	rel()
+	rel() // double release must not underflow
+	if got := r.Inflight("a"); got != 0 {
+		t.Fatalf("Inflight(a) after release = %d, want 0", got)
+	}
+	if rel := r.Acquire("ghost"); rel == nil {
+		t.Fatal("Acquire(unknown) returned nil")
+	}
+}
+
+func TestOwnerSuccessors(t *testing.T) {
+	r := NewRing(32, 0)
+	r.SetNodes([]string{"a", "b", "c"})
+	succ := r.OwnerSuccessors("some-engine", 5)
+	if len(succ) != 3 {
+		t.Fatalf("successors = %v, want all 3 distinct", succ)
+	}
+	seen := map[string]bool{}
+	for _, s := range succ {
+		if seen[s] {
+			t.Fatalf("duplicate successor in %v", succ)
+		}
+		seen[s] = true
+	}
+	primary, _ := r.Owner("some-engine")
+	if succ[0] != primary {
+		t.Fatalf("successors[0] = %s, want primary %s", succ[0], primary)
+	}
+}

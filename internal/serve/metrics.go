@@ -76,6 +76,11 @@ type Metrics struct {
 	cacheBytes         atomic.Int64 // gauge: current budget charge across shards
 	cacheEntries       atomic.Int64 // gauge: current entry count
 
+	blobRequests    atomic.Int64 // /v1/blobs/{digest} requests served
+	manifestApplies atomic.Int64 // per-engine manifest apply attempts
+	manifestSwaps   atomic.Int64 // manifest applies that published a new generation
+	manifestErrors  atomic.Int64 // manifest applies that failed
+
 	catalogSearches      atomic.Int64 // /v1/catalog/search requests received
 	catalogTables        atomic.Int64 // tables registered over HTTP
 	catalogEdges         atomic.Int64 // engine edges (re-)indexed into the catalog
@@ -154,6 +159,13 @@ func (m *Metrics) CacheBytes() int64 { return m.cacheBytes.Load() }
 // handler has triggered.
 func (m *Metrics) SnapshotPersists() int64 { return m.persists.Load() }
 
+// BlobRequests reports the number of blob fetches served to peers.
+func (m *Metrics) BlobRequests() int64 { return m.blobRequests.Load() }
+
+// ManifestSwaps reports how many manifest applies published a new
+// engine generation.
+func (m *Metrics) ManifestSwaps() int64 { return m.manifestSwaps.Load() }
+
 // Snapshot renders the metrics block as a JSON-encodable map.
 func (m *Metrics) Snapshot() map[string]any {
 	hist := make(map[string]int64, len(m.batchHist))
@@ -202,6 +214,14 @@ func (m *Metrics) Snapshot() map[string]any {
 	}
 	if m.queueDepth != nil {
 		out["queue_depth"] = m.queueDepth()
+	}
+	if m.blobRequests.Load()+m.manifestApplies.Load() > 0 {
+		out["cluster"] = map[string]any{
+			"blob_requests":    m.blobRequests.Load(),
+			"manifest_applies": m.manifestApplies.Load(),
+			"manifest_swaps":   m.manifestSwaps.Load(),
+			"manifest_errors":  m.manifestErrors.Load(),
+		}
 	}
 	if m.catalogStats != nil {
 		st := m.catalogStats()

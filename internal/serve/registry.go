@@ -32,10 +32,14 @@ type EngineMeta struct {
 	SourceKeys []string
 	TargetKeys []string
 	// Provenance says how the engine was constructed: "snapshot",
-	// "crosswalks", "delta", or a registrant-defined tag.
+	// "crosswalks", "delta", "manifest", or a registrant-defined tag.
 	Provenance string
 	// SnapshotPath is the backing snapshot file, when there is one.
 	SnapshotPath string
+	// SnapshotDigest is the content address of the backing snapshot
+	// ("sha256:..."), when the registrant published it to a blob store.
+	// It is what the cluster manifest distributes and what peers pull.
+	SnapshotDigest string
 }
 
 // unitSystem renders the meta's "src→tgt" tag, "" when untyped.
@@ -79,6 +83,9 @@ type EngineInfo struct {
 	Provenance string `json:"provenance,omitempty"`
 	// SnapshotPath is the backing snapshot file path, when reported.
 	SnapshotPath string `json:"snapshot_path,omitempty"`
+	// SnapshotDigest is the snapshot's content address, when published
+	// to a blob store; the cluster manifest serves engines by it.
+	SnapshotDigest string `json:"snapshot_digest,omitempty"`
 }
 
 // Instance is one generation of a named engine. The coalescer keys its
@@ -385,6 +392,7 @@ func (r *Registry) List() []EngineInfo {
 			info.TargetKeyCount = len(m.TargetKeys)
 			info.Provenance = m.Provenance
 			info.SnapshotPath = m.SnapshotPath
+			info.SnapshotDigest = m.SnapshotDigest
 		}
 		out = append(out, info)
 	}

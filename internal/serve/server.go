@@ -28,6 +28,7 @@ import (
 
 	"geoalign"
 	"geoalign/internal/catalog"
+	"geoalign/internal/cluster/blobstore"
 )
 
 // Config tunes a Server. The zero value gives the defaults noted on
@@ -80,6 +81,21 @@ type Config struct {
 	// wires this to Catalog.Save next to -snapshot-dir; nil disables
 	// persistence.
 	CatalogPersist func(*catalog.Catalog) error
+	// Blobs, if set, makes the server a fleet citizen: it serves its
+	// content-addressed snapshot blobs on GET /v1/blobs/{digest} and
+	// accepts manifest applies that pull blobs, mmap them, and hot-swap
+	// engines. See cluster.go.
+	Blobs *blobstore.Store
+	// BlobOrigins are peer base URLs manifest applies fall back to when
+	// the request body names no fetch_from peers.
+	BlobOrigins []string
+	// BlobClient issues blob fetches during manifest applies;
+	// http.DefaultClient when nil.
+	BlobClient *http.Client
+	// OpenSnapshot maps a snapshot file into a serving engine during a
+	// manifest apply. The geoalignd binary wires worker options in; nil
+	// uses serving defaults (DiscardCrosswalks, NumCPU workers).
+	OpenSnapshot func(path string) (*geoalign.Aligner, *geoalign.SnapshotMeta, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +127,9 @@ type Server struct {
 	mux      *http.ServeMux
 	baseCtx  context.Context
 	cancel   context.CancelFunc
+
+	// blobClient issues peer blob fetches during manifest applies.
+	blobClient *http.Client
 
 	// deltaMu guards deltas; each engine name gets one deltaState whose
 	// own mutex serialises delta application for that name (concurrent
@@ -153,6 +172,10 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/engines/{name}/delta", s.handleDelta)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Blobs != nil {
+		s.blobClient = cfg.BlobClient
+		s.mountCluster()
+	}
 	if cfg.Catalog != nil {
 		m.catalogStats = cfg.Catalog.Stats
 		s.mux.HandleFunc("GET /v1/catalog/search", s.handleCatalogSearch)

@@ -1,0 +1,83 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"strings"
+)
+
+// Snapshot digests. A digest is the SHA-256 of the full snapshot file
+// bytes, rendered "sha256:<64 hex chars>". It is the content address
+// the cluster layer distributes snapshots under: a replica that holds a
+// blob with a given digest holds, bit for bit, the engine the manifest
+// names — the CRC32C sections guard against storage rot, the digest
+// guards against serving the wrong (or a tampered) engine altogether.
+
+// DigestPrefix tags the hash algorithm in a rendered digest.
+const DigestPrefix = "sha256:"
+
+// digestHexLen is the hex length of a SHA-256 digest.
+const digestHexLen = 64
+
+// Digest returns the content address of a snapshot held in memory.
+func Digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return DigestPrefix + hex.EncodeToString(sum[:])
+}
+
+// NewDigester returns the hash a streaming writer can Feed snapshot
+// bytes through; render the result with FormatDigest.
+func NewDigester() hash.Hash { return sha256.New() }
+
+// FormatDigest renders a finished digester as a digest string.
+func FormatDigest(h hash.Hash) string {
+	return DigestPrefix + hex.EncodeToString(h.Sum(nil))
+}
+
+// DigestReader consumes r to EOF and returns its digest and length.
+func DigestReader(r io.Reader) (string, int64, error) {
+	h := sha256.New()
+	n, err := io.Copy(h, r)
+	if err != nil {
+		return "", n, err
+	}
+	return FormatDigest(h), n, nil
+}
+
+// DigestFile returns the digest and size of the file at path.
+func DigestFile(path string) (string, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	return DigestReader(f)
+}
+
+// ParseDigest validates a rendered digest and returns its canonical
+// (lower-case) form. It rejects anything that is not exactly
+// "sha256:" + 64 hex characters, so digests can be safely embedded in
+// file names and URL paths.
+func ParseDigest(s string) (string, error) {
+	if !strings.HasPrefix(s, DigestPrefix) {
+		return "", fmt.Errorf("snapshot: digest %q lacks %q prefix", s, DigestPrefix)
+	}
+	hexPart := s[len(DigestPrefix):]
+	if len(hexPart) != digestHexLen {
+		return "", fmt.Errorf("snapshot: digest %q has %d hex chars, want %d", s, len(hexPart), digestHexLen)
+	}
+	for _, c := range hexPart {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		case c >= 'A' && c <= 'F':
+			// Canonicalised below.
+		default:
+			return "", fmt.Errorf("snapshot: digest %q contains non-hex character %q", s, c)
+		}
+	}
+	return DigestPrefix + strings.ToLower(hexPart), nil
+}

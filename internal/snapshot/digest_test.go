@@ -1,0 +1,78 @@
+package snapshot
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDigestForms(t *testing.T) {
+	data := []byte("GEOSNAP\x00 not really a snapshot, but bytes are bytes")
+	want := DigestPrefix + hex.EncodeToString(func() []byte {
+		s := sha256.Sum256(data)
+		return s[:]
+	}())
+
+	if got := Digest(data); got != want {
+		t.Fatalf("Digest = %q, want %q", got, want)
+	}
+
+	gotR, n, err := DigestReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotR != want || n != int64(len(data)) {
+		t.Fatalf("DigestReader = %q/%d, want %q/%d", gotR, n, want, len(data))
+	}
+
+	path := filepath.Join(t.TempDir(), "x.snap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gotF, n, err := DigestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotF != want || n != int64(len(data)) {
+		t.Fatalf("DigestFile = %q/%d, want %q/%d", gotF, n, want, len(data))
+	}
+
+	h := NewDigester()
+	h.Write(data[:10])
+	h.Write(data[10:])
+	if got := FormatDigest(h); got != want {
+		t.Fatalf("FormatDigest = %q, want %q", got, want)
+	}
+}
+
+func TestParseDigest(t *testing.T) {
+	valid := Digest([]byte("payload"))
+	if got, err := ParseDigest(valid); err != nil || got != valid {
+		t.Fatalf("ParseDigest(%q) = %q, %v", valid, got, err)
+	}
+	// Upper-case hex canonicalises to lower.
+	upper := DigestPrefix + strings.ToUpper(valid[len(DigestPrefix):])
+	if got, err := ParseDigest(upper); err != nil || got != valid {
+		t.Fatalf("ParseDigest(upper) = %q, %v, want %q", got, err, valid)
+	}
+
+	bad := []string{
+		"",
+		"sha256:",
+		"md5:" + valid[len(DigestPrefix):],
+		valid[:len(valid)-1],       // short
+		valid + "0",                // long
+		valid[:len(valid)-1] + "g", // non-hex
+		valid[:len(valid)-1] + "/", // path traversal material
+		strings.Replace(valid, ":", ";", 1),
+	}
+	for _, s := range bad {
+		if _, err := ParseDigest(s); err == nil {
+			t.Errorf("ParseDigest(%q) accepted, want error", s)
+		}
+	}
+}
